@@ -1,0 +1,37 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark prints the series/rows of the corresponding paper figure
+or claim (so the output can be compared side by side with the paper) and
+asserts the qualitative *shape* — orderings, crossovers, approximate
+factors — rather than absolute values.
+"""
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Print a fixed-width table matching the paper's reporting style."""
+    print()
+    print(f"=== {title} ===")
+    widths = [max(len(str(h)), max((len(f"{r[i]}") for r in rows),
+                                   default=0))
+              for i, h in enumerate(headers)]
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers,
+                                                            widths))
+    print(header_line)
+    print("-" * len(header_line))
+    for row in rows:
+        print("  ".join(f"{cell}".ljust(w) for cell, w in zip(row,
+                                                              widths)))
+
+
+def fmt(value, digits=1):
+    """Format a float for table cells."""
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}f}"
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,113 @@
+"""Ablation A1 — which elements of the COSEE cooling chain matter?
+
+The SEB chain has four design levers: how many heat pipes drain the PCB,
+which TIM fills the saddles, how much seat-structure area the LHPs can
+reach, and where the box is installed (seat vs ceiling).  Each ablation
+sweeps one lever with the rest at the COSEE baseline and reports the
+ΔT≤60 K capability — the knob-by-knob decomposition of the paper's
++150 % result.
+"""
+
+import pytest
+
+from avipack.experiments.cosee import ceiling_installation_study
+from avipack.packaging.seb import (
+    SeatElectronicsBox,
+    SeatStructure,
+    SebConfiguration,
+)
+
+from conftest import fmt, print_table
+
+LHP_CONFIG = SebConfiguration(cooling="hp_lhp")
+
+
+def capability(seb: SeatElectronicsBox,
+               config: SebConfiguration = LHP_CONFIG) -> float:
+    return seb.max_power_for_delta_t(60.0, config)
+
+
+def test_ablation_heat_pipe_count(benchmark):
+    counts = (1, 2, 4, 8)
+
+    results = benchmark.pedantic(
+        lambda: {n: capability(SeatElectronicsBox(n_heatpipes=n))
+                 for n in counts},
+        rounds=1, iterations=1)
+
+    print_table("A1a - capability vs number of internal heat pipes",
+                ("HPs", "capability [W]"),
+                [(str(n), fmt(c)) for n, c in results.items()])
+
+    values = [results[n] for n in counts]
+    # More pipes always help, with diminishing returns past the baseline.
+    assert values == sorted(values)
+    gain_1_to_4 = results[4] - results[1]
+    gain_4_to_8 = results[8] - results[4]
+    assert gain_1_to_4 > gain_4_to_8
+    # Even a single pipe beats natural convection's ~40 W.
+    assert results[1] > 45.0
+
+
+def test_ablation_tim_choice(benchmark):
+    tims = ("silicone_pad", "standard_grease",
+            "nanopack_metal_polymer_composite")
+
+    results = benchmark.pedantic(
+        lambda: {name: capability(SeatElectronicsBox(tim_name=name))
+                 for name in tims},
+        rounds=1, iterations=1)
+
+    print_table("A1b - capability vs saddle TIM",
+                ("TIM", "capability [W]"),
+                [(name, fmt(c)) for name, c in results.items()])
+
+    # The paper's point: "this technology requires the use of many
+    # thermal interfaces; thus the optimization of the whole thermal
+    # path implies to improve the TIM" (the NANOPACK motivation).
+    assert results["silicone_pad"] < results["standard_grease"] \
+        < results["nanopack_metal_polymer_composite"]
+    # The NANOPACK composite buys real watts over the grease baseline.
+    assert results["nanopack_metal_polymer_composite"] \
+        - results["standard_grease"] > 1.0
+
+
+def test_ablation_structure_area(benchmark):
+    areas = (0.09, 0.18, 0.36)
+
+    def run():
+        outcome = {}
+        for area in areas:
+            structure = SeatStructure(total_area=area)
+            config = SebConfiguration(cooling="hp_lhp",
+                                      structure=structure)
+            outcome[area] = capability(SeatElectronicsBox(), config)
+        return outcome
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table("A1c - capability vs seat-structure wetted area",
+                ("area [m2]", "capability [W]"),
+                [(fmt(a, 2), fmt(c)) for a, c in results.items()])
+
+    values = [results[a] for a in areas]
+    assert values == sorted(values)
+    # The sink is a first-order lever: halving the area costs >10 W.
+    assert results[0.18] - results[0.09] > 10.0
+
+
+def test_ablation_installation(benchmark):
+    study = benchmark.pedantic(ceiling_installation_study, rounds=1,
+                               iterations=1)
+
+    print_table("A1d - seat-frame vs ceiling-structure installation",
+                ("installation", "dT at 60 W [K]", "capability [W]"),
+                [("seat frame", fmt(study["seat_delta_t"]),
+                  fmt(study["seat_capability"])),
+                 ("ceiling structure", fmt(study["ceiling_delta_t"]),
+                  fmt(study["ceiling_capability"]))])
+
+    # The ceiling's larger structure buys capability (the paper's
+    # alternative sink for ceiling-installed IFE equipment).
+    assert study["ceiling_capability"] > study["seat_capability"]
+    assert study["ceiling_delta_t"] < study["seat_delta_t"]

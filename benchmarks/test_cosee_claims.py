@@ -1,0 +1,48 @@
+"""E8 — §IV.A headline claims (aluminium seat structure).
+
+* "increase of 150% of the heat dissipation capability: from 40 W up to
+  100 W with a constant PCB temperature (about 60 degC difference
+  between the PCB and the ambient)";
+* "for a same dissipated power, for example 40 W, the use of HP and LHP
+  allow 32 degC decrease on the PCB temperature without the use of
+  fans".
+"""
+
+import pytest
+
+from avipack.experiments.cosee import measure_claims
+
+from conftest import fmt, print_table
+
+
+def test_cosee_aluminum_claims(benchmark):
+    claims = benchmark.pedantic(measure_claims, rounds=1, iterations=1)
+
+    rows = [
+        ("capability without LHP [W]", "40", fmt(
+            claims.capability_without_lhp)),
+        ("capability with HP+LHP [W]", "100", fmt(
+            claims.capability_with_lhp)),
+        ("capability increase [%]", "150", fmt(
+            claims.capability_increase_pct)),
+        ("dT(PCB-air) at 40 W, no LHP [K]", "~60", fmt(
+            claims.delta_t_without_at_40w)),
+        ("dT(PCB-air) at 40 W, with LHP [K]", "~28", fmt(
+            claims.delta_t_with_at_40w)),
+        ("PCB temperature decrease at 40 W [K]", "32", fmt(
+            claims.temperature_drop_at_40w)),
+        ("power through LHPs at capability [W]", "58", fmt(
+            claims.lhp_heat_at_capability)),
+    ]
+    print_table("SIV.A - COSEE claims, aluminium seat (paper vs model)",
+                ("quantity", "paper", "model"), rows)
+
+    # Who wins: the two-phase chain, by roughly the paper's factor.
+    assert claims.capability_without_lhp == pytest.approx(40.0, rel=0.15)
+    assert claims.capability_with_lhp == pytest.approx(100.0, rel=0.15)
+    assert claims.capability_increase_pct == pytest.approx(150.0,
+                                                           abs=40.0)
+    assert claims.temperature_drop_at_40w == pytest.approx(32.0, abs=8.0)
+    assert claims.lhp_heat_at_capability == pytest.approx(58.0, rel=0.15)
+    # The capability criterion itself: ~60 K at the no-LHP capability.
+    assert claims.delta_t_without_at_40w == pytest.approx(60.0, abs=8.0)

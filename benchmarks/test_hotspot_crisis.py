@@ -1,0 +1,84 @@
+"""E6 — §I/§IV: the hot-spot crisis and the limit of ARINC 600 air.
+
+"Components heat densities are surpassing 10 W/cm2 and will reach
+100 W/cm2.  The standard approach using typical ARINC600 standard
+cooling conditions (220 kg/h/kW) are no longer applicable.  This global
+airflow rate cannot cope with the hot spot problems (up to ten times the
+standard air flow rate would be required)."
+
+The bench sweeps the local heat flux from today's ~1 W/cm2 to the
+projected 100 W/cm2, computes the flow multiplier over the ARINC
+allocation needed to hold the hot spot within 60 K of the air, and a
+finite-volume board model showing the spreading-limited local peak.
+"""
+
+import pytest
+
+from avipack.environments.arinc600 import required_flow_multiplier
+from avipack.thermal.conduction import (
+    BoundaryCondition,
+    CartesianGrid,
+    ConductionSolver,
+)
+
+from conftest import fmt, print_table
+
+FLUX_SWEEP = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+
+
+def test_hotspot_flow_multiplier(benchmark):
+    multipliers = benchmark.pedantic(
+        lambda: {flux: required_flow_multiplier(flux, 60.0)
+                 for flux in FLUX_SWEEP},
+        rounds=1, iterations=1)
+
+    rows = [(fmt(flux, 0), fmt(m, 1) if m != float("inf") else
+             "infeasible") for flux, m in multipliers.items()]
+    print_table(
+        "SIV - flow multiplier over ARINC 600 to hold a hot spot at "
+        "+60 K", ("flux [W/cm2]", "x standard flow"), rows)
+
+    # Shape 1: today's fluxes are fine at the standard allocation.
+    assert multipliers[1.0] == pytest.approx(1.0)
+    # Shape 2: ~10 W/cm2 needs roughly an order of magnitude more air
+    # ("up to ten times the standard air flow rate would be required").
+    assert multipliers[10.0] == pytest.approx(10.0, rel=0.5)
+    # Shape 3: 100 W/cm2 is flatly infeasible with air.
+    assert multipliers[100.0] == float("inf")
+    # Shape 4: monotone escalation.
+    finite = [m for m in multipliers.values() if m != float("inf")]
+    assert finite == sorted(finite)
+
+
+def test_hotspot_board_field(benchmark):
+    """FV model: a 10 x 10 mm hot spot on a 100 x 80 mm board."""
+
+    def solve(flux_w_cm2):
+        grid = CartesianGrid((25, 20, 2), (0.1, 0.08, 0.0016),
+                             conductivity=18.0)
+        grid.kz[:, :, :] = 0.35
+        spot = grid.region_slices((0.045, 0.055), (0.035, 0.045),
+                                  (0.0, 0.0016))
+        grid.add_power(spot, flux_w_cm2 * 1.0)  # 1 cm2 spot
+        solver = ConductionSolver(grid)
+        for face in ("z_min", "z_max"):
+            solver.set_boundary(face, BoundaryCondition(
+                "convection", 40.0, ambient=313.15))
+        return solver.solve_steady()
+
+    fluxes = (1.0, 10.0, 100.0)
+    solutions = benchmark.pedantic(
+        lambda: {f: solve(f) for f in fluxes}, rounds=1, iterations=1)
+
+    rows = [(fmt(f, 0), fmt(solutions[f].max_temperature - 313.15, 1))
+            for f in fluxes]
+    print_table(
+        "SI - board hot-spot peak rise over air (FV model, h=40 W/m2K)",
+        ("flux [W/cm2]", "peak rise [K]"), rows)
+
+    # Shape: the peak rise scales with flux and the 100 W/cm2 case is
+    # catastrophically beyond the 85 degC world (rise >> 100 K).
+    rises = [solutions[f].max_temperature - 313.15 for f in fluxes]
+    assert rises == sorted(rises)
+    assert rises[0] < 60.0
+    assert rises[-1] > 150.0

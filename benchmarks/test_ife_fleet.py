@@ -1,0 +1,75 @@
+"""E13 (motivation) — the IFE fleet arithmetic behind COSEE.
+
+"New generations of In-flight Entertainment Systems are required to
+provide more and more services at an affordable cost ... to face the
+increasing power dissipation, the use of fans will be required with the
+following drawbacks: extra cost, energy consumption when multiplied by
+the seat number, reliability and maintenance concern (filters,
+failures)."
+
+The bench multiplies by the seat number: a 300-seat cabin with one SEB
+per seat, fan-cooled vs the passive HP/LHP chain.
+"""
+
+import pytest
+
+from avipack.packaging.ife import compare_cooling_strategies
+
+from conftest import fmt, print_table
+
+
+def test_ife_fleet_comparison(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: compare_cooling_strategies(n_seats=300, seb_power=40.0),
+        rounds=1, iterations=1)
+
+    fan, passive = comparison["fan"], comparison["passive"]
+    rows = [
+        ("cabin IFE power [W]", fmt(fan["system_power_w"], 0),
+         fmt(passive["system_power_w"], 0)),
+        ("cooling overhead [W]", fmt(fan["cooling_overhead_w"], 0),
+         fmt(passive["cooling_overhead_w"], 0)),
+        ("per-SEB MTBF [h]", fmt(fan["seb_mtbf_h"], 0),
+         fmt(passive["seb_mtbf_h"], 0)),
+        ("box failures / aircraft-year", fmt(fan["failures_per_year"]),
+         fmt(passive["failures_per_year"])),
+        ("maintenance events / year",
+         fmt(fan["maintenance_per_year"], 0),
+         fmt(passive["maintenance_per_year"])),
+        ("cooling hardware cost [cu]", fmt(fan["hardware_cost"], 0),
+         fmt(passive["hardware_cost"], 0)),
+    ]
+    print_table("SIV.A motivation - 300-seat IFE: fans vs passive chain",
+                ("figure", "fan-cooled", "passive HP/LHP"), rows)
+
+    # Who wins where: the passive chain costs more hardware but wins
+    # power, reliability and - massively - maintenance.
+    assert passive["hardware_cost"] > fan["hardware_cost"]
+    assert passive["cooling_overhead_w"] == 0.0
+    assert passive["seb_mtbf_h"] > 2.0 * fan["seb_mtbf_h"]
+    assert passive["maintenance_per_year"] \
+        < 0.1 * fan["maintenance_per_year"]
+    # Fan filter services dominate the fan fleet's maintenance load.
+    assert fan["maintenance_per_year"] > 10.0 * fan["failures_per_year"]
+
+
+def test_ife_fleet_scaling(benchmark):
+    seat_counts = (150, 300, 550)
+
+    results = benchmark.pedantic(
+        lambda: {n: compare_cooling_strategies(n_seats=n)
+                 for n in seat_counts},
+        rounds=1, iterations=1)
+
+    rows = [(str(n),
+             fmt(results[n]["fan"]["maintenance_per_year"], 0),
+             fmt(results[n]["passive"]["maintenance_per_year"], 1))
+            for n in seat_counts]
+    print_table("fleet maintenance events/year vs cabin size",
+                ("seats", "fan-cooled", "passive"), rows)
+
+    # Linear in seat count - "multiplied by the seat number" exactly.
+    fan_events = [results[n]["fan"]["maintenance_per_year"]
+                  for n in seat_counts]
+    assert fan_events[2] / fan_events[0] \
+        == pytest.approx(550.0 / 150.0, rel=1e-6)

@@ -1,0 +1,113 @@
+"""E12 — §II.B reliability: junction temperatures → MTBF.
+
+"This level allows us to reach the junction temperature for each
+component.  The temperature will be used as an input data for the safety
+and reliability calculations.  Typical MTBF for aerospace applications
+is about 40,000 h."
+
+The bench runs the level-3 board solve, feeds the junctions to the
+MIL-HDBK-217-style roll-up, prints the MTBF at several cooling levels,
+and checks that (a) a properly cooled design lands in the 40 000 h
+class, (b) hotter junctions destroy the prediction through Arrhenius,
+and (c) removing fans (the COSEE motivation) pays off in MTBF.
+"""
+
+import pytest
+
+from avipack.core.levels import run_level3
+from avipack.packaging.component import make_component
+from avipack.packaging.pcb import Pcb
+from avipack.reliability.mtbf import (
+    PartReliability,
+    fan_reliability_penalty,
+    predict_mtbf,
+)
+from avipack.units import celsius_to_kelvin, kelvin_to_celsius
+
+from conftest import fmt, print_table
+
+
+def instrumented_board():
+    board = Pcb(0.16, 0.1, n_copper_layers=8, copper_coverage=0.7)
+    board.place(make_component("cpu", "bga_35mm", 4.0, (0.08, 0.05)))
+    board.place(make_component("fpga", "bga_23mm", 2.0, (0.12, 0.07)))
+    board.place(make_component("reg", "to_220", 3.0, (0.04, 0.03)))
+    return board
+
+
+PARTS = [
+    PartReliability("cpu", 150.0, activation_energy_ev=0.5,
+                    quality="full_mil"),
+    PartReliability("fpga", 120.0, activation_energy_ev=0.45,
+                    quality="full_mil"),
+    PartReliability("reg", 90.0, activation_energy_ev=0.4,
+                    quality="full_mil"),
+]
+
+
+def test_mtbf_from_level3_junctions(benchmark):
+    board = instrumented_board()
+    cooling_cases = {
+        "well_cooled_h60": 60.0,
+        "standard_h30": 30.0,
+        "starved_h6": 6.0,
+    }
+
+    def run():
+        outcome = {}
+        for name, h_film in cooling_cases.items():
+            level3 = run_level3(board, celsius_to_kelvin(55.0),
+                                h_film=h_film)
+            prediction = predict_mtbf(PARTS,
+                                      level3.junction_temperatures)
+            outcome[name] = (level3, prediction)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (level3, prediction) in outcome.items():
+        rows.append((
+            name,
+            fmt(kelvin_to_celsius(level3.max_junction)),
+            fmt(prediction.total_failure_rate_fit, 0),
+            fmt(prediction.mtbf_hours, 0),
+            "yes" if prediction.mtbf_hours >= 40_000.0 else "NO",
+        ))
+    print_table(
+        "SII.B - junction temperatures -> MTBF (target 40,000 h)",
+        ("cooling", "max Tj [degC]", "failure rate [FIT]",
+         "MTBF [h]", ">= 40 kh"), rows)
+
+    well = outcome["well_cooled_h60"][1]
+    standard = outcome["standard_h30"][1]
+    starved = outcome["starved_h6"][1]
+    # Shape 1: the well-cooled design reaches the aerospace class.
+    assert well.mtbf_hours >= 40_000.0
+    # Shape 2: MTBF degrades monotonically as cooling is removed.
+    assert well.mtbf_hours > standard.mtbf_hours > starved.mtbf_hours
+    # Shape 3: the starved design also violates the derating rules.
+    assert starved.derating_violations
+
+
+def test_fanless_reliability_payoff(benchmark):
+    """The COSEE motivation: "the use of fans will be required with the
+    following drawbacks: ... reliability and maintenance concern"."""
+    equipment_fit = 8_000.0
+
+    ratios = benchmark.pedantic(
+        lambda: {n: fan_reliability_penalty(equipment_fit, n)
+                 for n in (0, 1, 2, 4)},
+        rounds=1, iterations=1)
+
+    rows = [(str(n), fmt(1e9 / (equipment_fit / ratio), 0),
+             fmt(ratio, 3)) for n, ratio in ratios.items()]
+    print_table(
+        "SIV.A - MTBF penalty of fan cooling vs the passive two-phase "
+        "solution", ("fans", "MTBF [h]", "relative MTBF"), rows)
+
+    # Passive (0 fans) wins; each fan cuts the MTBF further.
+    values = [ratios[n] for n in (0, 1, 2, 4)]
+    assert values == sorted(values, reverse=True)
+    assert ratios[0] == pytest.approx(1.0)
+    assert ratios[2] < 0.5

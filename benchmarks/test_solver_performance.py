@@ -1,0 +1,108 @@
+"""Solver-kernel performance benchmarks.
+
+Not a paper figure: these time the numerical kernels that everything
+else stands on, with real multi-round statistics (unlike the
+reproduction benches, which run once and check shapes).  They guard the
+library against performance regressions — level-3 sweeps call these
+kernels thousands of times during a design study.
+"""
+
+import pytest
+
+from avipack.materials.fluids import saturation_properties
+from avipack.mechanical.beam import BeamModel, BeamSection
+from avipack.mechanical.plate import PlateSpec, plate_modes
+from avipack.thermal.conduction import (
+    BoundaryCondition,
+    CartesianGrid,
+    ConductionSolver,
+)
+from avipack.thermal.network import ThermalNetwork
+from avipack.twophase.heatpipe import standard_copper_water_heatpipe
+
+
+def build_board_solver():
+    grid = CartesianGrid((40, 30, 3), (0.2, 0.15, 0.0024),
+                         conductivity=18.0)
+    grid.kz[:, :, :] = 0.35
+    region = grid.region_slices((0.09, 0.11), (0.07, 0.08),
+                                (0.0, 0.0024))
+    grid.add_power(region, 10.0)
+    solver = ConductionSolver(grid)
+    solver.set_boundary("z_min",
+                        BoundaryCondition("convection", 25.0, 313.15))
+    solver.set_boundary("z_max",
+                        BoundaryCondition("convection", 25.0, 313.15))
+    return solver
+
+
+def build_network(n_chains=30, chain_length=6):
+    net = ThermalNetwork()
+    net.add_node("sink", fixed_temperature=300.0)
+    for c in range(n_chains):
+        previous = "sink"
+        for i in range(chain_length):
+            name = f"n{c}_{i}"
+            net.add_node(name, heat_load=1.0)
+            net.add_resistance(name, previous, 0.5)
+            previous = name
+    return net
+
+
+def test_perf_fv_board_solve(benchmark):
+    """3 600-cell orthotropic board: assemble + direct solve."""
+    solver = build_board_solver()
+    solution = benchmark(solver.solve_steady)
+    assert solution.max_temperature > 313.15
+
+
+def test_perf_network_solve(benchmark):
+    """180-node linear network solve."""
+    net = build_network()
+    solution = benchmark(net.solve)
+    assert solution.residual < 1e-6
+
+
+def test_perf_nonlinear_network(benchmark):
+    """Nonlinear (radiation-like) network fixed point."""
+    net = ThermalNetwork()
+    net.add_node("sink", fixed_temperature=300.0)
+    for i in range(20):
+        net.add_node(f"n{i}", heat_load=5.0)
+        net.add_conductance(
+            f"n{i}", "sink",
+            lambda a, b: 1e-9 * (a * a + b * b) * (a + b))
+    solution = benchmark(net.solve)
+    assert solution.residual < 1e-4
+
+
+def test_perf_plate_modes(benchmark):
+    """Plate modal extraction (the mechanical branch inner loop)."""
+    plate = PlateSpec(0.2, 0.15, 1.6e-3, 22e9, 0.28, 1850.0,
+                      component_mass=0.2)
+    modes = benchmark(plate_modes, plate, 6)
+    assert len(modes) == 6
+
+
+def test_perf_beam_fem(benchmark):
+    """60-element beam eigensolve."""
+    section = BeamSection.rectangular(0.02, 0.004, 70e9, 2700.0)
+    beam = BeamModel(0.5, section, 60)
+    beam.set_support("left", "pinned")
+    beam.set_support("right", "pinned")
+    frequencies = benchmark(beam.natural_frequencies, 5)
+    assert frequencies[0] > 0.0
+
+
+def test_perf_saturation_properties(benchmark):
+    """Working-fluid property evaluation (called inside every two-phase
+    iteration)."""
+    state = benchmark(saturation_properties, "ammonia", 320.0)
+    assert state.pressure > 0.0
+
+
+def test_perf_heatpipe_limits(benchmark):
+    """Full five-limit heat-pipe evaluation."""
+    pipe = standard_copper_water_heatpipe()
+    limits = benchmark(pipe.operating_limits, 333.15)
+    assert len(limits) == 5

@@ -1,0 +1,81 @@
+"""Scenario: the cooling-capacity crisis and the architecture decision.
+
+Walks the paper's §I/§III/§IV argument quantitatively:
+
+1. the module dissipation trend (10 -> 30 -> 60 W in the same envelope)
+   against standard ARINC 600 forced air;
+2. the hot-spot analysis: the flow multiplier needed as local fluxes
+   climb from 1 to 100 W/cm²;
+3. the architecture selector verdict for each scenario — showing exactly
+   where "standard cooling approaches using forced air are no longer
+   applicable" and a two-phase system becomes mandatory.
+
+Run:  python examples/cooling_technology_tradeoff.py
+"""
+
+from avipack.core.selector import (
+    ThermalRequirement,
+    assess,
+    forced_air_no_longer_applicable,
+    select_architecture,
+)
+from avipack.environments.arinc600 import (
+    module_performance,
+    required_flow_multiplier,
+)
+from avipack.packaging.module import module_generation
+from avipack.units import kelvin_to_celsius
+
+
+def main() -> None:
+    print("1. Module dissipation trend under ARINC 600 forced air")
+    print("-" * 60)
+    for generation in ("current", "near_future", "next"):
+        module = module_generation(generation)
+        performance = module_performance(module.power)
+        board_c = kelvin_to_celsius(performance.surface_temperature)
+        verdict = "OK" if board_c <= 85.0 else "OVER 85 degC"
+        print(f"  {generation:<12} {module.power:5.0f} W/module -> "
+              f"board {board_c:6.1f} degC  [{verdict}]")
+
+    print()
+    print("2. Hot-spot crisis: extra air needed vs local flux")
+    print("-" * 60)
+    for flux in (1.0, 5.0, 10.0, 20.0, 50.0, 100.0):
+        multiplier = required_flow_multiplier(flux, 60.0)
+        label = (f"{multiplier:5.1f} x standard flow"
+                 if multiplier != float("inf") else
+                 "infeasible with air")
+        print(f"  {flux:6.1f} W/cm2 -> {label}")
+
+    print()
+    print("3. Architecture selection per scenario")
+    print("-" * 60)
+    scenarios = {
+        "today's rack card (10 W, 2 W/cm2)":
+            ThermalRequirement(module_power=10.0, peak_flux_w_cm2=2.0),
+        "next-gen card (60 W, 8 W/cm2)":
+            ThermalRequirement(module_power=60.0, peak_flux_w_cm2=8.0),
+        "hot-spot module (120 W, 40 W/cm2)":
+            ThermalRequirement(module_power=120.0, peak_flux_w_cm2=40.0),
+        "cabin SEB (100 W, no ECS air, 0.6 m to sink)":
+            ThermalRequirement(module_power=100.0, peak_flux_w_cm2=15.0,
+                               air_available=False,
+                               coldwall_available=False,
+                               transport_distance=0.6),
+    }
+    for label, requirement in scenarios.items():
+        choice = select_architecture(requirement)
+        crisis = forced_air_no_longer_applicable(requirement)
+        print(f"  {label}")
+        print(f"      -> {choice.value}"
+              + ("   [forced air no longer applicable]" if crisis
+                 else ""))
+        rejected = [a for a in assess(requirement) if not a.viable][:2]
+        for verdict in rejected:
+            print(f"         rejected {verdict.architecture.value}: "
+                  f"{verdict.reasons[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Scenario: a failed design review closed by the advisor.
+
+Start with a deliberately weak design — a thin, soft board whose first
+mode violates the frequency-allocation plan and whose hot component
+drives an MTBF miss — run the Fig. 1 procedure, let the advisor propose
+quantified moves, apply them, and re-run to compliance.  The "design at
+a minimum cost and in one shot" loop, automated.
+
+Run:  python examples/design_iteration.py
+"""
+
+from dataclasses import replace
+
+from avipack import (
+    FrequencyAllocation,
+    PackagingSpecification,
+    run_design_procedure,
+)
+from avipack.core.advisor import advise
+from avipack.packaging.component import make_component
+from avipack.packaging.module import Module
+from avipack.packaging.pcb import Pcb
+from avipack.packaging.rack import Rack
+
+
+def weak_rack() -> Rack:
+    """A thin 1.0 mm board with sparse copper - soft AND hot."""
+    rack = Rack("draft_unit")
+    board = Pcb(0.16, 0.10, thickness=1.0e-3, n_copper_layers=2,
+                copper_coverage=0.3)
+    board.place(make_component("cpu", "bga_23mm", 6.0, (0.08, 0.05)))
+    board.place(make_component("reg", "to_220", 4.0, (0.04, 0.03)))
+    rack.add_module(Module("card1", pcb=board))
+    return rack
+
+
+def improved_rack() -> Rack:
+    """The advised design: thick laminate, heavy copper, spread power."""
+    rack = Rack("revised_unit")
+    board = Pcb(0.16, 0.10, thickness=2.4e-3, n_copper_layers=8,
+                copper_coverage=0.75)
+    board.place(make_component("cpu", "bga_35mm", 4.0, (0.08, 0.05)))
+    board.place(make_component("reg", "to_220", 3.0, (0.04, 0.03)))
+    board.place(make_component("aux", "dpak", 3.0, (0.12, 0.07)))
+    rack.add_module(Module("card1", pcb=board))
+    return rack
+
+
+def main() -> None:
+    spec = PackagingSpecification(
+        name="draft_unit",
+        frequency_allocation=FrequencyAllocation(150.0, 2000.0),
+    )
+
+    print("ITERATION 1 - draft design")
+    print("-" * 60)
+    review = run_design_procedure(weak_rack(), spec)
+    if review.violations:
+        for violation in review.violations:
+            print(f"  VIOLATION: {violation}")
+    else:
+        print("  (unexpectedly compliant)")
+
+    print()
+    print("ADVISOR - proposed moves (cheapest first)")
+    print("-" * 60)
+    for move in advise(review, module_power=10.0, peak_flux_w_cm2=2.0):
+        print(f"  [{move.category}/{move.intrusiveness}] {move.action}")
+
+    print()
+    print("ITERATION 2 - revised design")
+    print("-" * 60)
+    revised_spec = replace(spec, name="revised_unit")
+    revised = run_design_procedure(improved_rack(), revised_spec)
+    if revised.compliant:
+        print(f"  COMPLIANT: f1 = {revised.mechanical.fundamental_hz:.0f}"
+              f" Hz (plan: 150-2000 Hz), worst board "
+              f"{revised.thermal.level2.worst_board_temperature - 273.15:.1f}"
+              " degC")
+    else:
+        for violation in revised.violations:
+            print(f"  STILL OPEN: {violation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: cool a seat electronics box with and without loop heat
+pipes.
+
+The 60-second tour of avipack: build the COSEE seat electronics box,
+solve its thermal state at 40 W under passive (natural convection)
+cooling and with the heat-pipe + loop-heat-pipe chain, and print the
+comparison — the paper's headline "32 degC decrease without the use of
+fans".
+
+Run:  python examples/quickstart.py
+"""
+
+from avipack import SeatElectronicsBox, SebConfiguration
+from avipack.units import kelvin_to_celsius
+
+
+def main() -> None:
+    seb = SeatElectronicsBox()
+    power = 40.0  # W dissipated inside the box
+
+    passive = seb.solve(power, SebConfiguration(cooling="natural"))
+    assisted = seb.solve(power, SebConfiguration(cooling="hp_lhp"))
+
+    print(f"Seat electronics box at {power:.0f} W, cabin at "
+          f"{kelvin_to_celsius(passive.ambient):.0f} degC")
+    print()
+    print(f"  natural convection only : PCB at "
+          f"{kelvin_to_celsius(passive.pcb_temperature):6.1f} degC "
+          f"(dT = {passive.delta_t_pcb_air:.1f} K)")
+    print(f"  with HP + LHP chain     : PCB at "
+          f"{kelvin_to_celsius(assisted.pcb_temperature):6.1f} degC "
+          f"(dT = {assisted.delta_t_pcb_air:.1f} K)")
+    print()
+    drop = passive.delta_t_pcb_air - assisted.delta_t_pcb_air
+    print(f"  -> the two-phase chain buys {drop:.1f} K at the PCB "
+          "(paper: ~32 K), without fans")
+    print(f"  -> {assisted.lhp_heat:.1f} W of the {power:.0f} W leave "
+          "through the loop heat pipes into the seat structure")
+
+    # How far can each configuration go before the PCB runs 60 K hot?
+    cap_passive = seb.max_power_for_delta_t(
+        60.0, SebConfiguration(cooling="natural"))
+    cap_assisted = seb.max_power_for_delta_t(
+        60.0, SebConfiguration(cooling="hp_lhp"))
+    print()
+    print(f"  capability at dT = 60 K: {cap_passive:.0f} W passive -> "
+          f"{cap_assisted:.0f} W with LHPs "
+          f"(+{(cap_assisted / cap_passive - 1) * 100:.0f} %)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Scenario: the complete COSEE study — Fig. 10, the §IV.A claims and
+the qualification campaign.
+
+Regenerates the paper's seat-electronics-box evaluation end to end:
+
+1. the Fig. 10 curves (ΔT vs power, three configurations) printed as an
+   ASCII chart;
+2. the headline claims for the aluminium and carbon-composite seats;
+3. the virtual environmental qualification campaign (9 g, DO-160 C1,
+   climatic, thermal shock).
+
+Run:  python examples/seat_electronics_cooling.py
+"""
+
+from avipack.core.qualification import run_campaign
+from avipack.core.report import render_qualification_report
+from avipack.environments.profiles import cosee_campaign
+from avipack.experiments.cosee import (
+    fig10_curves,
+    measure_claims,
+    measure_composite_claims,
+    seb_under_test,
+)
+
+
+def ascii_chart(curves, width=60, max_delta=120.0):
+    """Plot the Fig. 10 curves as rows of characters."""
+    markers = {"without_lhp": "x", "with_lhp_horizontal": "o",
+               "with_lhp_tilt22": "+"}
+    print(f"  dT(PCB-air) [K] vs power [W]   "
+          f"(x = no LHP, o = LHP horizontal, + = LHP 22deg)")
+    all_points = []
+    for name, curve in curves.items():
+        for power, delta in curve:
+            all_points.append((power, delta, markers[name]))
+    for power in sorted({p for p, _d, _m in all_points}):
+        line = [" "] * (width + 1)
+        for p, delta, marker in all_points:
+            if p == power:
+                column = min(int(delta / max_delta * width), width)
+                line[column] = marker
+        print(f"  {power:5.0f} W |{''.join(line)}")
+    print(f"          +{'-' * width}")
+    print(f"           0{' ' * (width - 8)}{max_delta:.0f} K")
+
+
+def main() -> None:
+    print("=" * 70)
+    print("1. Fig. 10 - thermal results")
+    print("=" * 70)
+    curves = fig10_curves()
+    ascii_chart(curves)
+
+    print()
+    print("=" * 70)
+    print("2. Quantitative claims (paper vs model)")
+    print("=" * 70)
+    aluminum = measure_claims()
+    composite = measure_composite_claims()
+    print(f"  aluminium seat : capability {aluminum.capability_without_lhp:5.1f}"
+          f" -> {aluminum.capability_with_lhp:5.1f} W "
+          f"(+{aluminum.capability_increase_pct:.0f} %, paper: +150 %)")
+    print(f"                   dT drop at 40 W: "
+          f"{aluminum.temperature_drop_at_40w:.1f} K (paper: 32 K)")
+    print(f"                   LHP share at capability: "
+          f"{aluminum.lhp_heat_at_capability:.1f} W (paper: 58 W)")
+    print(f"  composite seat : capability {composite.capability_without_lhp:5.1f}"
+          f" -> {composite.capability_with_lhp:5.1f} W "
+          f"(+{composite.capability_increase_pct:.0f} %, paper: +80 %)")
+    print(f"                   dT drop at 40 W: "
+          f"{composite.temperature_drop_at_40w:.1f} K (paper: 20 K)")
+
+    print()
+    print("=" * 70)
+    print("3. Virtual qualification campaign")
+    print("=" * 70)
+    report = run_campaign(seb_under_test(power=40.0), cosee_campaign())
+    print(render_qualification_report(report))
+
+
+if __name__ == "__main__":
+    main()

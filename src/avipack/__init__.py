@@ -1,0 +1,124 @@
+"""avipack — avionics packaging thermal/mechanical co-design toolkit.
+
+A from-scratch reproduction of the system described in *"Integration,
+cooling and packaging issues for aerospace equipments"* (C. Sarno,
+C. Tantolin, Thales Avionics, DATE 2010): the parallel thermal/mechanical
+packaging design procedure, the three-level thermal simulation pyramid,
+the classical cooling techniques and their limits, the COSEE two-phase
+(heat pipe + loop heat pipe) seat-electronics-box cooling chain, and the
+NANOPACK thermal-interface-material developments.
+
+Quick start::
+
+    from avipack import SeatElectronicsBox, SebConfiguration
+
+    seb = SeatElectronicsBox()
+    passive = seb.solve(40.0, SebConfiguration(cooling="natural"))
+    assisted = seb.solve(40.0, SebConfiguration(cooling="hp_lhp"))
+    print(passive.delta_t_pcb_air - assisted.delta_t_pcb_air)  # ~32 K
+
+Subpackages
+-----------
+``materials``
+    Solid/fluid property database, PCB layup models.
+``thermal``
+    Resistance networks, finite-volume conduction, convection and
+    radiation correlations, transient solvers.
+``twophase``
+    Heat pipes, loop heat pipes, thermosyphons, wicks, working fluids.
+``mechanical``
+    Plate/beam modal analysis, random vibration, fatigue, isolation,
+    shock.
+``tim``
+    Thermal-interface-material models, catalogue and virtual testers.
+``environments``
+    DO-160, ARINC 600 and qualification profiles.
+``reliability``
+    Arrhenius/MIL-HDBK-217 style MTBF prediction.
+``packaging``
+    Components, PCBs, modules, racks and the COSEE SEB.
+``core``
+    The design procedure: levels, selection, qualification, reporting.
+``experiments``
+    Canned builders for every paper figure and claim.
+"""
+
+from . import (
+    core,
+    environments,
+    experiments,
+    materials,
+    mechanical,
+    packaging,
+    reliability,
+    thermal,
+    tim,
+    twophase,
+    units,
+)
+from .errors import (
+    AvipackError,
+    ConvergenceError,
+    InputError,
+    MaterialNotFoundError,
+    ModelRangeError,
+    OperatingLimitError,
+    SpecificationError,
+)
+
+# The most-used entry points, re-exported flat.
+from .core import (
+    FrequencyAllocation,
+    PackagingSpecification,
+    run_campaign,
+    run_design_procedure,
+    run_pyramid,
+    select_architecture,
+)
+from .packaging import (
+    Module,
+    Pcb,
+    Rack,
+    SeatElectronicsBox,
+    SebConfiguration,
+)
+from .thermal import ThermalNetwork
+from .twophase import HeatPipe, LoopHeatPipe, Thermosyphon
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AvipackError",
+    "ConvergenceError",
+    "FrequencyAllocation",
+    "HeatPipe",
+    "InputError",
+    "LoopHeatPipe",
+    "MaterialNotFoundError",
+    "Module",
+    "ModelRangeError",
+    "OperatingLimitError",
+    "PackagingSpecification",
+    "Pcb",
+    "Rack",
+    "SeatElectronicsBox",
+    "SebConfiguration",
+    "SpecificationError",
+    "ThermalNetwork",
+    "Thermosyphon",
+    "core",
+    "environments",
+    "experiments",
+    "materials",
+    "mechanical",
+    "packaging",
+    "reliability",
+    "thermal",
+    "tim",
+    "twophase",
+    "units",
+    "run_campaign",
+    "run_design_procedure",
+    "run_pyramid",
+    "select_architecture",
+]

@@ -1,0 +1,105 @@
+"""Command-line entry point: reproduce the paper's headline results.
+
+Usage::
+
+    python -m avipack            # Fig. 10 table + headline claims
+    python -m avipack fig10      # just the Fig. 10 series
+    python -m avipack claims     # just the SIV.A claims
+    python -m avipack nanopack   # the NANOPACK TIM results
+    python -m avipack qual       # the virtual qualification campaign
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _print_fig10() -> None:
+    from .experiments.cosee import fig10_curves
+
+    curves = fig10_curves()
+    print("Fig. 10 - Tpcb1 - Tair [K] vs SEB power [W]")
+    print(f"{'P [W]':>6} {'no LHP':>8} {'LHP horiz':>10} "
+          f"{'LHP 22deg':>10}")
+    without = dict(curves["without_lhp"])
+    horizontal = dict(curves["with_lhp_horizontal"])
+    tilted = dict(curves["with_lhp_tilt22"])
+    for power in sorted(horizontal):
+        no_lhp = f"{without[power]:8.1f}" if power in without \
+            else "       -"
+        print(f"{power:6.0f} {no_lhp} {horizontal[power]:10.1f} "
+              f"{tilted[power]:10.1f}")
+
+
+def _print_claims() -> None:
+    from .experiments.cosee import measure_claims, \
+        measure_composite_claims
+
+    aluminum = measure_claims()
+    composite = measure_composite_claims()
+    print("SIV.A claims (paper -> model):")
+    print(f"  capability increase (Al)   : +150 %  -> "
+          f"+{aluminum.capability_increase_pct:.0f} %")
+    print(f"  PCB drop at 40 W (Al)      :   32 K  -> "
+          f"{aluminum.temperature_drop_at_40w:.1f} K")
+    print(f"  LHP power at capability    :   58 W  -> "
+          f"{aluminum.lhp_heat_at_capability:.1f} W")
+    print(f"  capability increase (CFRP) :  +80 %  -> "
+          f"+{composite.capability_increase_pct:.0f} %")
+    print(f"  PCB drop at 40 W (CFRP)    :   20 K  -> "
+          f"{composite.temperature_drop_at_40w:.1f} K")
+
+
+def _print_nanopack() -> None:
+    from .experiments.nanopack import design_nanopack_adhesives, \
+        hnc_interface_study
+
+    print("SIV.B NANOPACK adhesive designs:")
+    for design in design_nanopack_adhesives():
+        print(f"  {design.name:<28} {design.filler_loading * 100:5.1f} "
+              f"vol% -> {design.achieved_conductivity:5.2f} W/m.K")
+    passing = [s for s in hnc_interface_study() if s.meets_target_hnc]
+    print(f"  interfaces meeting <5 K.mm2/W @ <20 um (HNC): "
+          f"{', '.join(s.material_name for s in passing)}")
+
+
+def _print_qualification() -> None:
+    from .core.qualification import run_campaign
+    from .core.report import render_qualification_report
+    from .environments.profiles import cosee_campaign
+    from .experiments.cosee import seb_under_test
+
+    report = run_campaign(seb_under_test(power=40.0), cosee_campaign())
+    print(render_qualification_report(report))
+
+
+_COMMANDS = {
+    "fig10": _print_fig10,
+    "claims": _print_claims,
+    "nanopack": _print_nanopack,
+    "qual": _print_qualification,
+}
+
+
+def main(argv=None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        _print_fig10()
+        print()
+        _print_claims()
+        return 0
+    command = argv[0]
+    if command in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if command not in _COMMANDS:
+        print(f"unknown command {command!r}; choose from "
+              f"{', '.join(sorted(_COMMANDS))}", file=sys.stderr)
+        return 2
+    _COMMANDS[command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

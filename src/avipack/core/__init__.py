@@ -1,0 +1,122 @@
+"""The paper's core contribution: the packaging design procedure.
+
+* :mod:`~avipack.core.design_flow` — the Fig. 1 parallel thermal +
+  mechanical procedure against a specification;
+* :mod:`~avipack.core.levels` — the Fig. 4 three-level thermal pyramid;
+* :mod:`~avipack.core.selector` — cooling-architecture selection;
+* :mod:`~avipack.core.qualification` — the virtual environmental
+  campaign;
+* :mod:`~avipack.core.report` — design-document rendering.
+"""
+
+from .levels import (
+    BOARD_LIMIT,
+    JUNCTION_LIMIT,
+    Level1Result,
+    Level2Result,
+    Level3Result,
+    PyramidResult,
+    run_level1,
+    run_level2,
+    run_level3,
+    run_pyramid,
+)
+from .selector import (
+    Architecture,
+    ArchitectureAssessment,
+    ThermalRequirement,
+    assess,
+    forced_air_no_longer_applicable,
+    select_architecture,
+    select_for_zone,
+)
+from .advisor import (
+    DesignMove,
+    advise,
+    advise_cooling_escalation,
+    advise_mode_placement,
+    junction_drop_for_mtbf,
+)
+from .design_flow import (
+    DesignReview,
+    FrequencyAllocation,
+    MechanicalReview,
+    PackagingSpecification,
+    run_design_procedure,
+    run_mechanical_branch,
+)
+from .qualification import (
+    EquipmentUnderTest,
+    QualificationReport,
+    TestVerdict,
+    run_acceleration_test,
+    run_campaign,
+    run_climatic_test,
+    run_thermal_shock_test,
+    run_vibration_test,
+)
+from .sensitivity import (
+    SensitivityEntry,
+    SensitivityStudy,
+    one_at_a_time,
+    tornado_rows,
+)
+from .uncertainty import (
+    Distribution,
+    UncertaintyResult,
+    propagate,
+)
+from .report import (
+    render_design_document,
+    render_qualification_report,
+    summarize_margins,
+)
+
+__all__ = [
+    "Architecture",
+    "DesignMove",
+    "advise",
+    "advise_cooling_escalation",
+    "advise_mode_placement",
+    "junction_drop_for_mtbf",
+    "ArchitectureAssessment",
+    "BOARD_LIMIT",
+    "DesignReview",
+    "EquipmentUnderTest",
+    "FrequencyAllocation",
+    "JUNCTION_LIMIT",
+    "Level1Result",
+    "Level2Result",
+    "Level3Result",
+    "MechanicalReview",
+    "PackagingSpecification",
+    "PyramidResult",
+    "QualificationReport",
+    "TestVerdict",
+    "ThermalRequirement",
+    "assess",
+    "forced_air_no_longer_applicable",
+    "Distribution",
+    "SensitivityEntry",
+    "SensitivityStudy",
+    "UncertaintyResult",
+    "one_at_a_time",
+    "propagate",
+    "tornado_rows",
+    "render_design_document",
+    "render_qualification_report",
+    "run_acceleration_test",
+    "run_campaign",
+    "run_climatic_test",
+    "run_design_procedure",
+    "run_level1",
+    "run_level2",
+    "run_level3",
+    "run_mechanical_branch",
+    "run_pyramid",
+    "run_thermal_shock_test",
+    "run_vibration_test",
+    "select_architecture",
+    "select_for_zone",
+    "summarize_margins",
+]

@@ -1,0 +1,185 @@
+"""The three-level thermal simulation pyramid of Fig. 4.
+
+"Basically, we consider three levels for the simulation which correspond
+to the three phases of the design":
+
+* **Level 1 — equipment, preliminary design**: the rack's external
+  constraints only; PCBs are volumetric sources.  Output: cooling-
+  technology feasibility.
+* **Level 2 — PCB, preliminary + detailed design**: boards represented,
+  functional areas as dissipative surfaces.  Output: board temperatures,
+  copper/drain/wedge-lock optimisation.
+* **Level 3 — component, detailed design + validation**: every
+  dissipating component with its package model.  Output: junction
+  temperatures, fed to the safety and reliability calculations.
+
+Each level consumes the previous level's boundary result, exactly as the
+industrial flow hands temperatures down the pyramid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InputError
+from ..packaging.cooling import CoolingTechnique, compare_techniques, \
+    ModuleEnvelope
+from ..packaging.module import Module
+from ..packaging.pcb import Pcb
+from ..packaging.rack import Rack, SlotResult
+from ..units import celsius_to_kelvin
+
+#: The paper's component environment ceiling (85 degC ambient rule).
+BOARD_LIMIT = celsius_to_kelvin(85.0)
+
+#: The paper's junction ceiling (125 degC rule).
+JUNCTION_LIMIT = celsius_to_kelvin(125.0)
+
+
+@dataclass(frozen=True)
+class Level1Result:
+    """Equipment-level feasibility outcome."""
+
+    total_power: float
+    technique_rises: Dict[CoolingTechnique, float]
+    feasible_techniques: Tuple[CoolingTechnique, ...]
+    recommended: Optional[CoolingTechnique]
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when at least one technique keeps the boards legal."""
+        return bool(self.feasible_techniques)
+
+
+def run_level1(total_power: float,
+               envelope: ModuleEnvelope = ModuleEnvelope(),
+               ambient: float = celsius_to_kelvin(40.0)) -> Level1Result:
+    """Level-1: volumetric-source feasibility scan over cooling options.
+
+    Ranks the Fig. 5 techniques by simplicity (free convection first) and
+    recommends the simplest feasible one — the "select the most
+    appropriate cooling technology given a level of power" decision.
+    """
+    if total_power <= 0.0:
+        raise InputError("total power must be positive")
+    evaluations = compare_techniques(total_power, envelope, ambient)
+    rises = {tech: ev.rise for tech, ev in evaluations.items()}
+    simplicity_order = [
+        CoolingTechnique.FREE_CONVECTION,
+        CoolingTechnique.DIRECT_AIR_FLOW,
+        CoolingTechnique.AIR_FLOW_AROUND,
+        CoolingTechnique.CONDUCTION_COOLED,
+        CoolingTechnique.AIR_FLOW_THROUGH,
+        CoolingTechnique.LIQUID_FLOW_THROUGH,
+    ]
+    feasible = tuple(tech for tech in simplicity_order
+                     if evaluations[tech].feasible_85c)
+    recommended = feasible[0] if feasible else None
+    return Level1Result(
+        total_power=total_power,
+        technique_rises=rises,
+        feasible_techniques=feasible,
+        recommended=recommended,
+    )
+
+
+@dataclass(frozen=True)
+class Level2Result:
+    """PCB-level outcome: board temperatures per slot."""
+
+    slots: Tuple[SlotResult, ...]
+    worst_board_temperature: float
+    compliant: bool
+
+    def board_temperature(self, module_name: str) -> float:
+        """Board temperature of a named module [K]."""
+        for slot in self.slots:
+            if slot.module_name == module_name:
+                return slot.board_temperature
+        raise InputError(f"no module named {module_name!r} in the rack")
+
+
+def run_level2(rack: Rack,
+               board_limit: float = BOARD_LIMIT) -> Level2Result:
+    """Level-2: boards as dissipative surfaces in the rack airflow."""
+    slots = tuple(rack.solve())
+    worst = max(slot.board_temperature for slot in slots)
+    return Level2Result(slots=slots, worst_board_temperature=worst,
+                        compliant=worst <= board_limit)
+
+
+@dataclass(frozen=True)
+class Level3Result:
+    """Component-level outcome: junction temperatures."""
+
+    junction_temperatures: Dict[str, float]
+    max_junction: float
+    violations: Tuple[str, ...]
+
+    @property
+    def compliant(self) -> bool:
+        """True when every junction respects the 125 degC rule."""
+        return not self.violations
+
+
+def run_level3(pcb: Pcb, board_boundary_temperature: float,
+               h_film: float = 15.0,
+               junction_limit: float = JUNCTION_LIMIT) -> Level3Result:
+    """Level-3: detailed board solve with discrete component footprints.
+
+    ``board_boundary_temperature`` is the level-2 air/wall boundary handed
+    down the pyramid; the board is solved with film cooling on both faces
+    against it, and each junction follows from the local board temperature
+    through the package model.
+    """
+    if board_boundary_temperature <= 0.0:
+        raise InputError("boundary temperature must be positive kelvin")
+    if not pcb.components:
+        raise InputError("level-3 needs a populated board")
+    detail = pcb.solve_detail(h_top=h_film, h_bottom=h_film,
+                              ambient=board_boundary_temperature)
+    junctions = detail.junction_temperatures
+    violations = tuple(
+        name for name, t_j in sorted(junctions.items())
+        if t_j > junction_limit)
+    return Level3Result(
+        junction_temperatures=junctions,
+        max_junction=max(junctions.values()),
+        violations=violations,
+    )
+
+
+@dataclass(frozen=True)
+class PyramidResult:
+    """Full three-level run, level by level."""
+
+    level1: Level1Result
+    level2: Level2Result
+    level3: Dict[str, Level3Result]
+
+    @property
+    def compliant(self) -> bool:
+        """Design passes when every level passes."""
+        return (self.level1.is_feasible and self.level2.compliant
+                and all(result.compliant
+                        for result in self.level3.values()))
+
+
+def run_pyramid(rack: Rack,
+                ambient: float = celsius_to_kelvin(40.0)) -> PyramidResult:
+    """Run the full Fig. 4 pyramid on a rack.
+
+    Level 1 checks the rack total power; level 2 resolves per-slot board
+    temperatures; level 3 runs on every module that has a populated PCB,
+    using its slot's mean air temperature as the boundary.
+    """
+    level1 = run_level1(max(rack.total_power, 1e-9), ambient=ambient)
+    level2 = run_level2(rack)
+    level3: Dict[str, Level3Result] = {}
+    for module, slot in zip(rack.modules, level2.slots):
+        if module.pcb is not None and module.pcb.components:
+            boundary = 0.5 * (slot.inlet_temperature
+                              + slot.outlet_temperature)
+            level3[module.name] = run_level3(module.pcb, boundary)
+    return PyramidResult(level1=level1, level2=level2, level3=level3)

@@ -1,0 +1,251 @@
+"""Virtual qualification: run the environmental campaign by simulation.
+
+The COSEE seats "have been submitted to all the different tests without
+damage" (§IV.A).  The physical chamber and shaker are hardware gates, so
+this module runs the same campaign virtually:
+
+* **linear acceleration** — quasi-static plate bending under the g-load,
+  checked against laminate strength and a deflection allowable;
+* **vibration** — DO-160 random PSD through Miles' equation on the board's
+  fundamental mode, three-band fatigue life vs. test duration;
+* **climatic** — the equipment thermal model solved at the ambient
+  extremes, electronics temperature checked against its limit;
+* **thermal shock** — the transient network driven by the chamber ramp,
+  solder-joint Coffin–Manson life checked against the cycle count.
+
+Equipment is described by :class:`EquipmentUnderTest`; results carry
+explicit margins so a design report can quote them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import InputError
+from ..environments.profiles import QualificationCampaign
+from ..mechanical.fatigue import (
+    fatigue_life_hours,
+    margin_of_safety,
+    steinberg_allowable_deflection,
+    thermal_cycling_life_coffin_manson,
+)
+from ..mechanical.plate import PlateSpec, fundamental_frequency
+from ..mechanical.random_vibration import (
+    default_q_factor,
+    miles_rms_acceleration,
+    rms_displacement_from_acceleration,
+)
+from ..thermal.network import ThermalNetwork
+from ..thermal.transient import TransientNetworkSolver, cyclic_profile
+from ..units import G0, celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class EquipmentUnderTest:
+    """What the virtual chamber needs to know about the equipment.
+
+    Parameters
+    ----------
+    name:
+        Equipment reference.
+    board:
+        Structural idealisation of the critical PCB.
+    critical_component_length:
+        Body length of the fatigue-critical component [m].
+    critical_component_type:
+        Steinberg family of that component.
+    network_builder:
+        ``f(ambient_K) -> ThermalNetwork`` building the powered thermal
+        model against an ambient (nodes must include ``monitor_node``).
+    monitor_node:
+        Network node whose temperature is the acceptance criterion.
+    temperature_limit:
+        Acceptance limit for ``monitor_node`` [K].
+    isolator_transmissibility:
+        Optional |H(f)| applied to the vibration input (isolated units).
+    """
+
+    name: str
+    board: PlateSpec
+    critical_component_length: float = 0.02
+    critical_component_type: str = "smt_gullwing"
+    network_builder: Optional[Callable[[float], ThermalNetwork]] = None
+    monitor_node: str = "pcb"
+    temperature_limit: float = celsius_to_kelvin(85.0)
+    isolator_transmissibility: Optional[Callable[[float], float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InputError("equipment name must be non-empty")
+        if self.critical_component_length <= 0.0:
+            raise InputError("component length must be positive")
+        if self.temperature_limit <= 0.0:
+            raise InputError("temperature limit must be positive kelvin")
+
+
+@dataclass(frozen=True)
+class TestVerdict:
+    """Outcome of one qualification test."""
+
+    test_name: str
+    passed: bool
+    margin: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class QualificationReport:
+    """Full campaign outcome."""
+
+    equipment_name: str
+    verdicts: Tuple[TestVerdict, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when every test passed — the "without damage" verdict."""
+        return all(verdict.passed for verdict in self.verdicts)
+
+    def verdict(self, test_name: str) -> TestVerdict:
+        """Verdict of a named test."""
+        for verdict in self.verdicts:
+            if verdict.test_name == test_name:
+                return verdict
+        raise InputError(f"no test named {test_name!r} in the report")
+
+
+def run_acceleration_test(equipment: EquipmentUnderTest,
+                          campaign: QualificationCampaign) -> TestVerdict:
+    """Quasi-static g-load: board centre deflection vs. the allowable.
+
+    A uniformly loaded simply supported plate deflects
+    w = α·q·a⁴/D with α ≈ 0.00406 for square-ish plates; the inertial
+    pressure is (surface density)·a_g.
+    """
+    board = equipment.board
+    accel = campaign.acceleration.level_g * G0
+    pressure = board.surface_density * accel
+    a = min(board.length, board.width)
+    deflection = 0.00406 * pressure * a ** 4 / board.flexural_rigidity
+    allowable = steinberg_allowable_deflection(
+        board.length, equipment.critical_component_length,
+        equipment.critical_component_type,
+        board_thickness=board.thickness)
+    margin = margin_of_safety(deflection, allowable)
+    return TestVerdict(
+        test_name="linear_acceleration",
+        passed=margin >= 0.0,
+        margin=margin,
+        detail=(f"{campaign.acceleration.level_g:.0f} g static deflection "
+                f"{deflection * 1e6:.1f} um vs allowable "
+                f"{allowable * 1e6:.1f} um"),
+    )
+
+
+def run_vibration_test(equipment: EquipmentUnderTest,
+                       campaign: QualificationCampaign) -> TestVerdict:
+    """Random vibration endurance per the campaign PSD (DO-160 C1)."""
+    board = equipment.board
+    f_n = fundamental_frequency(board)
+    psd = campaign.vibration.psd
+    if equipment.isolator_transmissibility is not None:
+        psd = psd.through_transmissibility(
+            equipment.isolator_transmissibility)
+    q = default_q_factor(f_n)
+    rms_g = miles_rms_acceleration(f_n, q, psd)
+    rms_z = rms_displacement_from_acceleration(rms_g, f_n)
+    allowable = steinberg_allowable_deflection(
+        board.length, equipment.critical_component_length,
+        equipment.critical_component_type,
+        board_thickness=board.thickness)
+    life_h = fatigue_life_hours(rms_z, allowable, f_n)
+    test_hours = (campaign.vibration.duration_per_axis_s
+                  * len(campaign.vibration.axes) / 3600.0)
+    margin = (life_h / test_hours - 1.0) if math.isfinite(life_h) \
+        else float("inf")
+    return TestVerdict(
+        test_name="vibration",
+        passed=life_h >= test_hours,
+        margin=margin,
+        detail=(f"f1={f_n:.0f} Hz, response {rms_g:.2f} gRMS, "
+                f"3-band life {life_h:.1f} h vs {test_hours:.1f} h test"),
+    )
+
+
+def run_climatic_test(equipment: EquipmentUnderTest,
+                      campaign: QualificationCampaign) -> TestVerdict:
+    """Steady performance at the ambient extremes (−25…+55 °C)."""
+    if equipment.network_builder is None:
+        raise InputError(
+            f"{equipment.name}: climatic test needs a thermal model")
+    worst_temp = -float("inf")
+    for ambient in campaign.climatic.evaluation_points():
+        network = equipment.network_builder(ambient)
+        solution = network.solve(initial_guess=ambient + 20.0)
+        worst_temp = max(worst_temp,
+                         solution.temperature(equipment.monitor_node))
+    margin = (equipment.temperature_limit - worst_temp) / max(
+        worst_temp - celsius_to_kelvin(20.0), 1.0)
+    return TestVerdict(
+        test_name="climatic",
+        passed=worst_temp <= equipment.temperature_limit,
+        margin=margin,
+        detail=(f"worst {equipment.monitor_node} temperature "
+                f"{worst_temp - 273.15:.1f} degC vs limit "
+                f"{equipment.temperature_limit - 273.15:.0f} degC"),
+    )
+
+
+def run_thermal_shock_test(equipment: EquipmentUnderTest,
+                           campaign: QualificationCampaign) -> TestVerdict:
+    """Chamber thermal shock: transient tracking + solder fatigue.
+
+    The network follows the chamber ramp; the realised electronics swing
+    (smaller than the chamber swing because of thermal mass) feeds a
+    Coffin–Manson solder life compared against the test cycle count with
+    a 4x life factor.
+    """
+    if equipment.network_builder is None:
+        raise InputError(
+            f"{equipment.name}: thermal shock test needs a thermal model")
+    shock = campaign.thermal_shock
+    network = equipment.network_builder(shock.temperature_low)
+    profile = cyclic_profile(shock.temperature_low, shock.temperature_high,
+                             shock.ramp_rate_k_per_s, shock.dwell_time_s)
+    # Two full cycles establish the periodic swing.
+    duration = 2.0 * shock.cycle_period_s
+    solver = TransientNetworkSolver(network,
+                                    boundary_schedules={"ambient": profile})
+    result = solver.integrate(duration=duration,
+                              time_step=shock.cycle_period_s / 400.0,
+                              initial_temperature=shock.temperature_low)
+    second_half = result.node(equipment.monitor_node)[
+        result.times >= shock.cycle_period_s]
+    realized_swing = float(second_half.max() - second_half.min())
+    life_cycles = thermal_cycling_life_coffin_manson(
+        max(realized_swing, 1.0))
+    required = 4.0 * shock.n_cycles
+    margin = life_cycles / required - 1.0
+    return TestVerdict(
+        test_name="thermal_shock",
+        passed=life_cycles >= required,
+        margin=margin,
+        detail=(f"chamber swing {shock.swing:.0f} K, realised "
+                f"{realized_swing:.1f} K, solder life "
+                f"{life_cycles:.0f} cycles vs {required:.0f} required"),
+    )
+
+
+def run_campaign(equipment: EquipmentUnderTest,
+                 campaign: QualificationCampaign) -> QualificationReport:
+    """Run the full campaign and collect the verdicts."""
+    verdicts = [
+        run_acceleration_test(equipment, campaign),
+        run_vibration_test(equipment, campaign),
+    ]
+    if equipment.network_builder is not None:
+        verdicts.append(run_climatic_test(equipment, campaign))
+        verdicts.append(run_thermal_shock_test(equipment, campaign))
+    return QualificationReport(equipment_name=equipment.name,
+                               verdicts=tuple(verdicts))

@@ -1,0 +1,138 @@
+"""Sensitivity analysis: which parameter owns the margin?
+
+"To identify the weaknesses of the design and margins" (§II) is, in
+practice, a sensitivity study: perturb each design parameter by a small
+relative step, measure the response of the metric of interest, and rank
+the drivers — the tornado chart of a design review.  The module is
+generic over any ``metric(parameters: dict) -> float`` callable so every
+model in the library can be screened the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import InputError
+
+#: A scalar model: parameter dict in, metric out.
+Metric = Callable[[Mapping[str, float]], float]
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Sensitivity of the metric to one parameter.
+
+    ``elasticity`` is the dimensionless (dM/M)/(dp/p) — how many percent
+    the metric moves per percent of parameter change; ``low``/``high``
+    are the metric values at the perturbed ends (the tornado bar).
+    """
+
+    parameter: str
+    baseline_value: float
+    elasticity: float
+    low: float
+    high: float
+
+    @property
+    def swing(self) -> float:
+        """Tornado bar width |high − low|."""
+        return abs(self.high - self.low)
+
+
+@dataclass(frozen=True)
+class SensitivityStudy:
+    """Complete one-at-a-time study, ranked by |elasticity|."""
+
+    metric_baseline: float
+    entries: Tuple[SensitivityEntry, ...]
+
+    def ranked(self) -> Tuple[SensitivityEntry, ...]:
+        """Entries sorted by descending influence."""
+        return tuple(sorted(self.entries,
+                            key=lambda e: abs(e.elasticity),
+                            reverse=True))
+
+    def dominant(self) -> SensitivityEntry:
+        """The single strongest driver."""
+        if not self.entries:
+            raise InputError("study has no entries")
+        return self.ranked()[0]
+
+    def entry(self, parameter: str) -> SensitivityEntry:
+        """Look one parameter's entry up."""
+        for candidate in self.entries:
+            if candidate.parameter == parameter:
+                return candidate
+        raise InputError(f"no parameter named {parameter!r}")
+
+
+def one_at_a_time(metric: Metric, baseline: Mapping[str, float],
+                  relative_step: float = 0.1,
+                  parameters: Sequence[str] = ()) -> SensitivityStudy:
+    """One-at-a-time (OAT) sensitivity of ``metric`` around ``baseline``.
+
+    Each selected parameter is perturbed ±``relative_step`` (relative);
+    the elasticity uses the central difference.  Parameters with zero
+    baseline value are skipped (no relative perturbation exists).
+
+    Parameters
+    ----------
+    metric:
+        ``f(params) -> float``; must accept the full baseline dict.
+    baseline:
+        Parameter name → nominal value.
+    relative_step:
+        Fractional perturbation (0.1 = ±10 %).
+    parameters:
+        Subset to study (default: every baseline key).
+    """
+    if not baseline:
+        raise InputError("baseline must contain at least one parameter")
+    if not 0.0 < relative_step < 1.0:
+        raise InputError("relative step must be in (0, 1)")
+    names = list(parameters) if parameters else list(baseline)
+    for name in names:
+        if name not in baseline:
+            raise InputError(f"unknown parameter {name!r}")
+
+    m0 = float(metric(dict(baseline)))
+    if not math.isfinite(m0):
+        raise InputError("metric is not finite at the baseline")
+    entries: List[SensitivityEntry] = []
+    for name in names:
+        value = baseline[name]
+        if value == 0.0:
+            continue
+        low_params = dict(baseline)
+        low_params[name] = value * (1.0 - relative_step)
+        high_params = dict(baseline)
+        high_params[name] = value * (1.0 + relative_step)
+        m_low = float(metric(low_params))
+        m_high = float(metric(high_params))
+        if m0 != 0.0:
+            elasticity = ((m_high - m_low) / (2.0 * relative_step)) / m0
+        else:
+            elasticity = float("inf")
+        entries.append(SensitivityEntry(
+            parameter=name,
+            baseline_value=value,
+            elasticity=elasticity,
+            low=m_low,
+            high=m_high,
+        ))
+    return SensitivityStudy(metric_baseline=m0, entries=tuple(entries))
+
+
+def tornado_rows(study: SensitivityStudy,
+                 top_n: int = 10) -> Tuple[Tuple[str, float, float,
+                                                 float], ...]:
+    """Rows for a tornado chart: (parameter, low, high, elasticity).
+
+    Sorted by influence, truncated to ``top_n``.
+    """
+    if top_n < 1:
+        raise InputError("top_n must be >= 1")
+    return tuple((e.parameter, e.low, e.high, e.elasticity)
+                 for e in study.ranked()[:top_n])

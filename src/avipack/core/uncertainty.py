@@ -1,0 +1,145 @@
+"""Monte-Carlo uncertainty propagation for thermal margins.
+
+Design margins exist because parameters are uncertain: contact
+resistances scatter part-to-part, film coefficients carry correlation
+error, component powers depend on workload.  This module propagates
+parameter distributions through any scalar model with a seeded
+Monte-Carlo driver and reports the percentiles a margin policy needs
+(P50/P95/P99) — turning the paper's qualitative "margins" into numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import InputError
+
+#: A scalar model: parameter dict in, metric out.
+Metric = Callable[[Mapping[str, float]], float]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """One input distribution.
+
+    ``kind`` ∈ {"normal", "uniform", "lognormal"}:
+
+    * ``normal`` — mean ``a``, standard deviation ``b``;
+    * ``uniform`` — lower ``a``, upper ``b``;
+    * ``lognormal`` — median ``a``, geometric standard deviation ``b``
+      (> 1), the natural choice for contact resistances.
+    """
+
+    kind: str
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("normal", "uniform", "lognormal"):
+            raise InputError(f"unknown distribution kind {self.kind!r}")
+        if self.kind == "normal" and self.b < 0.0:
+            raise InputError("normal sigma must be non-negative")
+        if self.kind == "uniform" and self.b <= self.a:
+            raise InputError("uniform upper bound must exceed lower")
+        if self.kind == "lognormal" and (self.a <= 0.0 or self.b <= 1.0):
+            raise InputError("lognormal needs median > 0 and GSD > 1")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` samples."""
+        if self.kind == "normal":
+            return rng.normal(self.a, self.b, size)
+        if self.kind == "uniform":
+            return rng.uniform(self.a, self.b, size)
+        return self.a * np.exp(rng.normal(0.0, math.log(self.b), size))
+
+
+@dataclass(frozen=True)
+class UncertaintyResult:
+    """Monte-Carlo outcome for one scalar metric."""
+
+    samples: np.ndarray
+    failures: int
+
+    @property
+    def n(self) -> int:
+        """Number of successful evaluations."""
+        return int(self.samples.size)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(self.samples.mean())
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return float(self.samples.std(ddof=1)) if self.n > 1 else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0–100)."""
+        if not 0.0 <= q <= 100.0:
+            raise InputError("percentile must be in [0, 100]")
+        return float(np.percentile(self.samples, q))
+
+    def probability_above(self, threshold: float) -> float:
+        """Fraction of samples exceeding ``threshold``."""
+        return float(np.mean(self.samples > threshold))
+
+    def margin_summary(self) -> Dict[str, float]:
+        """The review-board numbers: P50, P95, P99, mean, sigma."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+def propagate(metric: Metric,
+              distributions: Mapping[str, Distribution],
+              n_samples: int = 1000,
+              seed: int = 20100308,
+              fixed: Mapping[str, float] = None) -> UncertaintyResult:
+    """Propagate input distributions through ``metric``.
+
+    Each sample draws every distributed parameter independently, merges
+    the ``fixed`` parameters, and evaluates the metric; evaluations that
+    raise are counted as ``failures`` (e.g. a draw that trips a device
+    operating limit — itself useful information) and excluded from the
+    statistics.
+
+    Raises :class:`InputError` if fewer than 10 evaluations survive.
+    """
+    if not distributions:
+        raise InputError("need at least one distributed parameter")
+    if n_samples < 10:
+        raise InputError("need at least 10 samples")
+    rng = np.random.default_rng(seed)
+    draws = {name: dist.sample(rng, n_samples)
+             for name, dist in distributions.items()}
+    results = []
+    failures = 0
+    for i in range(n_samples):
+        params = {name: float(values[i])
+                  for name, values in draws.items()}
+        if fixed:
+            params.update(fixed)
+        try:
+            value = float(metric(params))
+        except Exception:
+            failures += 1
+            continue
+        if math.isfinite(value):
+            results.append(value)
+        else:
+            failures += 1
+    if len(results) < 10:
+        raise InputError(
+            f"only {len(results)} of {n_samples} evaluations succeeded")
+    return UncertaintyResult(samples=np.asarray(results),
+                             failures=failures)

@@ -1,0 +1,77 @@
+"""Avionics environmental specifications.
+
+* :mod:`~avipack.environments.do160` — DO-160 vibration curves and
+  temperature categories;
+* :mod:`~avipack.environments.arinc600` — ARINC 600 forced-air cooling
+  allocations and the hot-spot feasibility analysis;
+* :mod:`~avipack.environments.profiles` — qualification test profiles
+  (the COSEE campaign).
+"""
+
+from .do160 import (
+    TEMPERATURE_CATEGORIES,
+    TemperatureCategory,
+    ambient_pressure_at_altitude,
+    curve_names,
+    temperature_category,
+    vibration_curve,
+)
+from .arinc600 import (
+    CardChannel,
+    ForcedAirPerformance,
+    STANDARD_FLOW_KG_H_PER_KW,
+    STANDARD_INLET_TEMPERATURE,
+    allocated_mass_flow,
+    hotspot_surface_rise,
+    module_performance,
+    required_flow_multiplier,
+)
+from .ingress import (
+    SealingAssessment,
+    SealingLevel,
+    ZONE_SEALING,
+    assess_sealing,
+    compatible_techniques,
+    required_sealing,
+    seb_zone_explains_passive_choice,
+    technique_compatible,
+)
+from .profiles import (
+    AccelerationTest,
+    ClimaticTest,
+    QualificationCampaign,
+    ThermalShockTest,
+    VibrationTest,
+    cosee_campaign,
+)
+
+__all__ = [
+    "AccelerationTest",
+    "SealingAssessment",
+    "SealingLevel",
+    "ZONE_SEALING",
+    "assess_sealing",
+    "compatible_techniques",
+    "required_sealing",
+    "seb_zone_explains_passive_choice",
+    "technique_compatible",
+    "CardChannel",
+    "ClimaticTest",
+    "ForcedAirPerformance",
+    "QualificationCampaign",
+    "STANDARD_FLOW_KG_H_PER_KW",
+    "STANDARD_INLET_TEMPERATURE",
+    "TEMPERATURE_CATEGORIES",
+    "TemperatureCategory",
+    "ThermalShockTest",
+    "VibrationTest",
+    "allocated_mass_flow",
+    "ambient_pressure_at_altitude",
+    "cosee_campaign",
+    "curve_names",
+    "hotspot_surface_rise",
+    "module_performance",
+    "required_flow_multiplier",
+    "temperature_category",
+    "vibration_curve",
+]

@@ -1,0 +1,178 @@
+"""ARINC 600 forced-air cooling conventions.
+
+The paper's central capacity argument is quantified against ARINC 600:
+racks in the electronics bay receive a cooling-air allocation of
+**220 kg/h per kW** of dissipation, and "up to ten times the standard air
+flow rate would be required" to handle the coming hot spots.  This module
+encodes the allocation, the resulting thermal performance of a card
+channel, and the hot-spot feasibility analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InputError
+from ..materials.fluids import air_properties
+from ..thermal.convection import (
+    air_outlet_temperature,
+    duct_velocity,
+    forced_convection_duct,
+)
+from ..units import arinc_flow_to_kg_per_s, celsius_to_kelvin
+
+#: Standard ARINC 600 specific cooling-air allocation [kg/h per kW].
+STANDARD_FLOW_KG_H_PER_KW = 220.0
+
+#: Standard coolant supply temperature at the rack inlet [K] (40 degC max).
+STANDARD_INLET_TEMPERATURE = celsius_to_kelvin(40.0)
+
+
+@dataclass(frozen=True)
+class CardChannel:
+    """The air channel alongside one plug-in module/card.
+
+    ``card_height`` × ``card_depth`` define the wetted card face;
+    ``channel_gap`` is the card-to-card air gap.
+    """
+
+    card_height: float = 0.19   # ARINC 600 3/4 ATR class
+    card_depth: float = 0.32
+    channel_gap: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in ("card_height", "card_depth", "channel_gap"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+
+    @property
+    def flow_area(self) -> float:
+        """Channel cross-section seen by the air [m²]."""
+        return self.card_height * self.channel_gap
+
+    @property
+    def hydraulic_diameter(self) -> float:
+        """Hydraulic diameter 4A/P of the channel [m]."""
+        perimeter = 2.0 * (self.card_height + self.channel_gap)
+        return 4.0 * self.flow_area / perimeter
+
+    @property
+    def wetted_area(self) -> float:
+        """Card face area wetted by the channel air [m²]."""
+        return self.card_height * self.card_depth
+
+
+@dataclass(frozen=True)
+class ForcedAirPerformance:
+    """Thermal performance of one forced-air-cooled module."""
+
+    mass_flow: float
+    air_velocity: float
+    film_coefficient: float
+    outlet_temperature: float
+    surface_temperature: float
+
+    @property
+    def surface_rise(self) -> float:
+        """Surface temperature above the inlet [K]."""
+        return self.surface_temperature - STANDARD_INLET_TEMPERATURE
+
+
+def allocated_mass_flow(power: float,
+                        specific_flow: float = STANDARD_FLOW_KG_H_PER_KW
+                        ) -> float:
+    """ARINC 600 cooling-air allocation for ``power`` [W] → kg/s."""
+    return arinc_flow_to_kg_per_s(specific_flow, power)
+
+
+def module_performance(power: float, channel: CardChannel = CardChannel(),
+                       inlet_temperature: float = STANDARD_INLET_TEMPERATURE,
+                       flow_multiplier: float = 1.0) -> ForcedAirPerformance:
+    """Steady performance of a module at its ARINC 600 allocation.
+
+    ``flow_multiplier`` scales the allocation (the paper's "ten times the
+    standard air flow" experiment).  The surface temperature assumes the
+    dissipation spreads uniformly over the wetted card face and uses the
+    mean of inlet/outlet air as the driving temperature.
+    """
+    if power <= 0.0:
+        raise InputError("power must be positive")
+    if flow_multiplier <= 0.0:
+        raise InputError("flow multiplier must be positive")
+    if inlet_temperature <= 0.0:
+        raise InputError("inlet temperature must be positive kelvin")
+    mass_flow = allocated_mass_flow(power) * flow_multiplier
+    fluid = air_properties(inlet_temperature)
+    velocity = duct_velocity(mass_flow, fluid, channel.flow_area)
+    h = forced_convection_duct(fluid, velocity, channel.hydraulic_diameter)
+    outlet = air_outlet_temperature(inlet_temperature, power, mass_flow,
+                                    fluid.specific_heat)
+    mean_air = 0.5 * (inlet_temperature + outlet)
+    surface = mean_air + power / (h * channel.wetted_area)
+    return ForcedAirPerformance(
+        mass_flow=mass_flow,
+        air_velocity=velocity,
+        film_coefficient=h,
+        outlet_temperature=outlet,
+        surface_temperature=surface,
+    )
+
+
+def hotspot_surface_rise(flux_w_m2: float, film_coefficient: float) -> float:
+    """Local surface rise of a hot spot over the driving air [K].
+
+    ΔT = q''/h — the first-order check that exposes the hot-spot crisis:
+    at 100 W/cm² and h ≈ 100 W/m²K the rise is 10 000 K, i.e. impossible.
+    """
+    if flux_w_m2 < 0.0:
+        raise InputError("flux must be non-negative")
+    if film_coefficient <= 0.0:
+        raise InputError("film coefficient must be positive")
+    return flux_w_m2 / film_coefficient
+
+
+def required_flow_multiplier(flux_w_cm2: float, max_surface_rise: float,
+                             channel: CardChannel = CardChannel(),
+                             reference_power: float = 100.0,
+                             spreading_factor: float = 8.0,
+                             max_multiplier: float = 50.0) -> float:
+    """Flow multiplier needed to hold a hot spot within a surface rise.
+
+    Finds, by bisection, the factor over the ARINC 600 allocation at which
+    direct air keeps a local flux of ``flux_w_cm2`` [W/cm²] within
+    ``max_surface_rise`` [K] of the air — using the channel film
+    coefficient, which improves as velocity^0.8 in turbulent flow.
+
+    ``spreading_factor`` accounts for board conduction enlarging the
+    component footprint before the heat meets the air (copper planes
+    spread a cm²-class source over roughly an order of magnitude more
+    area).  ``max_multiplier`` caps the search at the point where channel
+    air velocities become physically absurd (~50× the allocation is
+    already ≈ 100 m/s in a card channel).
+
+    Returns ``inf`` if even ``max_multiplier`` cannot do it: the paper's
+    conclusion that forced air "cannot cope with the hot spot problems".
+    """
+    if flux_w_cm2 <= 0.0 or max_surface_rise <= 0.0:
+        raise InputError("flux and allowed rise must be positive")
+    if spreading_factor < 1.0:
+        raise InputError("spreading factor must be >= 1")
+    flux = flux_w_cm2 * 1.0e4 / spreading_factor
+
+    def rise(multiplier: float) -> float:
+        perf = module_performance(reference_power, channel,
+                                  flow_multiplier=multiplier)
+        return hotspot_surface_rise(flux, perf.film_coefficient)
+
+    if rise(1.0) <= max_surface_rise:
+        return 1.0
+    if rise(max_multiplier) > max_surface_rise:
+        return float("inf")
+    lo, hi = 1.0, max_multiplier
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if rise(mid) > max_surface_rise:
+            lo = mid
+        else:
+            hi = mid
+    return hi

@@ -1,0 +1,139 @@
+"""Ingress protection: the "fluid resistance, sand and dust" constraint.
+
+§II lists "other environmental constraints as fluid resistance, sand and
+dust" among the main causes of failure, and §III notes that direct air
+cooling is attractive precisely because it "does not require complex and
+expensive sealing devices" — i.e. sealing and cooling trade against each
+other.  This module encodes that trade:
+
+* IP-code style sealing levels per installation zone,
+* the compatibility matrix between sealing level and cooling technique
+  (a sealed box cannot take direct air through the electronics),
+* the sealing surcharge (complexity score) a design inherits when its
+  zone forces both sealing and high power.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from ..errors import InputError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoided at runtime
+    from ..packaging.cooling import CoolingTechnique
+
+
+class SealingLevel(enum.IntEnum):
+    """Required sealing, ordered by severity."""
+
+    NONE = 0          # conditioned avionics bay
+    DUST_PROTECTED = 1  # cabin floor/ceiling zones (the SEB case)
+    DUST_TIGHT = 2      # cargo, wheel-well adjacent
+    SPLASH_PROOF = 3    # galley/lavatory adjacent
+    IMMERSION = 4       # external / severe fluid exposure
+
+
+#: Installation zone → required sealing.
+ZONE_SEALING: Dict[str, SealingLevel] = {
+    "avionics_bay": SealingLevel.NONE,
+    "cabin_seat": SealingLevel.DUST_PROTECTED,
+    "cabin_ceiling": SealingLevel.DUST_PROTECTED,
+    "galley": SealingLevel.SPLASH_PROOF,
+    "cargo_bay": SealingLevel.DUST_TIGHT,
+    "unpressurised": SealingLevel.IMMERSION,
+}
+
+#: Techniques that pass environment air THROUGH the electronics volume
+#: (values of :class:`~avipack.packaging.cooling.CoolingTechnique`; kept
+#: as strings to avoid an import cycle with the packaging layer).
+_OPEN_TECHNIQUES = ("direct_air_flow",)
+
+#: Techniques that need an external air wash but keep electronics sealed.
+_WASHED_TECHNIQUES = ("air_flow_around", "air_flow_through")
+
+
+def required_sealing(zone: str) -> SealingLevel:
+    """Sealing level mandated by an installation zone."""
+    try:
+        return ZONE_SEALING[zone]
+    except KeyError:
+        raise InputError(f"unknown zone {zone!r}; known: "
+                         f"{sorted(ZONE_SEALING)}") from None
+
+
+def technique_compatible(technique: "CoolingTechnique",
+                         sealing: SealingLevel) -> bool:
+    """Can ``technique`` be used at the given sealing requirement?
+
+    Direct air through the electronics is ruled out from DUST_PROTECTED
+    up (filters are the fan-drawback the paper cites); externally washed
+    shells survive until SPLASH_PROOF; fully sealed techniques (free
+    convection, conduction, liquid loops, two-phase) always work.
+    """
+    value = getattr(technique, "value", technique)
+    if value in _OPEN_TECHNIQUES:
+        return sealing < SealingLevel.DUST_PROTECTED
+    if value in _WASHED_TECHNIQUES:
+        return sealing < SealingLevel.SPLASH_PROOF
+    return True
+
+
+def compatible_techniques(zone: str) -> Tuple["CoolingTechnique", ...]:
+    """All cooling techniques usable in ``zone``."""
+    from ..packaging.cooling import CoolingTechnique
+
+    sealing = required_sealing(zone)
+    return tuple(t for t in CoolingTechnique
+                 if technique_compatible(t, sealing))
+
+
+@dataclass(frozen=True)
+class SealingAssessment:
+    """Sealing verdict for one equipment in one zone."""
+
+    zone: str
+    sealing: SealingLevel
+    technique: "CoolingTechnique"
+    compatible: bool
+    complexity_surcharge: int
+
+    @property
+    def accepted(self) -> bool:
+        """True when the technique survives the zone's sealing needs."""
+        return self.compatible
+
+
+def assess_sealing(zone: str, technique: "CoolingTechnique"
+                   ) -> SealingAssessment:
+    """Assess one technique in one zone.
+
+    The complexity surcharge counts the gaskets/connectors/drains the
+    sealing level adds (0 for an open bay, up to 4 for immersion) — the
+    "complex and expensive sealing devices" of §III.
+    """
+    sealing = required_sealing(zone)
+    return SealingAssessment(
+        zone=zone,
+        sealing=sealing,
+        technique=technique,
+        compatible=technique_compatible(technique, sealing),
+        complexity_surcharge=int(sealing),
+    )
+
+
+def seb_zone_explains_passive_choice() -> bool:
+    """The COSEE logic, as a checkable proposition.
+
+    The SEB lives in a cabin seat zone (dust-protected): direct air
+    through the box is incompatible without filters, while the passive
+    free-convection + two-phase chain is compatible with zero surcharge
+    beyond the zone's base level.  Returns True when the model agrees.
+    """
+    from ..packaging.cooling import CoolingTechnique
+
+    zone = "cabin_seat"
+    direct = assess_sealing(zone, CoolingTechnique.DIRECT_AIR_FLOW)
+    passive = assess_sealing(zone, CoolingTechnique.FREE_CONVECTION)
+    return (not direct.compatible) and passive.compatible

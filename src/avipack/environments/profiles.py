@@ -1,0 +1,144 @@
+"""Qualification test profiles.
+
+The COSEE demonstrators passed a campaign of four environmental tests
+(§IV.A of the paper):
+
+* linear acceleration — up to 9 g, 3 minutes per axis;
+* vibration — random per DO-160 curve C1;
+* climatic — performance evaluated between −25 and +55 °C ambient;
+* thermal shock — −45 °C / +55 °C at 5 °C/min.
+
+Each profile here is a declarative dataclass consumed by the virtual
+qualification engine in :mod:`avipack.core.qualification`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import InputError
+from ..mechanical.random_vibration import PowerSpectralDensity
+from ..units import celsius_to_kelvin
+from .do160 import vibration_curve
+
+
+@dataclass(frozen=True)
+class AccelerationTest:
+    """Linear (quasi-static) acceleration test."""
+
+    level_g: float = 9.0
+    duration_per_axis_s: float = 180.0
+    axes: Tuple[str, ...] = ("x", "y", "z")
+
+    def __post_init__(self) -> None:
+        if self.level_g <= 0.0 or self.duration_per_axis_s <= 0.0:
+            raise InputError("level and duration must be positive")
+        if not self.axes:
+            raise InputError("need at least one test axis")
+        for axis in self.axes:
+            if axis not in ("x", "y", "z"):
+                raise InputError(f"invalid axis {axis!r}")
+
+
+@dataclass(frozen=True)
+class VibrationTest:
+    """Random vibration endurance test."""
+
+    psd: PowerSpectralDensity
+    duration_per_axis_s: float = 3600.0
+    axes: Tuple[str, ...] = ("x", "y", "z")
+
+    def __post_init__(self) -> None:
+        if self.duration_per_axis_s <= 0.0:
+            raise InputError("duration must be positive")
+        if not self.axes:
+            raise InputError("need at least one test axis")
+
+    @classmethod
+    def do160(cls, curve: str = "C1",
+              duration_per_axis_s: float = 3600.0) -> "VibrationTest":
+        """Build from a DO-160 curve name (default the paper's C1)."""
+        return cls(psd=vibration_curve(curve),
+                   duration_per_axis_s=duration_per_axis_s)
+
+
+@dataclass(frozen=True)
+class ClimaticTest:
+    """Steady climatic performance evaluation at ambient extremes."""
+
+    ambient_low: float = celsius_to_kelvin(-25.0)
+    ambient_high: float = celsius_to_kelvin(55.0)
+    soak_time_s: float = 7200.0
+
+    def __post_init__(self) -> None:
+        if self.ambient_low >= self.ambient_high:
+            raise InputError("low ambient must be below high ambient")
+        if self.ambient_low <= 0.0:
+            raise InputError("ambient temperatures must be positive kelvin")
+        if self.soak_time_s <= 0.0:
+            raise InputError("soak time must be positive")
+
+    def evaluation_points(self, n_points: int = 5) -> Tuple[float, ...]:
+        """Evenly spaced ambient temperatures across the band [K]."""
+        if n_points < 2:
+            raise InputError("need at least two evaluation points")
+        step = (self.ambient_high - self.ambient_low) / (n_points - 1)
+        return tuple(self.ambient_low + i * step for i in range(n_points))
+
+
+@dataclass(frozen=True)
+class ThermalShockTest:
+    """Thermal shock / rapid-cycling chamber test."""
+
+    temperature_low: float = celsius_to_kelvin(-45.0)
+    temperature_high: float = celsius_to_kelvin(55.0)
+    ramp_rate_k_per_min: float = 5.0
+    n_cycles: int = 10
+    dwell_time_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.temperature_low >= self.temperature_high:
+            raise InputError("low temperature must be below high")
+        if self.temperature_low <= 0.0:
+            raise InputError("temperatures must be positive kelvin")
+        if self.ramp_rate_k_per_min <= 0.0:
+            raise InputError("ramp rate must be positive")
+        if self.n_cycles < 1:
+            raise InputError("need at least one cycle")
+        if self.dwell_time_s < 0.0:
+            raise InputError("dwell time must be non-negative")
+
+    @property
+    def ramp_rate_k_per_s(self) -> float:
+        """Chamber ramp rate [K/s]."""
+        return self.ramp_rate_k_per_min / 60.0
+
+    @property
+    def swing(self) -> float:
+        """Total temperature swing [K]."""
+        return self.temperature_high - self.temperature_low
+
+    @property
+    def cycle_period_s(self) -> float:
+        """Duration of one full cycle [s]."""
+        ramp = self.swing / self.ramp_rate_k_per_s
+        return 2.0 * (ramp + self.dwell_time_s)
+
+
+@dataclass(frozen=True)
+class QualificationCampaign:
+    """The full campaign applied to the COSEE seats."""
+
+    acceleration: AccelerationTest = field(default_factory=AccelerationTest)
+    vibration: VibrationTest = field(
+        default_factory=lambda: VibrationTest.do160("C1"))
+    climatic: ClimaticTest = field(default_factory=ClimaticTest)
+    thermal_shock: ThermalShockTest = field(
+        default_factory=ThermalShockTest)
+
+
+def cosee_campaign() -> QualificationCampaign:
+    """The exact campaign of §IV.A: 9 g / DO-160 C1 / −25…+55 °C /
+    −45/+55 °C at 5 °C/min."""
+    return QualificationCampaign()

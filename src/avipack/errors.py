@@ -1,0 +1,81 @@
+"""Exception hierarchy for :mod:`avipack`.
+
+All errors raised by the library derive from :class:`AvipackError` so that
+callers can catch the whole family with a single ``except`` clause.  The
+subclasses mirror the major failure categories encountered in a packaging
+design flow: bad user input, a solver that failed to converge, a physical
+model driven outside its validity envelope, and a design that violates its
+specification.
+"""
+
+from __future__ import annotations
+
+
+class AvipackError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class InputError(AvipackError, ValueError):
+    """An argument is malformed, out of range, or inconsistent.
+
+    Raised eagerly by constructors and solver entry points so that bad
+    input is reported at the call site rather than deep inside a solver.
+    """
+
+
+class ConvergenceError(AvipackError, RuntimeError):
+    """An iterative solver exhausted its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Last residual norm observed (``float('nan')`` if unknown).
+    """
+
+    def __init__(self, message: str, iterations: int = 0,
+                 residual: float = float("nan")) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ModelRangeError(AvipackError, ValueError):
+    """A correlation or property model was evaluated outside its validity.
+
+    Examples: a fluid property requested above the critical temperature, a
+    Nusselt correlation outside its Reynolds range, a wick model with a
+    non-physical porosity.
+    """
+
+
+class OperatingLimitError(AvipackError, RuntimeError):
+    """A two-phase device was asked to operate beyond a physical limit.
+
+    Raised, e.g., when a heat pipe is loaded above its capillary limit or a
+    loop heat pipe beyond the wick's maximum pumping pressure.  The
+    ``limit_name`` attribute identifies the limiting mechanism.
+    """
+
+    def __init__(self, message: str, limit_name: str = "",
+                 limit_value: float = float("nan")) -> None:
+        super().__init__(message)
+        self.limit_name = limit_name
+        self.limit_value = limit_value
+
+
+class SpecificationError(AvipackError):
+    """A design violates its specification (used by the core design flow).
+
+    Carries the list of violated requirement identifiers so qualification
+    reports can enumerate failures.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
+class MaterialNotFoundError(AvipackError, KeyError):
+    """A material or fluid name is absent from the library database."""

@@ -1,0 +1,45 @@
+"""Canned experiment builders reproducing the paper's figures and claims."""
+
+from .cosee import (
+    CAPABILITY_DELTA_T,
+    CoseeClaims,
+    DEFAULT_POWER_SWEEP,
+    altitude_derating_study,
+    ceiling_installation_study,
+    ceiling_structure,
+    fig10_configurations,
+    fig10_curves,
+    measure_claims,
+    measure_composite_claims,
+    seb_under_test,
+)
+from .nanopack import (
+    AdhesiveDesign,
+    InterfaceStudy,
+    TARGETS,
+    characterize_material,
+    design_nanopack_adhesives,
+    electrical_campaign,
+    hnc_interface_study,
+)
+
+__all__ = [
+    "AdhesiveDesign",
+    "altitude_derating_study",
+    "ceiling_installation_study",
+    "ceiling_structure",
+    "CAPABILITY_DELTA_T",
+    "CoseeClaims",
+    "DEFAULT_POWER_SWEEP",
+    "InterfaceStudy",
+    "TARGETS",
+    "characterize_material",
+    "design_nanopack_adhesives",
+    "electrical_campaign",
+    "fig10_configurations",
+    "fig10_curves",
+    "hnc_interface_study",
+    "measure_claims",
+    "measure_composite_claims",
+    "seb_under_test",
+]

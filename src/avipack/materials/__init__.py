@@ -1,0 +1,45 @@
+"""Material and fluid property models.
+
+* :mod:`avipack.materials.library` — solid materials (metals, ceramics,
+  laminates, composites) with thermal and structural properties.
+* :mod:`avipack.materials.fluids` — single-phase coolant properties and
+  saturation-line properties of two-phase working fluids.
+"""
+
+from .library import (
+    CARBON_COMPOSITE,
+    DEFAULT_LIBRARY,
+    FR4_LAMINATE,
+    Material,
+    MaterialLibrary,
+    OrthotropicMaterial,
+    get_material,
+    pcb_effective_conductivity,
+)
+from .fluids import (
+    FluidState,
+    SaturationState,
+    air_properties,
+    list_working_fluids,
+    rank_working_fluids,
+    saturation_properties,
+    water_properties,
+)
+
+__all__ = [
+    "CARBON_COMPOSITE",
+    "DEFAULT_LIBRARY",
+    "FR4_LAMINATE",
+    "FluidState",
+    "Material",
+    "MaterialLibrary",
+    "OrthotropicMaterial",
+    "SaturationState",
+    "air_properties",
+    "get_material",
+    "list_working_fluids",
+    "pcb_effective_conductivity",
+    "rank_working_fluids",
+    "saturation_properties",
+    "water_properties",
+]

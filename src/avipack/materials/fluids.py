@@ -1,0 +1,334 @@
+"""Temperature-dependent fluid properties for cooling and two-phase devices.
+
+Two kinds of fluid are needed:
+
+* **coolants** (air, water, PAO-like oil) evaluated single-phase for the
+  convection correlations of :mod:`avipack.thermal.convection`;
+* **working fluids** (ammonia, acetone, methanol, ethanol, water) evaluated
+  on the saturation line for the heat-pipe and loop-heat-pipe models of
+  :mod:`avipack.twophase`.
+
+Properties are computed from compact engineering correlations (polynomial
+fits, Antoine vapour pressure, Watson latent-heat scaling) that are accurate
+to a few percent over the avionics temperature range (−55 to +125 °C) — the
+same fidelity class as the lookup tables inside commercial tools such as
+FloTHERM.  Every correlation validates its temperature range and raises
+:class:`~avipack.errors.ModelRangeError` outside it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import InputError, ModelRangeError
+from ..units import ATM, R_UNIVERSAL
+
+
+@dataclass(frozen=True)
+class FluidState:
+    """Single-phase thermophysical state of a coolant at (T, p).
+
+    Attributes are the quantities consumed by convection correlations:
+    density ρ [kg/m³], dynamic viscosity µ [Pa·s], conductivity k [W/(m·K)],
+    specific heat cp [J/(kg·K)], Prandtl number and volumetric expansion
+    coefficient β [1/K].
+    """
+
+    temperature: float
+    pressure: float
+    density: float
+    viscosity: float
+    conductivity: float
+    specific_heat: float
+    expansion_coeff: float
+
+    @property
+    def prandtl(self) -> float:
+        """Prandtl number Pr = µ·cp / k."""
+        return self.viscosity * self.specific_heat / self.conductivity
+
+    @property
+    def kinematic_viscosity(self) -> float:
+        """Kinematic viscosity ν = µ / ρ [m²/s]."""
+        return self.viscosity / self.density
+
+    @property
+    def thermal_diffusivity(self) -> float:
+        """Thermal diffusivity α = k / (ρ·cp) [m²/s]."""
+        return self.conductivity / (self.density * self.specific_heat)
+
+
+def _check_range(name: str, temperature: float, lo: float, hi: float) -> None:
+    if not lo <= temperature <= hi:
+        raise ModelRangeError(
+            f"{name} correlation valid for {lo:.0f}-{hi:.0f} K, "
+            f"got {temperature:.1f} K")
+
+
+def air_properties(temperature: float, pressure: float = ATM) -> FluidState:
+    """Dry-air properties from Sutherland viscosity + ideal-gas density.
+
+    Valid 150–1000 K, any pressure in the troposphere/avionics bay range.
+    """
+    _check_range("air", temperature, 150.0, 1000.0)
+    if pressure <= 0.0:
+        raise InputError("pressure must be positive")
+    r_specific = R_UNIVERSAL / 0.0289647  # J/(kg K)
+    density = pressure / (r_specific * temperature)
+    # Sutherland's law for viscosity and conductivity.
+    viscosity = 1.716e-5 * (temperature / 273.15) ** 1.5 * (
+        273.15 + 110.4) / (temperature + 110.4)
+    conductivity = 0.0241 * (temperature / 273.15) ** 1.5 * (
+        273.15 + 194.0) / (temperature + 194.0)
+    # cp of air varies weakly over the range of interest.
+    specific_heat = 1002.5 + 0.0322 * (temperature - 273.15)
+    return FluidState(
+        temperature=temperature,
+        pressure=pressure,
+        density=density,
+        viscosity=viscosity,
+        conductivity=conductivity,
+        specific_heat=specific_heat,
+        expansion_coeff=1.0 / temperature,
+    )
+
+
+def water_properties(temperature: float, pressure: float = ATM) -> FluidState:
+    """Liquid-water properties, polynomial fits valid 273.16–373 K."""
+    _check_range("water", temperature, 273.16, 373.15)
+    t_c = temperature - 273.15
+    density = 1000.0 * (1.0 - (t_c + 288.9414) / (508929.2 * (t_c + 68.12963))
+                        * (t_c - 3.9863) ** 2)
+    viscosity = 2.414e-5 * 10.0 ** (247.8 / (temperature - 140.0))
+    conductivity = -0.5752 + 6.397e-3 * temperature - 8.151e-6 * temperature ** 2
+    specific_heat = 4217.4 - 3.720 * t_c + 0.1412 * t_c ** 2 - 2.654e-3 * t_c ** 3 \
+        + 2.093e-5 * t_c ** 4
+    beta = max(1e-6, -(-6.8e-5 + 1.66e-5 * t_c - 5.8e-8 * t_c ** 2) * -1.0)
+    # simple monotone fit for expansion coefficient
+    beta = max(1e-6, 2.1e-4 * (1.0 + 0.016 * (t_c - 20.0)))
+    return FluidState(
+        temperature=temperature,
+        pressure=pressure,
+        density=density,
+        viscosity=viscosity,
+        conductivity=conductivity,
+        specific_heat=specific_heat,
+        expansion_coeff=beta,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Saturated working fluids for two-phase devices
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SaturationState:
+    """Saturation-line state of a two-phase working fluid at temperature T.
+
+    Attributes
+    ----------
+    temperature:
+        Saturation temperature [K].
+    pressure:
+        Saturation pressure [Pa].
+    latent_heat:
+        Enthalpy of vaporisation [J/kg].
+    liquid_density / vapor_density:
+        Phase densities [kg/m³].
+    liquid_viscosity / vapor_viscosity:
+        Phase dynamic viscosities [Pa·s].
+    liquid_conductivity:
+        Liquid thermal conductivity [W/(m·K)].
+    surface_tension:
+        Liquid–vapour surface tension [N/m].
+    liquid_specific_heat:
+        Liquid cp [J/(kg·K)].
+    """
+
+    temperature: float
+    pressure: float
+    latent_heat: float
+    liquid_density: float
+    vapor_density: float
+    liquid_viscosity: float
+    vapor_viscosity: float
+    liquid_conductivity: float
+    surface_tension: float
+    liquid_specific_heat: float
+
+    def merit_number(self) -> float:
+        """Liquid transport figure of merit M = ρ_l·σ·h_fg / µ_l [W/m²].
+
+        The standard ranking metric for heat-pipe working fluids
+        (Peterson 1994): higher M means more capillary heat transport.
+        """
+        return (self.liquid_density * self.surface_tension * self.latent_heat
+                / self.liquid_viscosity)
+
+
+@dataclass(frozen=True)
+class _FluidCorrelation:
+    """Correlation coefficients defining one working fluid.
+
+    Vapour pressure uses the Antoine equation
+    ``log10(p_mmHg) = A - B / (T + C - 273.15)`` with T in kelvin shifted to
+    the Celsius-based Antoine constants; latent heat uses Watson scaling
+    from a reference point; the remaining liquid properties use low-order
+    polynomials in reduced temperature.
+    """
+
+    name: str
+    molar_mass: float           # kg/mol
+    t_min: float                # K, validity range
+    t_max: float                # K
+    t_critical: float           # K
+    antoine_a: float            # Antoine constants, p in mmHg, T in degC
+    antoine_b: float
+    antoine_c: float
+    h_fg_ref: float             # J/kg at t_ref
+    t_ref: float                # K
+    rho_l_ref: float            # kg/m³ at t_ref
+    rho_l_slope: float          # kg/m³/K (negative)
+    mu_l_ref: float             # Pa·s at t_ref
+    mu_l_activation: float      # K, exponential activation temperature
+    k_l_ref: float              # W/m·K at t_ref
+    k_l_slope: float            # W/m·K/K
+    sigma_ref: float            # N/m at t_ref
+    cp_l_ref: float             # J/kg/K
+
+
+_WORKING_FLUIDS: Dict[str, _FluidCorrelation] = {
+    "water": _FluidCorrelation(
+        name="water", molar_mass=0.018015,
+        t_min=280.0, t_max=500.0, t_critical=647.1,
+        antoine_a=8.07131, antoine_b=1730.63, antoine_c=233.426,
+        h_fg_ref=2.257e6, t_ref=373.15,
+        rho_l_ref=958.4, rho_l_slope=-0.75,
+        mu_l_ref=2.82e-4, mu_l_activation=1825.0,
+        k_l_ref=0.68, k_l_slope=-5e-4,
+        sigma_ref=0.0589, cp_l_ref=4217.0,
+    ),
+    "ammonia": _FluidCorrelation(
+        name="ammonia", molar_mass=0.017031,
+        t_min=200.0, t_max=380.0, t_critical=405.5,
+        antoine_a=7.36050, antoine_b=926.132, antoine_c=240.17,
+        h_fg_ref=1.371e6, t_ref=239.8,
+        rho_l_ref=682.0, rho_l_slope=-1.4,
+        mu_l_ref=2.55e-4, mu_l_activation=600.0,
+        k_l_ref=0.665, k_l_slope=-2.5e-3,
+        sigma_ref=0.0335, cp_l_ref=4700.0,
+    ),
+    "acetone": _FluidCorrelation(
+        name="acetone", molar_mass=0.05808,
+        t_min=250.0, t_max=480.0, t_critical=508.1,
+        antoine_a=7.11714, antoine_b=1210.595, antoine_c=229.664,
+        h_fg_ref=5.18e5, t_ref=329.2,
+        rho_l_ref=748.0, rho_l_slope=-1.1,
+        mu_l_ref=2.37e-4, mu_l_activation=780.0,
+        k_l_ref=0.151, k_l_slope=-3.0e-4,
+        sigma_ref=0.0192, cp_l_ref=2160.0,
+    ),
+    "methanol": _FluidCorrelation(
+        name="methanol", molar_mass=0.03204,
+        t_min=250.0, t_max=480.0, t_critical=512.6,
+        antoine_a=8.08097, antoine_b=1582.271, antoine_c=239.726,
+        h_fg_ref=1.10e6, t_ref=337.8,
+        rho_l_ref=751.0, rho_l_slope=-1.0,
+        mu_l_ref=3.26e-4, mu_l_activation=1100.0,
+        k_l_ref=0.190, k_l_slope=-2.4e-4,
+        sigma_ref=0.0189, cp_l_ref=2530.0,
+    ),
+    "ethanol": _FluidCorrelation(
+        name="ethanol", molar_mass=0.04607,
+        t_min=250.0, t_max=480.0, t_critical=513.9,
+        antoine_a=8.20417, antoine_b=1642.89, antoine_c=230.3,
+        h_fg_ref=8.46e5, t_ref=351.4,
+        rho_l_ref=757.0, rho_l_slope=-0.95,
+        mu_l_ref=4.29e-4, mu_l_activation=1350.0,
+        k_l_ref=0.154, k_l_slope=-2.0e-4,
+        sigma_ref=0.0177, cp_l_ref=2840.0,
+    ),
+}
+
+
+def list_working_fluids() -> tuple:
+    """Names of the available two-phase working fluids."""
+    return tuple(sorted(_WORKING_FLUIDS))
+
+
+def saturation_properties(fluid: str, temperature: float) -> SaturationState:
+    """Saturation-line properties of ``fluid`` at ``temperature`` [K].
+
+    Raises
+    ------
+    InputError
+        If the fluid name is unknown.
+    ModelRangeError
+        If the temperature lies outside the correlation's validity range.
+    """
+    try:
+        corr = _WORKING_FLUIDS[fluid]
+    except KeyError:
+        raise InputError(
+            f"unknown working fluid {fluid!r}; "
+            f"known: {', '.join(list_working_fluids())}") from None
+    _check_range(corr.name, temperature, corr.t_min, corr.t_max)
+
+    t_c = temperature - 273.15
+    p_mmhg = 10.0 ** (corr.antoine_a - corr.antoine_b / (t_c + corr.antoine_c))
+    pressure = p_mmhg * 133.322
+
+    # Watson scaling of the latent heat towards the critical point.
+    tr = temperature / corr.t_critical
+    tr_ref = corr.t_ref / corr.t_critical
+    latent = corr.h_fg_ref * ((1.0 - tr) / (1.0 - tr_ref)) ** 0.38
+
+    rho_l = corr.rho_l_ref + corr.rho_l_slope * (temperature - corr.t_ref)
+    if rho_l <= 0.0:
+        raise ModelRangeError(f"{fluid}: liquid density model collapsed")
+
+    # Ideal-gas vapour density at saturation pressure.
+    rho_v = pressure * corr.molar_mass / (R_UNIVERSAL * temperature)
+
+    mu_l = corr.mu_l_ref * math.exp(
+        corr.mu_l_activation * (1.0 / temperature - 1.0 / corr.t_ref))
+    mu_v = 1.0e-5 * (temperature / 300.0) ** 0.7
+
+    k_l = corr.k_l_ref + corr.k_l_slope * (temperature - corr.t_ref)
+    k_l = max(k_l, 1e-3)
+
+    # Surface tension vanishes at the critical point (Guggenheim-Katayama).
+    sigma = corr.sigma_ref * ((1.0 - tr) / (1.0 - tr_ref)) ** 1.26
+    sigma = max(sigma, 1e-5)
+
+    return SaturationState(
+        temperature=temperature,
+        pressure=pressure,
+        latent_heat=latent,
+        liquid_density=rho_l,
+        vapor_density=rho_v,
+        liquid_viscosity=mu_l,
+        vapor_viscosity=mu_v,
+        liquid_conductivity=k_l,
+        surface_tension=sigma,
+        liquid_specific_heat=corr.cp_l_ref,
+    )
+
+
+def rank_working_fluids(temperature: float) -> tuple:
+    """Rank all working fluids by merit number at ``temperature``.
+
+    Fluids whose correlation does not cover ``temperature`` are skipped.
+    Returns a tuple of ``(name, merit_number)`` sorted descending.
+    """
+    ranking = []
+    for name in list_working_fluids():
+        try:
+            state = saturation_properties(name, temperature)
+        except ModelRangeError:
+            continue
+        ranking.append((name, state.merit_number()))
+    ranking.sort(key=lambda item: item[1], reverse=True)
+    return tuple(ranking)

@@ -1,0 +1,327 @@
+"""Solid material property database for aerospace packaging.
+
+Each entry is a :class:`Material` dataclass with the properties needed by
+the thermal and mechanical solvers: density, thermal conductivity, specific
+heat, Young's modulus, Poisson ratio and coefficient of thermal expansion.
+Values are room-temperature engineering values from standard handbooks;
+an optional linear temperature coefficient refines the conductivity for
+solvers that iterate on temperature.
+
+The built-in library covers the materials named in the DATE 2010 paper:
+aluminium alloys for module shells and seat structures, copper for thermal
+drains, FR-4 for PCB laminates, carbon-fibre composite for the alternative
+seat structure, plus common electronics-packaging materials (silicon,
+alumina, solders, steels, thermal-drain graphite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Optional
+
+from ..errors import InputError, MaterialNotFoundError
+
+
+@dataclass(frozen=True)
+class Material:
+    """Isotropic solid material with thermal and structural properties.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier (lower-case snake case by convention).
+    density:
+        Mass density [kg/m³].
+    conductivity:
+        Thermal conductivity at the reference temperature [W/(m·K)].
+    specific_heat:
+        Specific heat capacity [J/(kg·K)].
+    youngs_modulus:
+        Young's modulus [Pa] (0 for materials never used structurally).
+    poisson_ratio:
+        Poisson ratio [-].
+    cte:
+        Coefficient of thermal expansion [1/K].
+    emissivity:
+        Total hemispherical emissivity of a typical surface finish [-].
+    conductivity_temp_coeff:
+        Linear temperature coefficient of conductivity [W/(m·K²)], applied
+        as ``k(T) = conductivity + coeff * (T - reference_temperature)``.
+    reference_temperature:
+        Temperature at which ``conductivity`` holds [K].
+    yield_strength:
+        0.2 % offset yield strength [Pa] (0 if not applicable).
+    """
+
+    name: str
+    density: float
+    conductivity: float
+    specific_heat: float
+    youngs_modulus: float = 0.0
+    poisson_ratio: float = 0.33
+    cte: float = 0.0
+    emissivity: float = 0.8
+    conductivity_temp_coeff: float = 0.0
+    reference_temperature: float = 293.15
+    yield_strength: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.density <= 0.0:
+            raise InputError(f"{self.name}: density must be positive")
+        if self.conductivity <= 0.0:
+            raise InputError(f"{self.name}: conductivity must be positive")
+        if self.specific_heat <= 0.0:
+            raise InputError(f"{self.name}: specific heat must be positive")
+        if not 0.0 <= self.poisson_ratio < 0.5:
+            raise InputError(f"{self.name}: Poisson ratio must be in [0, 0.5)")
+        if not 0.0 <= self.emissivity <= 1.0:
+            raise InputError(f"{self.name}: emissivity must be in [0, 1]")
+
+    def conductivity_at(self, temperature: float) -> float:
+        """Thermal conductivity at ``temperature`` [K], clamped positive."""
+        if temperature <= 0.0:
+            raise InputError("temperature must be positive kelvin")
+        k = (self.conductivity
+             + self.conductivity_temp_coeff
+             * (temperature - self.reference_temperature))
+        return max(k, 1e-3)
+
+    def thermal_diffusivity(self) -> float:
+        """Thermal diffusivity α = k / (ρ·cp) [m²/s]."""
+        return self.conductivity / (self.density * self.specific_heat)
+
+    def volumetric_heat_capacity(self) -> float:
+        """Volumetric heat capacity ρ·cp [J/(m³·K)]."""
+        return self.density * self.specific_heat
+
+    def with_conductivity(self, conductivity: float) -> "Material":
+        """Return a copy with a different conductivity (derating studies)."""
+        if conductivity <= 0.0:
+            raise InputError("conductivity must be positive")
+        return replace(self, conductivity=conductivity)
+
+
+@dataclass(frozen=True)
+class OrthotropicMaterial:
+    """Orthotropic material, used for PCB laminates and composites.
+
+    PCBs conduct heat far better in-plane (copper layers) than
+    through-thickness; carbon-fibre composites similarly.  ``conductivity_xy``
+    is the in-plane value and ``conductivity_z`` the through-thickness value.
+    """
+
+    name: str
+    density: float
+    conductivity_xy: float
+    conductivity_z: float
+    specific_heat: float
+    youngs_modulus: float = 0.0
+    poisson_ratio: float = 0.3
+    cte: float = 0.0
+    emissivity: float = 0.85
+
+    def __post_init__(self) -> None:
+        if min(self.conductivity_xy, self.conductivity_z) <= 0.0:
+            raise InputError(f"{self.name}: conductivities must be positive")
+        if self.density <= 0.0 or self.specific_heat <= 0.0:
+            raise InputError(f"{self.name}: density/cp must be positive")
+
+    def isotropic_equivalent(self) -> Material:
+        """Geometric-mean isotropic equivalent for coarse (level-1) models."""
+        k_eq = (self.conductivity_xy ** 2 * self.conductivity_z) ** (1.0 / 3.0)
+        return Material(
+            name=self.name + "_iso",
+            density=self.density,
+            conductivity=k_eq,
+            specific_heat=self.specific_heat,
+            youngs_modulus=self.youngs_modulus,
+            poisson_ratio=self.poisson_ratio,
+            cte=self.cte,
+            emissivity=self.emissivity,
+        )
+
+
+class MaterialLibrary:
+    """Registry of named materials with lookup and registration."""
+
+    def __init__(self) -> None:
+        self._materials: Dict[str, Material] = {}
+
+    def register(self, material: Material, overwrite: bool = False) -> None:
+        """Add ``material`` to the library.
+
+        Raises :class:`~avipack.errors.InputError` when the name already
+        exists and ``overwrite`` is false.
+        """
+        if material.name in self._materials and not overwrite:
+            raise InputError(f"material {material.name!r} already registered")
+        self._materials[material.name] = material
+
+    def get(self, name: str) -> Material:
+        """Look a material up by name."""
+        try:
+            return self._materials[name]
+        except KeyError:
+            known = ", ".join(sorted(self._materials))
+            raise MaterialNotFoundError(
+                f"unknown material {name!r}; known: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._materials
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._materials))
+
+    def __len__(self) -> int:
+        return len(self._materials)
+
+
+def _build_default_library() -> MaterialLibrary:
+    lib = MaterialLibrary()
+    entries = [
+        # Structural metals -------------------------------------------------
+        Material("aluminum_6061", density=2700.0, conductivity=167.0,
+                 specific_heat=896.0, youngs_modulus=68.9e9,
+                 poisson_ratio=0.33, cte=23.6e-6, emissivity=0.09,
+                 yield_strength=276e6),
+        Material("aluminum_7075", density=2810.0, conductivity=130.0,
+                 specific_heat=960.0, youngs_modulus=71.7e9,
+                 poisson_ratio=0.33, cte=23.4e-6, emissivity=0.09,
+                 yield_strength=503e6),
+        Material("aluminum_anodized", density=2700.0, conductivity=167.0,
+                 specific_heat=896.0, youngs_modulus=68.9e9,
+                 poisson_ratio=0.33, cte=23.6e-6, emissivity=0.84,
+                 yield_strength=276e6),
+        Material("copper", density=8960.0, conductivity=398.0,
+                 specific_heat=385.0, youngs_modulus=117e9,
+                 poisson_ratio=0.34, cte=16.5e-6, emissivity=0.05,
+                 conductivity_temp_coeff=-0.05, yield_strength=70e6),
+        Material("steel_304", density=8000.0, conductivity=16.2,
+                 specific_heat=500.0, youngs_modulus=193e9,
+                 poisson_ratio=0.29, cte=17.3e-6, emissivity=0.35,
+                 yield_strength=215e6),
+        Material("titanium_6al4v", density=4430.0, conductivity=6.7,
+                 specific_heat=526.0, youngs_modulus=113.8e9,
+                 poisson_ratio=0.342, cte=8.6e-6, emissivity=0.3,
+                 yield_strength=880e6),
+        Material("magnesium_az31", density=1770.0, conductivity=96.0,
+                 specific_heat=1000.0, youngs_modulus=45e9,
+                 poisson_ratio=0.35, cte=26.0e-6, emissivity=0.12,
+                 yield_strength=200e6),
+        # Electronics materials ---------------------------------------------
+        Material("silicon", density=2329.0, conductivity=148.0,
+                 specific_heat=705.0, youngs_modulus=130e9,
+                 poisson_ratio=0.28, cte=2.6e-6, emissivity=0.6,
+                 conductivity_temp_coeff=-0.4),
+        Material("alumina_96", density=3800.0, conductivity=24.0,
+                 specific_heat=880.0, youngs_modulus=310e9,
+                 poisson_ratio=0.21, cte=7.2e-6, emissivity=0.75),
+        Material("aluminum_nitride", density=3260.0, conductivity=170.0,
+                 specific_heat=740.0, youngs_modulus=330e9,
+                 poisson_ratio=0.24, cte=4.5e-6, emissivity=0.8),
+        Material("solder_sac305", density=7400.0, conductivity=58.0,
+                 specific_heat=230.0, youngs_modulus=51e9,
+                 poisson_ratio=0.36, cte=21.0e-6, emissivity=0.06,
+                 yield_strength=32e6),
+        Material("mold_compound", density=1970.0, conductivity=0.9,
+                 specific_heat=880.0, youngs_modulus=24e9,
+                 poisson_ratio=0.25, cte=12.0e-6, emissivity=0.9),
+        Material("graphite_drain", density=1750.0, conductivity=370.0,
+                 specific_heat=710.0, youngs_modulus=9e9,
+                 poisson_ratio=0.2, cte=1.0e-6, emissivity=0.85),
+        # Plastics / elastomers ----------------------------------------------
+        Material("epoxy_unfilled", density=1200.0, conductivity=0.20,
+                 specific_heat=1100.0, youngs_modulus=3.0e9,
+                 poisson_ratio=0.35, cte=55e-6, emissivity=0.9),
+        Material("silicone_rubber", density=1100.0, conductivity=0.17,
+                 specific_heat=1300.0, youngs_modulus=0.01e9,
+                 poisson_ratio=0.47, cte=250e-6, emissivity=0.9),
+        Material("polycarbonate", density=1200.0, conductivity=0.21,
+                 specific_heat=1250.0, youngs_modulus=2.3e9,
+                 poisson_ratio=0.37, cte=68e-6, emissivity=0.9),
+    ]
+    for mat in entries:
+        lib.register(mat)
+    return lib
+
+
+#: Default library instance shared across the package.
+DEFAULT_LIBRARY = _build_default_library()
+
+
+#: FR-4 PCB laminate with typical 4-layer copper coverage (orthotropic).
+FR4_LAMINATE = OrthotropicMaterial(
+    name="fr4_laminate",
+    density=1850.0,
+    conductivity_xy=18.0,
+    conductivity_z=0.35,
+    specific_heat=1100.0,
+    youngs_modulus=22e9,
+    poisson_ratio=0.28,
+    cte=16e-6,
+)
+
+#: Quasi-isotropic carbon-fibre composite seat structure (COSEE variant).
+CARBON_COMPOSITE = OrthotropicMaterial(
+    name="carbon_composite",
+    density=1600.0,
+    conductivity_xy=5.0,
+    conductivity_z=0.8,
+    specific_heat=900.0,
+    youngs_modulus=70e9,
+    poisson_ratio=0.3,
+    cte=2.0e-6,
+    emissivity=0.88,
+)
+
+
+def get_material(name: str,
+                 library: Optional[MaterialLibrary] = None) -> Material:
+    """Convenience lookup in ``library`` (default: the built-in library)."""
+    return (library or DEFAULT_LIBRARY).get(name)
+
+
+def pcb_effective_conductivity(copper_fraction_per_layer: float,
+                               n_copper_layers: int,
+                               layer_thickness: float,
+                               board_thickness: float,
+                               k_copper: float = 398.0,
+                               k_resin: float = 0.35) -> tuple:
+    """Effective in-plane / through-thickness conductivity of a PCB.
+
+    The classical rule-of-mixtures model used at "level 2" of the design
+    flow: copper layers act in parallel for in-plane conduction and in
+    series for through-thickness conduction.
+
+    Parameters
+    ----------
+    copper_fraction_per_layer:
+        Fractional copper coverage of each layer (0–1).
+    n_copper_layers:
+        Number of copper layers.
+    layer_thickness:
+        Thickness of one copper layer [m] (35 µm for 1 oz copper).
+    board_thickness:
+        Total board thickness [m].
+    k_copper, k_resin:
+        Conductivities of copper and of the resin/glass matrix [W/(m·K)].
+
+    Returns
+    -------
+    tuple
+        ``(k_inplane, k_through)`` in W/(m·K).
+    """
+    if not 0.0 <= copper_fraction_per_layer <= 1.0:
+        raise InputError("copper fraction must be in [0, 1]")
+    if n_copper_layers < 0:
+        raise InputError("layer count must be non-negative")
+    if layer_thickness < 0.0 or board_thickness <= 0.0:
+        raise InputError("thicknesses must be positive")
+    total_cu = n_copper_layers * layer_thickness * copper_fraction_per_layer
+    if total_cu > board_thickness:
+        raise InputError("copper thickness exceeds board thickness")
+    phi = total_cu / board_thickness
+    k_inplane = phi * k_copper + (1.0 - phi) * k_resin
+    # Series (harmonic) stack through thickness.
+    k_through = 1.0 / (phi / k_copper + (1.0 - phi) / k_resin)
+    return k_inplane, k_through

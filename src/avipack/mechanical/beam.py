@@ -1,0 +1,245 @@
+"""Euler–Bernoulli beam finite elements.
+
+A small but genuine FEM kernel: 2-node beam elements with transverse
+displacement + rotation DOFs, consistent mass matrices, point masses,
+static solves and eigenvalue extraction.  Used for chassis rails,
+connector brackets and the seat-structure rods of the COSEE demonstrator,
+and as an independent cross-check of the plate Rayleigh–Ritz results
+(a 1-D plate strip is a beam).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import eigh
+
+from ..errors import InputError
+
+
+@dataclass(frozen=True)
+class BeamSection:
+    """Beam cross-section and material.
+
+    ``area`` [m²], ``inertia`` (second moment, bending) [m⁴],
+    ``youngs_modulus`` [Pa], ``density`` [kg/m³].
+    """
+
+    area: float
+    inertia: float
+    youngs_modulus: float
+    density: float
+
+    def __post_init__(self) -> None:
+        for name in ("area", "inertia", "youngs_modulus", "density"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+
+    @classmethod
+    def rectangular(cls, width: float, height: float, youngs_modulus: float,
+                    density: float) -> "BeamSection":
+        """Solid rectangular section bending about the width axis."""
+        if width <= 0.0 or height <= 0.0:
+            raise InputError("section dimensions must be positive")
+        return cls(area=width * height,
+                   inertia=width * height ** 3 / 12.0,
+                   youngs_modulus=youngs_modulus, density=density)
+
+    @classmethod
+    def tube(cls, outer_diameter: float, wall_thickness: float,
+             youngs_modulus: float, density: float) -> "BeamSection":
+        """Circular tube section (seat-structure rods)."""
+        if outer_diameter <= 0.0 or wall_thickness <= 0.0:
+            raise InputError("tube dimensions must be positive")
+        inner = outer_diameter - 2.0 * wall_thickness
+        if inner < 0.0:
+            raise InputError("wall thickness exceeds radius")
+        area = math.pi / 4.0 * (outer_diameter ** 2 - inner ** 2)
+        inertia = math.pi / 64.0 * (outer_diameter ** 4 - inner ** 4)
+        return cls(area=area, inertia=inertia,
+                   youngs_modulus=youngs_modulus, density=density)
+
+
+class BeamModel:
+    """Assembled FE model of a straight beam.
+
+    Nodes are equally spaced along the length; each node carries
+    (deflection w, rotation θ).  Boundary conditions fix DOFs at the end
+    nodes; point masses model mounted equipment.
+    """
+
+    def __init__(self, length: float, section: BeamSection,
+                 n_elements: int = 20) -> None:
+        if length <= 0.0:
+            raise InputError("length must be positive")
+        if n_elements < 1:
+            raise InputError("need at least one element")
+        self.length = float(length)
+        self.section = section
+        self.n_elements = int(n_elements)
+        self.n_nodes = self.n_elements + 1
+        self._point_masses: Dict[int, float] = {}
+        self._fixed_dofs: set = set()
+
+    # -- model editing ---------------------------------------------------------
+
+    def add_point_mass(self, position: float, mass: float) -> None:
+        """Attach ``mass`` [kg] at the node nearest ``position`` [m]."""
+        if not 0.0 <= position <= self.length:
+            raise InputError("position must lie on the beam")
+        if mass < 0.0:
+            raise InputError("mass must be non-negative")
+        node = int(round(position / self.length * self.n_elements))
+        self._point_masses[node] = self._point_masses.get(node, 0.0) + mass
+
+    def set_support(self, end: str, kind: str) -> None:
+        """Support an end: ``end`` in {"left", "right"}, ``kind`` in
+        {"pinned", "clamped", "free"}."""
+        if end not in ("left", "right"):
+            raise InputError("end must be 'left' or 'right'")
+        if kind not in ("pinned", "clamped", "free"):
+            raise InputError("kind must be pinned, clamped or free")
+        node = 0 if end == "left" else self.n_nodes - 1
+        w_dof, theta_dof = 2 * node, 2 * node + 1
+        self._fixed_dofs.discard(w_dof)
+        self._fixed_dofs.discard(theta_dof)
+        if kind in ("pinned", "clamped"):
+            self._fixed_dofs.add(w_dof)
+        if kind == "clamped":
+            self._fixed_dofs.add(theta_dof)
+
+    # -- assembly ----------------------------------------------------------------
+
+    def _element_matrices(self) -> Tuple[np.ndarray, np.ndarray]:
+        sec = self.section
+        le = self.length / self.n_elements
+        ei = sec.youngs_modulus * sec.inertia
+        k = ei / le ** 3 * np.array([
+            [12.0, 6.0 * le, -12.0, 6.0 * le],
+            [6.0 * le, 4.0 * le ** 2, -6.0 * le, 2.0 * le ** 2],
+            [-12.0, -6.0 * le, 12.0, -6.0 * le],
+            [6.0 * le, 2.0 * le ** 2, -6.0 * le, 4.0 * le ** 2],
+        ])
+        rho_a = sec.density * sec.area
+        m = rho_a * le / 420.0 * np.array([
+            [156.0, 22.0 * le, 54.0, -13.0 * le],
+            [22.0 * le, 4.0 * le ** 2, 13.0 * le, -3.0 * le ** 2],
+            [54.0, 13.0 * le, 156.0, -22.0 * le],
+            [-13.0 * le, -3.0 * le ** 2, -22.0 * le, 4.0 * le ** 2],
+        ])
+        return k, m
+
+    def assemble(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Global (stiffness, mass) matrices including point masses."""
+        n_dof = 2 * self.n_nodes
+        stiffness = np.zeros((n_dof, n_dof))
+        mass = np.zeros((n_dof, n_dof))
+        k_el, m_el = self._element_matrices()
+        for element in range(self.n_elements):
+            dofs = [2 * element, 2 * element + 1,
+                    2 * element + 2, 2 * element + 3]
+            for i_local, i_global in enumerate(dofs):
+                for j_local, j_global in enumerate(dofs):
+                    stiffness[i_global, j_global] += k_el[i_local, j_local]
+                    mass[i_global, j_global] += m_el[i_local, j_local]
+        for node, point_mass in self._point_masses.items():
+            mass[2 * node, 2 * node] += point_mass
+        return stiffness, mass
+
+    def _free_dofs(self) -> List[int]:
+        return [dof for dof in range(2 * self.n_nodes)
+                if dof not in self._fixed_dofs]
+
+    # -- solutions ------------------------------------------------------------------
+
+    def natural_frequencies(self, n_modes: int = 5) -> np.ndarray:
+        """Lowest ``n_modes`` natural frequencies [Hz]."""
+        if n_modes < 1:
+            raise InputError("need at least one mode")
+        if not self._fixed_dofs:
+            raise InputError(
+                "model is unconstrained; set at least one support")
+        stiffness, mass = self.assemble()
+        free = self._free_dofs()
+        k_ff = stiffness[np.ix_(free, free)]
+        m_ff = mass[np.ix_(free, free)]
+        eigenvalues = eigh(k_ff, m_ff, eigvals_only=True)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        frequencies = np.sqrt(eigenvalues) / (2.0 * math.pi)
+        return frequencies[:n_modes]
+
+    def static_deflection(self, loads: Dict[float, float]) -> np.ndarray:
+        """Deflection at every node under point loads [m].
+
+        ``loads`` maps position [m] → force [N] (positive = transverse).
+        """
+        if not self._fixed_dofs:
+            raise InputError(
+                "model is unconstrained; set at least one support")
+        stiffness, _mass = self.assemble()
+        force = np.zeros(2 * self.n_nodes)
+        for position, value in loads.items():
+            if not 0.0 <= position <= self.length:
+                raise InputError("load position must lie on the beam")
+            node = int(round(position / self.length * self.n_elements))
+            force[2 * node] += value
+        free = self._free_dofs()
+        solution = np.zeros(2 * self.n_nodes)
+        solution[free] = np.linalg.solve(stiffness[np.ix_(free, free)],
+                                         force[free])
+        return solution[0::2]
+
+    def quasi_static_acceleration_deflection(self, accel_m_s2: float
+                                             ) -> np.ndarray:
+        """Deflection under a uniform quasi-static acceleration [m].
+
+        Models the 9 g linear-acceleration qualification test: inertial
+        load ρ·A·a per unit length plus point-mass inertia.
+        """
+        sec = self.section
+        le = self.length / self.n_elements
+        line_load = sec.density * sec.area * accel_m_s2
+        loads: Dict[float, float] = {}
+        for node in range(self.n_nodes):
+            tributary = le if 0 < node < self.n_nodes - 1 else le / 2.0
+            loads[node * le] = loads.get(node * le, 0.0) \
+                + line_load * tributary
+        for node, point_mass in self._point_masses.items():
+            position = node * le
+            loads[position] = loads.get(position, 0.0) \
+                + point_mass * accel_m_s2
+        return self.static_deflection(loads)
+
+    def max_bending_stress(self, deflections: np.ndarray,
+                           fiber_distance: float) -> float:
+        """Peak bending stress from a deflection field [Pa].
+
+        σ = E·c·|w''| with curvature from central differences.
+        """
+        if deflections.shape != (self.n_nodes,):
+            raise InputError("deflection array has wrong length")
+        if fiber_distance <= 0.0:
+            raise InputError("fiber distance must be positive")
+        le = self.length / self.n_elements
+        curvature = np.gradient(np.gradient(deflections, le), le)
+        return float(self.section.youngs_modulus * fiber_distance
+                     * np.abs(curvature).max())
+
+
+def simply_supported_beam_frequency(length: float, section: BeamSection,
+                                    mode: int = 1) -> float:
+    """Closed-form pinned-pinned beam frequency [Hz] for verification.
+
+    f_n = (nπ)²/(2π·L²)·sqrt(EI/ρA).
+    """
+    if length <= 0.0:
+        raise InputError("length must be positive")
+    if mode < 1:
+        raise InputError("mode must be >= 1")
+    ei = section.youngs_modulus * section.inertia
+    rho_a = section.density * section.area
+    return ((mode * math.pi) ** 2 / (2.0 * math.pi * length ** 2)
+            * math.sqrt(ei / rho_a))

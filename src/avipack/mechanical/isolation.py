@@ -1,0 +1,171 @@
+"""Vibration isolation and damping: the IMU mechanical filter of Fig. 3.
+
+An inertial measurement unit cannot tolerate the raw rack vibration, so it
+is mounted on elastomeric isolators tuned as a low-pass mechanical filter
+with added damping.  This module models the classical single-DOF isolator:
+
+* absolute transmissibility |H(f)| with viscous damping,
+* isolation efficiency above the crossover f√2,
+* design helpers: pick stiffness for a target mount frequency, evaluate a
+  full isolator chain against a PSD, and tune damping to cap resonant
+  amplification while keeping high-frequency attenuation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import InputError
+from .random_vibration import PowerSpectralDensity, miles_rms_acceleration
+
+
+@dataclass(frozen=True)
+class Isolator:
+    """Single-DOF viscously damped isolator.
+
+    Parameters
+    ----------
+    mount_frequency:
+        Mounted natural frequency f_n [Hz].
+    damping_ratio:
+        Viscous damping ratio ζ (elastomers 0.05–0.15, wire-rope ≈ 0.2).
+    """
+
+    mount_frequency: float
+    damping_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.mount_frequency <= 0.0:
+            raise InputError("mount frequency must be positive")
+        if not 0.0 < self.damping_ratio < 2.0:
+            raise InputError("damping ratio must be in (0, 2)")
+
+    def transmissibility(self, frequency: float) -> float:
+        """Absolute transmissibility |X/Y| at ``frequency`` [-].
+
+        T(r) = sqrt[(1 + (2ζr)²) / ((1 − r²)² + (2ζr)²)], r = f/f_n.
+        """
+        if frequency <= 0.0:
+            raise InputError("frequency must be positive")
+        r = frequency / self.mount_frequency
+        num = 1.0 + (2.0 * self.damping_ratio * r) ** 2
+        den = (1.0 - r * r) ** 2 + (2.0 * self.damping_ratio * r) ** 2
+        return math.sqrt(num / den)
+
+    @property
+    def resonant_transmissibility(self) -> float:
+        """Peak transmissibility Q at resonance ≈ 1/(2ζ) for light damping."""
+        zeta = self.damping_ratio
+        if zeta >= 1.0 / math.sqrt(2.0):
+            return 1.0
+        r_peak = math.sqrt(
+            (math.sqrt(1.0 + 8.0 * zeta ** 2) - 1.0) / (4.0 * zeta ** 2))
+        return self.transmissibility(r_peak * self.mount_frequency)
+
+    @property
+    def crossover_frequency(self) -> float:
+        """Frequency above which isolation begins: f_n·√2 [Hz]."""
+        return self.mount_frequency * math.sqrt(2.0)
+
+    def isolation_efficiency(self, frequency: float) -> float:
+        """Isolation efficiency 1 − T at ``frequency`` (may be negative
+        below crossover, meaning amplification)."""
+        return 1.0 - self.transmissibility(frequency)
+
+    def response_psd(self, input_psd: PowerSpectralDensity
+                     ) -> PowerSpectralDensity:
+        """Equipment-side PSD after the isolator."""
+        return input_psd.through_transmissibility(self.transmissibility)
+
+    def response_rms_g(self, input_psd: PowerSpectralDensity) -> float:
+        """Overall g-RMS experienced by the isolated equipment."""
+        return self.response_psd(input_psd).rms_g()
+
+
+def stiffness_for_frequency(mass: float, mount_frequency: float) -> float:
+    """Total isolator stiffness k = m·(2π·f_n)² [N/m]."""
+    if mass <= 0.0 or mount_frequency <= 0.0:
+        raise InputError("mass and frequency must be positive")
+    return mass * (2.0 * math.pi * mount_frequency) ** 2
+
+
+def static_sag(mount_frequency: float) -> float:
+    """Static deflection under 1 g for a given mount frequency [m].
+
+    δ = g/(2π·f_n)² — the classic check that a soft mount still fits the
+    sway space.
+    """
+    if mount_frequency <= 0.0:
+        raise InputError("mount frequency must be positive")
+    return 9.80665 / (2.0 * math.pi * mount_frequency) ** 2
+
+
+def design_isolator(equipment_mass: float, disturbance_frequency: float,
+                    required_attenuation: float,
+                    damping_ratio: float = 0.1,
+                    max_sag: float = 5.0e-3) -> Tuple[Isolator, float]:
+    """Size an isolator to attenuate a disturbance by a required factor.
+
+    Finds the highest mount frequency whose transmissibility at
+    ``disturbance_frequency`` is below ``required_attenuation`` (e.g. 0.1
+    for 90 % isolation), subject to the static-sag limit.  Returns the
+    isolator and its total stiffness [N/m].
+
+    Raises
+    ------
+    InputError
+        If the attenuation cannot be met within the sag limit.
+    """
+    if equipment_mass <= 0.0:
+        raise InputError("equipment mass must be positive")
+    if disturbance_frequency <= 0.0:
+        raise InputError("disturbance frequency must be positive")
+    if not 0.0 < required_attenuation < 1.0:
+        raise InputError("required attenuation must be in (0, 1)")
+    if max_sag <= 0.0:
+        raise InputError("sag limit must be positive")
+
+    # Mount frequency floor imposed by the sag limit.
+    f_min = math.sqrt(9.80665 / max_sag) / (2.0 * math.pi)
+    # Bisection: transmissibility at the disturbance decreases as f_n drops.
+    lo, hi = f_min, disturbance_frequency
+    iso_lo = Isolator(lo, damping_ratio)
+    if iso_lo.transmissibility(disturbance_frequency) > required_attenuation:
+        raise InputError(
+            f"cannot reach T={required_attenuation} at "
+            f"{disturbance_frequency} Hz within the {max_sag*1e3:.1f} mm "
+            "sag limit; increase allowed sag or damping trade-off")
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        iso = Isolator(mid, damping_ratio)
+        if iso.transmissibility(disturbance_frequency) <= required_attenuation:
+            lo = mid
+        else:
+            hi = mid
+    isolator = Isolator(lo, damping_ratio)
+    return isolator, stiffness_for_frequency(equipment_mass, lo)
+
+
+def damper_tuning(isolator: Isolator, input_psd: PowerSpectralDensity,
+                  max_resonant_q: float) -> Isolator:
+    """Raise damping until the resonant transmissibility is capped.
+
+    Returns a new isolator with the smallest damping ratio whose peak
+    transmissibility is at most ``max_resonant_q`` (keeping damping low
+    preserves the high-frequency roll-off).
+    """
+    if max_resonant_q <= 1.0:
+        raise InputError("resonant Q cap must exceed 1")
+    if isolator.resonant_transmissibility <= max_resonant_q:
+        return isolator
+    lo, hi = isolator.damping_ratio, 1.2
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        candidate = Isolator(isolator.mount_frequency, mid)
+        if candidate.resonant_transmissibility > max_resonant_q:
+            lo = mid
+        else:
+            hi = mid
+    return Isolator(isolator.mount_frequency, hi)

@@ -1,0 +1,173 @@
+"""Shock and quasi-static acceleration analysis.
+
+Covers the remaining mechanical qualification loads of the paper's
+campaign: the 9 g linear acceleration (3 minutes per axis — quasi-static)
+and mechanical shock pulses (DO-160 half-sine).  Provides
+
+* the shock response spectrum (SRS) of classical pulse shapes computed by
+  direct time integration of the 1-DOF oscillator (Smallwood-style ramp-
+  invariant recursion),
+* quasi-static load factors and stress checks for bracket-mounted
+  equipment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InputError
+from ..units import G0
+
+
+def half_sine_pulse(peak_g: float, duration: float
+                    ) -> Callable[[float], float]:
+    """Half-sine base-acceleration pulse a(t) [m/s²].
+
+    DO-160 operational shock is a 6 g / 11 ms half-sine; crash safety is
+    20 g / 11 ms.
+    """
+    if peak_g <= 0.0 or duration <= 0.0:
+        raise InputError("peak and duration must be positive")
+
+    def pulse(time: float) -> float:
+        if 0.0 <= time <= duration:
+            return peak_g * G0 * math.sin(math.pi * time / duration)
+        return 0.0
+
+    return pulse
+
+
+def terminal_sawtooth_pulse(peak_g: float, duration: float
+                            ) -> Callable[[float], float]:
+    """Terminal-peak sawtooth pulse a(t) [m/s²] (MIL-S-901 style)."""
+    if peak_g <= 0.0 or duration <= 0.0:
+        raise InputError("peak and duration must be positive")
+
+    def pulse(time: float) -> float:
+        if 0.0 <= time <= duration:
+            return peak_g * G0 * (time / duration)
+        return 0.0
+
+    return pulse
+
+
+def sdof_peak_response(natural_frequency: float, damping_ratio: float,
+                       base_acceleration: Callable[[float], float],
+                       pulse_duration: float,
+                       settle_periods: float = 10.0) -> float:
+    """Peak absolute acceleration of a 1-DOF system under a base pulse [g].
+
+    Integrates ``ẍ + 2ζω(ẋ−ẏ) + ω²(x−y) = 0`` in relative coordinates
+    with RK4, through the pulse and ``settle_periods`` of residual ringing,
+    and returns the peak absolute acceleration in g.
+    """
+    if natural_frequency <= 0.0:
+        raise InputError("natural frequency must be positive")
+    if not 0.0 <= damping_ratio < 1.0:
+        raise InputError("damping ratio must be in [0, 1)")
+    if pulse_duration <= 0.0:
+        raise InputError("pulse duration must be positive")
+    omega = 2.0 * math.pi * natural_frequency
+    period = 1.0 / natural_frequency
+    t_end = pulse_duration + settle_periods * period
+    dt = min(period, pulse_duration) / 40.0
+    n_steps = int(math.ceil(t_end / dt))
+
+    def derivatives(time: float, state: np.ndarray) -> np.ndarray:
+        z, z_dot = state
+        z_ddot = (-2.0 * damping_ratio * omega * z_dot
+                  - omega * omega * z - base_acceleration(time))
+        return np.array([z_dot, z_ddot])
+
+    state = np.zeros(2)
+    peak = 0.0
+    time = 0.0
+    for _ in range(n_steps):
+        k1 = derivatives(time, state)
+        k2 = derivatives(time + dt / 2.0, state + dt / 2.0 * k1)
+        k3 = derivatives(time + dt / 2.0, state + dt / 2.0 * k2)
+        k4 = derivatives(time + dt, state + dt * k3)
+        state = state + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        time += dt
+        # Absolute acceleration = -(2ζω·ż + ω²·z).
+        abs_accel = -(2.0 * damping_ratio * omega * state[1]
+                      + omega * omega * state[0])
+        peak = max(peak, abs(abs_accel))
+    return peak / G0
+
+
+def shock_response_spectrum(base_acceleration: Callable[[float], float],
+                            pulse_duration: float,
+                            frequencies: Sequence[float],
+                            q_factor: float = 10.0) -> np.ndarray:
+    """SRS: peak 1-DOF response [g] at each analysis frequency.
+
+    ``q_factor`` = 10 (ζ = 5 %) is the aerospace convention.
+    """
+    freqs = np.asarray(list(frequencies), dtype=float)
+    if freqs.size == 0 or np.any(freqs <= 0.0):
+        raise InputError("frequencies must be positive and non-empty")
+    if q_factor <= 0.5:
+        raise InputError("Q factor must exceed 0.5")
+    zeta = 1.0 / (2.0 * q_factor)
+    return np.array([
+        sdof_peak_response(f, zeta, base_acceleration, pulse_duration)
+        for f in freqs])
+
+
+@dataclass(frozen=True)
+class QuasiStaticLoadCase:
+    """A quasi-static acceleration load case (e.g. 9 g per axis).
+
+    ``acceleration_g`` applies along ``axis`` ∈ {"x", "y", "z"}; the
+    duration only matters for creep/fatigue bookkeeping.
+    """
+
+    acceleration_g: float
+    axis: str = "z"
+    duration_s: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.acceleration_g <= 0.0:
+            raise InputError("acceleration must be positive")
+        if self.axis not in ("x", "y", "z"):
+            raise InputError("axis must be x, y or z")
+        if self.duration_s <= 0.0:
+            raise InputError("duration must be positive")
+
+    def inertial_force(self, mass: float) -> float:
+        """Inertial force on a mass [N]."""
+        if mass <= 0.0:
+            raise InputError("mass must be positive")
+        return mass * self.acceleration_g * G0
+
+
+def bracket_stress(force: float, arm_length: float,
+                   section_modulus: float) -> float:
+    """Bending stress at the root of a cantilever bracket [Pa].
+
+    σ = F·L / Z — the quick check run for every boxed equipment under the
+    linear-acceleration case.
+    """
+    if force < 0.0:
+        raise InputError("force must be non-negative")
+    if arm_length <= 0.0 or section_modulus <= 0.0:
+        raise InputError("arm length and section modulus must be positive")
+    return force * arm_length / section_modulus
+
+
+def fastener_shear_stress(force: float, n_fasteners: int,
+                          fastener_diameter: float) -> float:
+    """Mean shear stress in a bolt pattern [Pa]."""
+    if force < 0.0:
+        raise InputError("force must be non-negative")
+    if n_fasteners < 1:
+        raise InputError("need at least one fastener")
+    if fastener_diameter <= 0.0:
+        raise InputError("fastener diameter must be positive")
+    area = math.pi / 4.0 * fastener_diameter ** 2
+    return force / (n_fasteners * area)

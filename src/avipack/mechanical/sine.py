@@ -1,0 +1,144 @@
+"""Sinusoidal vibration: sweeps and steady-state response.
+
+DO-160 prescribes *sinusoidal* vibration for propeller aircraft and
+helicopters in addition to the random curves; launcher specifications
+(the Ariane navigation unit of Fig. 2) define sine-equivalent levels per
+frequency band.  This module provides
+
+* a :class:`SineSpec` of (frequency band → acceleration level) segments,
+* the steady-state SDOF magnification |H(f)| and peak response over a
+  swept sine,
+* the dwell-at-resonance fatigue cycle count of a sweep (the log-sweep
+  closed form), feeding the S–N models in
+  :mod:`avipack.mechanical.fatigue`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import InputError
+
+
+@dataclass(frozen=True)
+class SineSpec:
+    """Piecewise-constant sine test specification.
+
+    ``segments`` is a sequence of ``(f_low, f_high, level_g)`` bands with
+    contiguous, increasing frequencies (e.g. DO-160 category S curves).
+    """
+
+    segments: Tuple[Tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise InputError("sine spec needs at least one segment")
+        previous_high = 0.0
+        for f_low, f_high, level in self.segments:
+            if f_low <= 0.0 or f_high <= f_low:
+                raise InputError("segment frequencies must be increasing "
+                                 "and positive")
+            if f_low < previous_high:
+                raise InputError("segments must not overlap")
+            if level <= 0.0:
+                raise InputError("levels must be positive")
+            previous_high = f_high
+
+    @property
+    def f_min(self) -> float:
+        """Sweep start frequency [Hz]."""
+        return self.segments[0][0]
+
+    @property
+    def f_max(self) -> float:
+        """Sweep end frequency [Hz]."""
+        return self.segments[-1][1]
+
+    def level(self, frequency: float) -> float:
+        """Input acceleration at ``frequency`` [g]; 0 outside the bands."""
+        if frequency <= 0.0:
+            raise InputError("frequency must be positive")
+        for f_low, f_high, level in self.segments:
+            if f_low <= frequency <= f_high:
+                return level
+        return 0.0
+
+
+def sdof_magnification(frequency: float, natural_frequency: float,
+                       q_factor: float) -> float:
+    """Steady-state base-excitation magnification |H| of a 1-DOF system.
+
+    |H| = sqrt[(1 + (r/Q)²) / ((1 − r²)² + (r/Q)²)], r = f/f_n — equals
+    Q at resonance, 1 at low frequency.
+    """
+    if frequency <= 0.0 or natural_frequency <= 0.0:
+        raise InputError("frequencies must be positive")
+    if q_factor <= 0.5:
+        raise InputError("Q must exceed 0.5")
+    r = frequency / natural_frequency
+    zeta2r = r / q_factor
+    return math.sqrt((1.0 + zeta2r ** 2)
+                     / ((1.0 - r * r) ** 2 + zeta2r ** 2))
+
+
+def peak_sine_response(spec: SineSpec, natural_frequency: float,
+                       q_factor: float,
+                       n_scan: int = 2000) -> Tuple[float, float]:
+    """Peak response over a sweep: ``(response_g, frequency_hz)``.
+
+    Scans the spec band on a log grid; if the resonance lies inside the
+    band the peak is essentially Q × the local input level.
+    """
+    if n_scan < 10:
+        raise InputError("need at least 10 scan points")
+    best = (0.0, spec.f_min)
+    ratio = (spec.f_max / spec.f_min) ** (1.0 / (n_scan - 1))
+    frequency = spec.f_min
+    for _ in range(n_scan):
+        level = spec.level(frequency)
+        if level > 0.0:
+            response = level * sdof_magnification(frequency,
+                                                  natural_frequency,
+                                                  q_factor)
+            if response > best[0]:
+                best = (response, frequency)
+        frequency *= ratio
+    return best
+
+
+def resonance_dwell_cycles(natural_frequency: float, q_factor: float,
+                           sweep_rate_oct_min: float) -> float:
+    """Effective resonance dwell cycles of one log sweep.
+
+    A log sweep at R octaves/minute crosses the resonator's half-power
+    bandwidth Δf = f_n/Q in ``t = 60·Δf / (R·f_n·ln 2)`` seconds, during
+    which the response runs at (close to) full amplification; the
+    effective full-amplitude cycle count is ``N = f_n · t`` — the number
+    fed to the S–N fatigue models for sine qualification.
+    """
+    if natural_frequency <= 0.0:
+        raise InputError("natural frequency must be positive")
+    if q_factor <= 0.5:
+        raise InputError("Q must exceed 0.5")
+    if sweep_rate_oct_min <= 0.0:
+        raise InputError("sweep rate must be positive")
+    bandwidth = natural_frequency / q_factor
+    dwell_time = 60.0 * bandwidth / (sweep_rate_oct_min
+                                     * natural_frequency * math.log(2.0))
+    return natural_frequency * dwell_time
+
+
+def do160_propeller_sine() -> SineSpec:
+    """A representative DO-160 propeller-aircraft sine curve.
+
+    Constant displacement below the crossover, constant g above —
+    encoded here as stepped g-levels: 2.5 mm DA below 28 Hz (rendered as
+    rising g), 4 g from 28 to 500 Hz.
+    """
+    return SineSpec(segments=(
+        (5.0, 14.0, 0.5),
+        (14.0, 28.0, 1.5),
+        (28.0, 500.0, 4.0),
+    ))

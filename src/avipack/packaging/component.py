@@ -1,0 +1,142 @@
+"""Electronic component models for thermal and reliability analysis.
+
+A component, for packaging purposes, is a heat source with a junction-to-
+case and junction-to-board resistance, a footprint, a mass and a package
+family.  The package database carries the representative values a level-3
+model needs when no vendor data exists — the "Thales internal models
+database" role in the paper's design flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import InputError
+from ..units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class PackageFamily:
+    """Thermal characteristics of a package family.
+
+    Resistances in K/W, dimensions in m, mass in kg.
+    """
+
+    name: str
+    r_junction_case: float
+    r_junction_board: float
+    footprint: Tuple[float, float]
+    height: float
+    mass: float
+    max_junction: float = celsius_to_kelvin(125.0)
+
+    def __post_init__(self) -> None:
+        if self.r_junction_case <= 0.0 or self.r_junction_board <= 0.0:
+            raise InputError(f"{self.name}: resistances must be positive")
+        if min(self.footprint) <= 0.0 or self.height <= 0.0:
+            raise InputError(f"{self.name}: dimensions must be positive")
+        if self.mass <= 0.0:
+            raise InputError(f"{self.name}: mass must be positive")
+
+    @property
+    def footprint_area(self) -> float:
+        """Board area occupied [m²]."""
+        return self.footprint[0] * self.footprint[1]
+
+
+#: Representative package database (JEDEC-class values).
+PACKAGE_FAMILIES: Dict[str, PackageFamily] = {
+    "bga_35mm": PackageFamily("bga_35mm", r_junction_case=0.4,
+                              r_junction_board=6.0,
+                              footprint=(35e-3, 35e-3), height=3.2e-3,
+                              mass=8.0e-3),
+    "bga_23mm": PackageFamily("bga_23mm", r_junction_case=0.8,
+                              r_junction_board=9.0,
+                              footprint=(23e-3, 23e-3), height=2.5e-3,
+                              mass=4.0e-3),
+    "qfp_20mm": PackageFamily("qfp_20mm", r_junction_case=4.0,
+                              r_junction_board=18.0,
+                              footprint=(20e-3, 20e-3), height=2.7e-3,
+                              mass=2.5e-3),
+    "soic_8": PackageFamily("soic_8", r_junction_case=25.0,
+                            r_junction_board=50.0,
+                            footprint=(5e-3, 4e-3), height=1.5e-3,
+                            mass=0.1e-3),
+    "to_220": PackageFamily("to_220", r_junction_case=1.5,
+                            r_junction_board=3.0,
+                            footprint=(10e-3, 15e-3), height=4.5e-3,
+                            mass=2.0e-3),
+    "dpak": PackageFamily("dpak", r_junction_case=2.0,
+                          r_junction_board=3.5,
+                          footprint=(10e-3, 9e-3), height=2.3e-3,
+                          mass=1.5e-3),
+    "resistor_2512": PackageFamily("resistor_2512", r_junction_case=15.0,
+                                   r_junction_board=25.0,
+                                   footprint=(6.4e-3, 3.2e-3),
+                                   height=0.6e-3, mass=0.05e-3,
+                                   max_junction=celsius_to_kelvin(155.0)),
+}
+
+
+def get_package(name: str) -> PackageFamily:
+    """Look a package family up by name."""
+    try:
+        return PACKAGE_FAMILIES[name]
+    except KeyError:
+        raise InputError(f"unknown package {name!r}; known: "
+                         f"{sorted(PACKAGE_FAMILIES)}") from None
+
+
+@dataclass(frozen=True)
+class Component:
+    """A placed, dissipating component.
+
+    ``position`` is the footprint-centre location on the board [m].
+    """
+
+    name: str
+    package: PackageFamily
+    power: float
+    position: Tuple[float, float] = (0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.power < 0.0:
+            raise InputError(f"{self.name}: power must be non-negative")
+
+    @property
+    def heat_flux(self) -> float:
+        """Footprint heat flux [W/m²]."""
+        return self.power / self.package.footprint_area
+
+    @property
+    def heat_flux_w_cm2(self) -> float:
+        """Footprint heat flux in the paper's units [W/cm²]."""
+        return self.heat_flux * 1.0e-4
+
+    def junction_temperature(self, case_temperature: float) -> float:
+        """T_j from the case temperature via R_jc [K]."""
+        if case_temperature <= 0.0:
+            raise InputError("case temperature must be positive kelvin")
+        return case_temperature + self.power * self.package.r_junction_case
+
+    def junction_temperature_from_board(self, board_temperature: float
+                                        ) -> float:
+        """T_j from the local board temperature via R_jb [K].
+
+        The dominant path for board-cooled (conduction-cooled) packages.
+        """
+        if board_temperature <= 0.0:
+            raise InputError("board temperature must be positive kelvin")
+        return board_temperature + self.power * self.package.r_junction_board
+
+    def junction_margin(self, junction_temperature: float) -> float:
+        """Margin to the package junction limit [K] (negative = violated)."""
+        return self.package.max_junction - junction_temperature
+
+
+def make_component(name: str, package_name: str, power: float,
+                   position: Tuple[float, float] = (0.0, 0.0)) -> Component:
+    """Convenience factory resolving the package family by name."""
+    return Component(name=name, package=get_package(package_name),
+                     power=power, position=position)

@@ -1,0 +1,156 @@
+"""In-flight entertainment (IFE) system model — the Fig. 7 architecture.
+
+The COSEE project exists because of fleet arithmetic: an IFE system puts
+one seat electronics box under *every* seat.  "The use of fans will be
+required with the following drawbacks: extra cost, energy consumption
+when multiplied by the seat number, reliability and maintenance concern
+(filters, failures...)."  This module does that multiplication:
+
+* an :class:`IfeSystem` of N seats, each with an SEB of a given power
+  and cooling strategy (fan-cooled vs the passive HP/LHP chain);
+* fleet-level power, failure rate, expected maintenance events per year
+  and the cost deltas — the business case behind the passive solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import InputError
+
+#: Typical per-fan figures for a seat-box tube-axial fan.
+FAN_FAILURE_RATE_FIT = 8000.0
+FAN_POWER_W = 2.5
+FAN_UNIT_COST = 18.0
+FILTER_SERVICE_INTERVAL_H = 4000.0
+
+#: Passive chain adders per SEB (HPs + LHPs + saddles).
+PASSIVE_HARDWARE_COST = 95.0
+PASSIVE_FAILURE_RATE_FIT = 150.0  # solder/clamp related, no moving parts
+
+
+@dataclass(frozen=True)
+class IfeSystem:
+    """An aircraft IFE installation.
+
+    Parameters
+    ----------
+    n_seats:
+        Number of passenger seats (one SEB each).
+    seb_power:
+        Electronics dissipation per SEB [W].
+    seb_base_failure_rate_fit:
+        Electronics failure rate per SEB, cooling excluded [FIT].
+    cooling:
+        ``"fan"`` or ``"passive"`` (the COSEE HP/LHP chain).
+    fans_per_seb:
+        Fans per box when fan-cooled.
+    flight_hours_per_year:
+        Aircraft utilisation [h/year].
+    """
+
+    n_seats: int
+    seb_power: float = 40.0
+    seb_base_failure_rate_fit: float = 4000.0
+    cooling: str = "fan"
+    fans_per_seb: int = 1
+    flight_hours_per_year: float = 3500.0
+
+    def __post_init__(self) -> None:
+        if self.n_seats < 1:
+            raise InputError("need at least one seat")
+        if self.seb_power <= 0.0:
+            raise InputError("SEB power must be positive")
+        if self.seb_base_failure_rate_fit <= 0.0:
+            raise InputError("base failure rate must be positive")
+        if self.cooling not in ("fan", "passive"):
+            raise InputError("cooling must be 'fan' or 'passive'")
+        if self.fans_per_seb < 1:
+            raise InputError("fan count must be >= 1")
+        if self.flight_hours_per_year <= 0.0:
+            raise InputError("utilisation must be positive")
+
+    # -- per-box figures ----------------------------------------------------------
+
+    @property
+    def seb_failure_rate_fit(self) -> float:
+        """Per-SEB failure rate including the cooling solution [FIT]."""
+        if self.cooling == "fan":
+            return (self.seb_base_failure_rate_fit
+                    + self.fans_per_seb * FAN_FAILURE_RATE_FIT)
+        return self.seb_base_failure_rate_fit + PASSIVE_FAILURE_RATE_FIT
+
+    @property
+    def seb_mtbf_hours(self) -> float:
+        """Per-SEB MTBF [h]."""
+        return 1.0e9 / self.seb_failure_rate_fit
+
+    @property
+    def seb_total_power(self) -> float:
+        """Per-SEB electrical draw including fans [W]."""
+        if self.cooling == "fan":
+            return self.seb_power + self.fans_per_seb * FAN_POWER_W
+        return self.seb_power
+
+    # -- fleet figures --------------------------------------------------------------
+
+    @property
+    def system_power(self) -> float:
+        """Whole-cabin IFE power draw [W]."""
+        return self.n_seats * self.seb_total_power
+
+    @property
+    def cooling_overhead_power(self) -> float:
+        """Power spent on cooling alone [W] (fans; 0 for passive)."""
+        if self.cooling == "fan":
+            return self.n_seats * self.fans_per_seb * FAN_POWER_W
+        return 0.0
+
+    @property
+    def system_failure_rate_fit(self) -> float:
+        """Series failure rate of all boxes [FIT]."""
+        return self.n_seats * self.seb_failure_rate_fit
+
+    def expected_failures_per_year(self) -> float:
+        """Expected SEB failures per aircraft-year."""
+        return (self.system_failure_rate_fit * 1e-9
+                * self.flight_hours_per_year)
+
+    def maintenance_events_per_year(self) -> float:
+        """Failures plus scheduled filter services per year."""
+        events = self.expected_failures_per_year()
+        if self.cooling == "fan":
+            events += (self.n_seats * self.flight_hours_per_year
+                       / FILTER_SERVICE_INTERVAL_H)
+        return events
+
+    def cooling_hardware_cost(self) -> float:
+        """Cabin-level cooling hardware cost [currency units]."""
+        if self.cooling == "fan":
+            return self.n_seats * self.fans_per_seb * FAN_UNIT_COST
+        return self.n_seats * PASSIVE_HARDWARE_COST
+
+
+def compare_cooling_strategies(n_seats: int = 300,
+                               seb_power: float = 40.0
+                               ) -> Dict[str, Dict[str, float]]:
+    """Fleet comparison of fan vs passive SEB cooling.
+
+    Returns per-strategy dictionaries of the figures the paper's
+    motivation cites: power overhead, failures/year, maintenance
+    events/year and hardware cost.
+    """
+    result: Dict[str, Dict[str, float]] = {}
+    for cooling in ("fan", "passive"):
+        system = IfeSystem(n_seats=n_seats, seb_power=seb_power,
+                           cooling=cooling)
+        result[cooling] = {
+            "system_power_w": system.system_power,
+            "cooling_overhead_w": system.cooling_overhead_power,
+            "seb_mtbf_h": system.seb_mtbf_hours,
+            "failures_per_year": system.expected_failures_per_year(),
+            "maintenance_per_year": system.maintenance_events_per_year(),
+            "hardware_cost": system.cooling_hardware_cost(),
+        }
+    return result

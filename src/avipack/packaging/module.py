@@ -1,0 +1,101 @@
+"""Plug-in module / LRU model.
+
+A module is a populated PCB inside an envelope with a declared cooling
+technique — the unit the rack-level (level-1) model manipulates, and the
+unit whose dissipation trend the paper tracks: "from 10 W/module, it will
+reach 20/30 W/module in the near future and 60 W/module in the next
+developments ... in the same time, the module sizes are reduced or at the
+best remain unchanged".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import InputError
+from ..units import celsius_to_kelvin
+from .cooling import (
+    CoolingEvaluation,
+    CoolingTechnique,
+    ModuleEnvelope,
+    evaluate_cooling,
+)
+from .pcb import Pcb
+
+
+@dataclass
+class Module:
+    """One plug-in module.
+
+    Parameters
+    ----------
+    name:
+        Module reference.
+    pcb:
+        The populated board (its total power is the module dissipation
+        unless ``power_override`` is set).
+    envelope:
+        Geometric/cooling envelope.
+    technique:
+        Declared cooling technique.
+    power_override:
+        Optional dissipation [W] for level-1 studies without a detailed
+        board.
+    """
+
+    name: str
+    pcb: Optional[Pcb] = None
+    envelope: ModuleEnvelope = field(default_factory=ModuleEnvelope)
+    technique: CoolingTechnique = CoolingTechnique.DIRECT_AIR_FLOW
+    power_override: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InputError("module name must be non-empty")
+        if self.power_override is not None and self.power_override < 0.0:
+            raise InputError("power override must be non-negative")
+        if self.pcb is None and self.power_override is None:
+            raise InputError(
+                f"module {self.name!r} needs a PCB or a power override")
+
+    @property
+    def power(self) -> float:
+        """Module dissipation [W]."""
+        if self.power_override is not None:
+            return self.power_override
+        return self.pcb.total_power
+
+    @property
+    def mean_flux_w_cm2(self) -> float:
+        """Mean board heat flux [W/cm²]."""
+        return self.power / self.envelope.board_area * 1.0e-4
+
+    def evaluate(self, ambient: float = celsius_to_kelvin(40.0),
+                 coolant_inlet: float = celsius_to_kelvin(40.0)
+                 ) -> CoolingEvaluation:
+        """Level-1 evaluation under the declared technique."""
+        return evaluate_cooling(self.technique, self.power, self.envelope,
+                                ambient, coolant_inlet)
+
+    def peak_flux_w_cm2(self) -> float:
+        """Worst component footprint flux [W/cm²] (0 for bare modules)."""
+        if self.pcb is None or not self.pcb.components:
+            return 0.0
+        return max(component.heat_flux_w_cm2
+                   for component in self.pcb.components)
+
+
+def module_generation(generation: str) -> Module:
+    """Representative modules of the paper's dissipation trend.
+
+    ``generation`` ∈ {"current", "near_future", "next"} → 10 / 30 / 60 W
+    in the same envelope (§III: sizes "remain unchanged").
+    """
+    powers = {"current": 10.0, "near_future": 30.0, "next": 60.0}
+    if generation not in powers:
+        raise InputError(f"unknown generation {generation!r}; known: "
+                         f"{sorted(powers)}")
+    return Module(name=f"module_{generation}",
+                  power_override=powers[generation],
+                  technique=CoolingTechnique.DIRECT_AIR_FLOW)

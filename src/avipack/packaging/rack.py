@@ -1,0 +1,132 @@
+"""Equipment rack (level-1) model.
+
+The level-1 simulation of Fig. 4: "the simulation just takes care of the
+rack external constraints; dissipative PCBs are simulated with volumetric
+sources".  A rack here is a row of modules sharing an ARINC 600 air
+supply: the plenum air heats up module by module, and each module sees its
+local inlet temperature — the effect that makes the last slot the hottest
+and drives slot allocation during preliminary design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import InputError
+from ..materials.fluids import air_properties
+from ..environments.arinc600 import (
+    CardChannel,
+    STANDARD_INLET_TEMPERATURE,
+    allocated_mass_flow,
+)
+from ..thermal.convection import duct_velocity, forced_convection_duct
+from ..units import celsius_to_kelvin
+from .module import Module
+
+
+@dataclass(frozen=True)
+class SlotResult:
+    """Level-1 outcome for one slot."""
+
+    module_name: str
+    inlet_temperature: float
+    outlet_temperature: float
+    board_temperature: float
+
+    @property
+    def board_rise_over_rack_inlet(self) -> float:
+        """Board temperature above the rack supply [K]."""
+        return self.board_temperature - STANDARD_INLET_TEMPERATURE
+
+
+@dataclass
+class Rack:
+    """A forced-air rack of modules sharing one air supply.
+
+    ``series_fraction`` models the plenum layout: 0 = perfectly parallel
+    feed (every slot sees the supply temperature), 1 = fully serial (each
+    slot ingests the previous slot's exhaust).  Real ARINC racks sit in
+    between.
+    """
+
+    name: str
+    modules: List[Module] = field(default_factory=list)
+    channel: CardChannel = field(default_factory=CardChannel)
+    supply_temperature: float = STANDARD_INLET_TEMPERATURE
+    series_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InputError("rack name must be non-empty")
+        if self.supply_temperature <= 0.0:
+            raise InputError("supply temperature must be positive kelvin")
+        if not 0.0 <= self.series_fraction <= 1.0:
+            raise InputError("series fraction must be in [0, 1]")
+
+    def add_module(self, module: Module) -> None:
+        """Insert a module in the next slot."""
+        self.modules.append(module)
+
+    @property
+    def total_power(self) -> float:
+        """Rack dissipation [W]."""
+        return sum(module.power for module in self.modules)
+
+    def total_mass_flow(self) -> float:
+        """ARINC 600 allocation for the whole rack [kg/s]."""
+        return allocated_mass_flow(self.total_power)
+
+    def solve(self) -> List[SlotResult]:
+        """Level-1 solve: per-slot inlet, outlet and board temperature.
+
+        Each module receives a mass-flow share proportional to its power
+        (the ARINC per-module allocation); its inlet blends the rack
+        supply with the running exhaust per ``series_fraction``.
+        """
+        if not self.modules:
+            raise InputError(f"rack {self.name!r} has no modules")
+        results: List[SlotResult] = []
+        running_exhaust = self.supply_temperature
+        for module in self.modules:
+            if module.power <= 0.0:
+                results.append(SlotResult(module.name, running_exhaust,
+                                          running_exhaust, running_exhaust))
+                continue
+            inlet = ((1.0 - self.series_fraction) * self.supply_temperature
+                     + self.series_fraction * running_exhaust)
+            mass_flow = allocated_mass_flow(module.power)
+            fluid = air_properties(inlet)
+            velocity = duct_velocity(mass_flow, fluid,
+                                     self.channel.flow_area)
+            h = forced_convection_duct(fluid, velocity,
+                                       self.channel.hydraulic_diameter)
+            outlet = inlet + module.power / (mass_flow
+                                             * fluid.specific_heat)
+            mean_air = 0.5 * (inlet + outlet)
+            board = mean_air + module.power / (h * self.channel.wetted_area)
+            results.append(SlotResult(module.name, inlet, outlet, board))
+            running_exhaust = outlet
+        return results
+
+    def worst_slot(self) -> SlotResult:
+        """The hottest board in the rack."""
+        return max(self.solve(), key=lambda slot: slot.board_temperature)
+
+    def feasible(self, board_limit: float = celsius_to_kelvin(85.0)
+                 ) -> bool:
+        """True when every board stays below ``board_limit``."""
+        return all(slot.board_temperature <= board_limit
+                   for slot in self.solve())
+
+
+def computer_rack(n_modules: int, power_per_module: float,
+                  name: str = "computer_rack") -> Rack:
+    """A Fig. 6-style computer rack of identical forced-air modules."""
+    if n_modules < 1:
+        raise InputError("need at least one module")
+    rack = Rack(name=name)
+    for index in range(n_modules):
+        rack.add_module(Module(name=f"{name}_m{index + 1}",
+                               power_override=power_per_module))
+    return rack

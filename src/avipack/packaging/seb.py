@@ -1,0 +1,358 @@
+"""The COSEE seat electronics box (SEB) demonstrator model.
+
+Reproduces the experiment behind Fig. 10 of the paper: a seat electronics
+box (the IFE computer under a passenger seat) containing a dummy resistive
+PCB, cooled either
+
+* **by natural convection alone** (baseline: box surfaces to cabin air,
+  no link to the seat), or
+* **by the two-phase chain**: heat pipes drain the PCB to the box edge
+  (through grease TIM saddles), two loop heat pipes carry the heat to the
+  seat mechanical structure, and the structure — two aluminium rods (or
+  the carbon-composite variant) — rejects it to the cabin by natural
+  convection and radiation.
+
+Every element is a physical model from the library: the HP/LHP devices of
+:mod:`avipack.twophase`, the TIM saddles of :mod:`avipack.tim`, the
+natural-convection/radiation correlations of :mod:`avipack.thermal`, and
+the whole chain is assembled into a nonlinear
+:class:`~avipack.thermal.network.ThermalNetwork`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import InputError, OperatingLimitError
+from ..materials.fluids import air_properties
+from ..materials.library import CARBON_COMPOSITE, get_material
+from ..thermal.convection import (
+    natural_convection_horizontal_cylinder,
+    natural_convection_vertical_plate,
+)
+from ..thermal.network import NetworkSolution, ThermalNetwork
+from ..thermal.radiation import linearized_radiation_coefficient
+from ..tim.catalog import get_tim
+from ..twophase.heatpipe import standard_copper_water_heatpipe
+from ..twophase.loopheatpipe import LoopHeatPipe, cosee_ammonia_lhp
+from ..units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class SeatStructure:
+    """The seat mechanical structure used as the LHP heat sink.
+
+    Two tubes under the seat pan; the LHP condenser lines are clamped
+    along them, so the heat enters distributed and spreads over a fin
+    half-length before leaving by natural convection + radiation.
+
+    Parameters
+    ----------
+    conductivity:
+        Structure material conductivity [W/(m·K)] — aluminium 167, carbon
+        composite ≈ 5 in-plane.
+    rod_diameter, wall_thickness:
+        Tube geometry [m].
+    total_area:
+        Total wetted area of the structure [m²].
+    fin_half_length:
+        Conduction distance from a condenser clamp to the midpoint between
+        clamps [m]; sets the fin efficiency penalty for poor conductors.
+    emissivity:
+        Surface emissivity.
+    """
+
+    conductivity: float = 167.0
+    rod_diameter: float = 0.030
+    wall_thickness: float = 2.0e-3
+    total_area: float = 0.18
+    fin_half_length: float = 0.11
+    emissivity: float = 0.85
+
+    def __post_init__(self) -> None:
+        for name in ("conductivity", "rod_diameter", "wall_thickness",
+                     "total_area", "fin_half_length"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+        if self.wall_thickness >= self.rod_diameter / 2.0:
+            raise InputError("wall thickness exceeds tube radius")
+        if not 0.0 < self.emissivity <= 1.0:
+            raise InputError("emissivity must be in (0, 1]")
+
+    def fin_efficiency(self, film_coefficient: float) -> float:
+        """Fin efficiency of the rod between condenser clamps [-]."""
+        if film_coefficient <= 0.0:
+            raise InputError("film coefficient must be positive")
+        perimeter = math.pi * self.rod_diameter
+        inner = self.rod_diameter - 2.0 * self.wall_thickness
+        cross_section = math.pi / 4.0 * (self.rod_diameter ** 2 - inner ** 2)
+        m = math.sqrt(film_coefficient * perimeter
+                      / (self.conductivity * cross_section))
+        ml = m * self.fin_half_length
+        return math.tanh(ml) / ml if ml > 1e-9 else 1.0
+
+    def sink_conductance(self, t_structure: float, t_ambient: float,
+                         pressure: float = 101_325.0) -> float:
+        """Structure-to-cabin conductance [W/K] at given temperatures.
+
+        Natural convection from horizontal cylinders plus gray-body
+        radiation, weighted by the fin efficiency.
+        """
+        film = 0.5 * (t_structure + t_ambient)
+        fluid = air_properties(max(film, 250.0), pressure)
+        delta_t = max(abs(t_structure - t_ambient), 0.1)
+        h_nc = natural_convection_horizontal_cylinder(fluid, delta_t,
+                                                      self.rod_diameter)
+        h_r = linearized_radiation_coefficient(self.emissivity,
+                                               max(t_structure, 1.0),
+                                               max(t_ambient, 1.0))
+        h_total = h_nc + h_r
+        eta = self.fin_efficiency(h_total)
+        return max(eta * h_total * self.total_area, 1e-6)
+
+
+def aluminum_seat_structure() -> SeatStructure:
+    """The baseline aluminium seat structure of the COSEE tests."""
+    return SeatStructure(conductivity=get_material("aluminum_6061")
+                         .conductivity)
+
+
+def carbon_composite_seat_structure() -> SeatStructure:
+    """The carbon-composite variant ("rather poor thermal conductivity")."""
+    return SeatStructure(conductivity=CARBON_COMPOSITE.conductivity_xy,
+                         emissivity=CARBON_COMPOSITE.emissivity)
+
+
+@dataclass(frozen=True)
+class SebConfiguration:
+    """One Fig. 10 test configuration.
+
+    ``cooling`` ∈ {"natural", "hp_lhp"}; ``tilt_deg`` tilts the whole
+    seat (22° in the paper's third curve); ``structure`` selects the seat
+    material variant.
+    """
+
+    cooling: str = "natural"
+    tilt_deg: float = 0.0
+    structure: SeatStructure = field(
+        default_factory=aluminum_seat_structure)
+    ambient: float = celsius_to_kelvin(20.0)
+    cabin_pressure: float = 101_325.0
+
+    def __post_init__(self) -> None:
+        if self.cooling not in ("natural", "hp_lhp"):
+            raise InputError("cooling must be 'natural' or 'hp_lhp'")
+        if not -90.0 <= self.tilt_deg <= 90.0:
+            raise InputError("tilt must be within +/-90 degrees")
+        if self.ambient <= 0.0 or self.cabin_pressure <= 0.0:
+            raise InputError("ambient and pressure must be positive")
+
+
+@dataclass(frozen=True)
+class SebSolution:
+    """Solved SEB thermal state."""
+
+    power: float
+    pcb_temperature: float
+    ambient: float
+    lhp_heat: float
+    box_heat: float
+    network: NetworkSolution
+
+    @property
+    def delta_t_pcb_air(self) -> float:
+        """The Fig. 10 ordinate: T_pcb − T_air [K]."""
+        return self.pcb_temperature - self.ambient
+
+
+@dataclass
+class SeatElectronicsBox:
+    """The COSEE SEB demonstrator.
+
+    Geometry defaults match an IFE seat electronic box (≈ 0.30 × 0.20 ×
+    0.08 m) with four copper/water heat pipes draining the dummy PCB to
+    one box edge and two ammonia LHPs from that edge to the structure.
+    """
+
+    box_length: float = 0.30
+    box_width: float = 0.20
+    box_height: float = 0.08
+    box_emissivity: float = 0.85
+    internal_conductance: float = 1.2
+    n_heatpipes: int = 4
+    n_lhps: int = 2
+    hp_saddle_area: float = 4.0e-4
+    lhp_saddle_area: float = 9.0e-4
+    tim_name: str = "standard_grease"
+
+    def __post_init__(self) -> None:
+        for name in ("box_length", "box_width", "box_height",
+                     "internal_conductance", "hp_saddle_area",
+                     "lhp_saddle_area"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+        if self.n_heatpipes < 1 or self.n_lhps < 1:
+            raise InputError("need at least one HP and one LHP")
+        if not 0.0 < self.box_emissivity <= 1.0:
+            raise InputError("emissivity must be in (0, 1]")
+
+    @property
+    def external_area(self) -> float:
+        """Total external box surface [m²]."""
+        return 2.0 * (self.box_length * self.box_width
+                      + self.box_length * self.box_height
+                      + self.box_width * self.box_height)
+
+    # -- resistance chain pieces ---------------------------------------------------
+
+    def _hp_chain_resistance(self, power: float) -> float:
+        """PCB → box-edge resistance through the heat-pipe drain [K/W]."""
+        tim = get_tim(self.tim_name)
+        saddle = tim.assemble(self.hp_saddle_area)
+        pipe = standard_copper_water_heatpipe(length=0.18)
+        # Evaluate pipe resistance near its expected vapour temperature.
+        t_vapor = celsius_to_kelvin(60.0)
+        per_pipe = (pipe.thermal_resistance(t_vapor)
+                    + 2.0 * saddle.resistance)
+        q_per_pipe = power / self.n_heatpipes
+        q_max, limit = pipe.max_heat_transport(t_vapor)
+        if q_per_pipe > q_max:
+            raise OperatingLimitError(
+                f"SEB heat pipes overloaded: {q_per_pipe:.1f} W/pipe "
+                f"exceeds the {limit} limit {q_max:.1f} W",
+                limit_name=limit, limit_value=q_max * self.n_heatpipes)
+        # PCB spreading into the evaporator saddles.
+        r_spreading = 0.12
+        return r_spreading + per_pipe / self.n_heatpipes
+
+    def _lhp_bank(self, tilt_deg: float) -> LoopHeatPipe:
+        """The LHP units installed on this box."""
+        return cosee_ammonia_lhp(loop_span=0.6)
+
+    def _box_conductance(self, config: SebConfiguration):
+        """Nonlinear box-to-cabin conductance callable (NC + radiation)."""
+        area = self.external_area
+        height = self.box_height
+        emissivity = self.box_emissivity
+        pressure = config.cabin_pressure
+        # Buried under a seat: only a fraction of the area convects freely.
+        effective_area = 0.65 * area
+
+        def conductance(t_wall: float, t_ambient: float) -> float:
+            film = 0.5 * (t_wall + t_ambient)
+            fluid = air_properties(max(film, 250.0), pressure)
+            delta_t = max(abs(t_wall - t_ambient), 0.1)
+            h_nc = natural_convection_vertical_plate(fluid, delta_t, height)
+            h_r = linearized_radiation_coefficient(
+                emissivity, max(t_wall, 1.0), max(t_ambient, 1.0))
+            return max((h_nc + h_r) * effective_area, 1e-6)
+
+        return conductance
+
+    # -- network assembly ----------------------------------------------------------
+
+    def build_network(self, power: float,
+                      config: SebConfiguration) -> ThermalNetwork:
+        """Assemble the SEB thermal network for one operating point."""
+        if power < 0.0:
+            raise InputError("power must be non-negative")
+        net = ThermalNetwork()
+        net.add_node("pcb", heat_load=power, capacitance=600.0)
+        net.add_node("wall", capacitance=2500.0)
+        net.add_node("ambient", fixed_temperature=config.ambient)
+        net.add_conductance("pcb", "wall", self.internal_conductance,
+                            label="internal")
+        net.add_conductance("wall", "ambient",
+                            self._box_conductance(config), label="box_nc")
+
+        if config.cooling == "hp_lhp":
+            net.add_node("edge", capacitance=400.0)
+            net.add_node("structure", capacitance=3000.0)
+            r_hp = self._hp_chain_resistance(max(power, 1.0))
+            net.add_resistance("pcb", "edge", r_hp, label="hp_drain")
+            lhp = self._lhp_bank(config.tilt_deg)
+            tim = get_tim(self.tim_name)
+            saddle = tim.assemble(self.lhp_saddle_area)
+            q_hint = max(power * 0.6 / self.n_lhps, 1.0)
+            lhp_g = lhp.network_conductance(q_hint, config.tilt_deg)
+            saddle_g = 1.0 / (2.0 * saddle.resistance)
+
+            def chain(t_hot: float, t_cold: float,
+                      _lhp_g=lhp_g, _saddle_g=saddle_g) -> float:
+                g_lhp = _lhp_g(t_hot, t_cold)
+                g_series = 1.0 / (1.0 / g_lhp + 1.0 / _saddle_g)
+                return self.n_lhps * g_series
+
+            net.add_conductance("edge", "structure", chain, label="lhp_bank")
+
+            structure = config.structure
+
+            def sink(t_structure: float, t_ambient: float) -> float:
+                return structure.sink_conductance(t_structure, t_ambient,
+                                                  config.cabin_pressure)
+
+            net.add_conductance("structure", "ambient", sink,
+                                label="structure_nc")
+        return net
+
+    # -- solving ----------------------------------------------------------------------
+
+    def solve(self, power: float, config: SebConfiguration) -> SebSolution:
+        """Steady operating point at ``power`` [W]."""
+        net = self.build_network(power, config)
+        solution = net.solve(initial_guess=config.ambient + 30.0)
+        flows = solution.heat_flows
+        lhp_heat = flows.get("lhp_bank", 0.0)
+        box_heat = flows.get("box_nc", 0.0)
+        return SebSolution(
+            power=power,
+            pcb_temperature=solution.temperature("pcb"),
+            ambient=config.ambient,
+            lhp_heat=lhp_heat,
+            box_heat=box_heat,
+            network=solution,
+        )
+
+    def power_sweep(self, powers, config: SebConfiguration
+                    ) -> Tuple[Tuple[float, float], ...]:
+        """(power, ΔT_pcb-air) pairs — one Fig. 10 curve."""
+        curve = []
+        for power in powers:
+            if power < 0.0:
+                raise InputError("powers must be non-negative")
+            curve.append((float(power),
+                          self.solve(float(power), config).delta_t_pcb_air))
+        return tuple(curve)
+
+    def max_power_for_delta_t(self, delta_t_limit: float,
+                              config: SebConfiguration,
+                              power_ceiling: float = 400.0) -> float:
+        """Largest power with ΔT(PCB−air) ≤ ``delta_t_limit`` [W].
+
+        The paper's capability metric: "from 40 W up to 100 W with a
+        constant PCB temperature (about 60 °C difference)".
+        """
+        if delta_t_limit <= 0.0:
+            raise InputError("delta-T limit must be positive")
+
+        def delta(power: float) -> float:
+            try:
+                return self.solve(power, config).delta_t_pcb_air
+            except OperatingLimitError:
+                # A dried-out device cannot hold any delta-T: infeasible.
+                return float("inf")
+
+        lo, hi = 1.0, power_ceiling
+        if delta(lo) > delta_t_limit:
+            return 0.0
+        if delta(hi) <= delta_t_limit:
+            return hi
+        for _ in range(50):
+            mid = 0.5 * (lo + hi)
+            if delta(mid) <= delta_t_limit:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)

@@ -1,0 +1,146 @@
+"""Wedge-lock and card-guide thermal interfaces.
+
+Level 2 of the design flow "allows the optimization of the mechanical
+design (copper layers, specific drains, **thermal wedge lock** ...)".
+A wedge lock turns screw torque into a clamping pressure along the card
+edge; the resulting metal-to-metal contact conductance (Mikić model,
+:func:`avipack.tim.interface.contact_resistance_mikic`) is what couples
+a conduction-cooled card to its cold wall.
+
+The module models the torque → axial force → normal pressure → contact
+conductance chain and the classic trades: segment count, torque level,
+and surface finish.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import InputError
+from ..tim.interface import contact_resistance_mikic
+
+
+@dataclass(frozen=True)
+class WedgeLock:
+    """A multi-segment wedge lock clamping one card edge.
+
+    Parameters
+    ----------
+    length:
+        Clamped edge length [m].
+    contact_width:
+        Rail contact width [m].
+    n_segments:
+        Number of wedge segments (3–5 typical).
+    screw_torque:
+        Actuation torque [N·m] (0.6–1.5 N·m typical).
+    screw_diameter:
+        Actuation screw diameter [m].
+    wedge_angle_deg:
+        Wedge ramp angle from the card plane [deg] (45° classic).
+    surface_roughness:
+        RMS roughness of the mating surfaces [m].
+    surface_conductivity:
+        Harmonic-mean conductivity of card rail / cold wall [W/(m·K)].
+    surface_hardness:
+        Micro-hardness of the softer surface [Pa].
+    """
+
+    length: float = 0.15
+    contact_width: float = 5.0e-3
+    n_segments: int = 4
+    screw_torque: float = 1.1
+    screw_diameter: float = 4.0e-3
+    wedge_angle_deg: float = 45.0
+    surface_roughness: float = 1.2e-6
+    surface_conductivity: float = 150.0
+    surface_hardness: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        for name in ("length", "contact_width", "screw_torque",
+                     "screw_diameter", "surface_roughness",
+                     "surface_conductivity", "surface_hardness"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+        if self.n_segments < 1:
+            raise InputError("need at least one wedge segment")
+        if not 10.0 <= self.wedge_angle_deg <= 80.0:
+            raise InputError("wedge angle must be in 10-80 degrees")
+
+    # -- force chain --------------------------------------------------------------
+
+    @property
+    def axial_force(self) -> float:
+        """Screw axial force from torque: F = T / (K·d) with K ≈ 0.2."""
+        return self.screw_torque / (0.2 * self.screw_diameter)
+
+    @property
+    def normal_force(self) -> float:
+        """Total normal clamping force on the rail [N].
+
+        The wedge multiplies the axial force by 1/tan(θ) (friction
+        losses folded into the torque coefficient).
+        """
+        return self.axial_force / math.tan(
+            math.radians(self.wedge_angle_deg))
+
+    @property
+    def contact_area(self) -> float:
+        """Nominal rail contact area [m²]."""
+        return self.length * self.contact_width
+
+    @property
+    def contact_pressure(self) -> float:
+        """Mean contact pressure on the rail [Pa]."""
+        return self.normal_force / self.contact_area
+
+    # -- thermal ------------------------------------------------------------------
+
+    def specific_contact_resistance(self) -> float:
+        """Area-specific contact resistance of the clamped joint
+        [K·m²/W] via the Mikić plastic model."""
+        pressure = min(self.contact_pressure,
+                       0.9 * self.surface_hardness)
+        return contact_resistance_mikic(
+            roughness=self.surface_roughness,
+            asperity_slope=0.1,
+            k_harmonic=self.surface_conductivity,
+            pressure=pressure,
+            hardness=self.surface_hardness)
+
+    def conductance(self) -> float:
+        """Edge conductance of the wedge lock [W/K].
+
+        The number that feeds
+        :class:`~avipack.packaging.cooling.ModuleEnvelope.edge_conductance`
+        for the conduction-cooled technique.
+        """
+        return self.contact_area / self.specific_contact_resistance()
+
+    def resistance(self) -> float:
+        """Edge resistance [K/W]."""
+        return 1.0 / self.conductance()
+
+
+def torque_study(lock: WedgeLock,
+                 torques: Tuple[float, ...] = (0.5, 0.8, 1.1, 1.5)
+                 ) -> Tuple[Tuple[float, float], ...]:
+    """Edge conductance vs screw torque — the assembly-procedure trade.
+
+    Returns ``((torque, conductance_w_per_k), ...)``; under-torqued
+    wedge locks are a classic field failure ("card runs hot after
+    maintenance").
+    """
+    from dataclasses import replace
+
+    if not torques:
+        raise InputError("need at least one torque point")
+    results = []
+    for torque in torques:
+        if torque <= 0.0:
+            raise InputError("torques must be positive")
+        variant = replace(lock, screw_torque=torque)
+        results.append((torque, variant.conductance()))
+    return tuple(results)

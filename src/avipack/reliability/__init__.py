@@ -1,0 +1,39 @@
+"""Reliability prediction from junction temperatures (level-3 output)."""
+
+from .mission import (
+    MissionPhase,
+    MissionPrediction,
+    degraded_cooling_penalty,
+    predict_mission_mtbf,
+    standard_flight_profile,
+)
+from .mtbf import (
+    ENVIRONMENT_FACTORS,
+    MAX_AMBIENT,
+    MAX_JUNCTION,
+    PartReliability,
+    QUALITY_FACTORS,
+    REFERENCE_JUNCTION,
+    ReliabilityPrediction,
+    fan_reliability_penalty,
+    mtbf_improvement_factor,
+    predict_mtbf,
+)
+
+__all__ = [
+    "ENVIRONMENT_FACTORS",
+    "MissionPhase",
+    "MissionPrediction",
+    "degraded_cooling_penalty",
+    "predict_mission_mtbf",
+    "standard_flight_profile",
+    "MAX_AMBIENT",
+    "MAX_JUNCTION",
+    "PartReliability",
+    "QUALITY_FACTORS",
+    "REFERENCE_JUNCTION",
+    "ReliabilityPrediction",
+    "fan_reliability_penalty",
+    "mtbf_improvement_factor",
+    "predict_mtbf",
+]

@@ -1,0 +1,390 @@
+"""Structured finite-volume heat-conduction solver.
+
+This is the "FloTHERM-like" substrate used at levels 2 and 3 of the design
+flow: a Cartesian grid over a board or module with per-cell (possibly
+orthotropic) conductivity, volumetric heat sources for dissipating regions
+and mixed boundary conditions (fixed temperature, convection film, fixed
+flux, adiabatic) on the six faces.
+
+Steady problems assemble the standard 7-point (3-D) finite-volume stencil
+with harmonic-mean face conductivities and solve the sparse linear system
+directly.  Transient problems use unconditionally stable backward-Euler
+stepping on the same operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix, identity
+from scipy.sparse.linalg import spsolve
+
+from ..errors import InputError
+
+#: The six faces of the domain, by outward axis direction.
+FACES = ("x_min", "x_max", "y_min", "y_max", "z_min", "z_max")
+
+
+@dataclass(frozen=True)
+class BoundaryCondition:
+    """Boundary condition on one domain face.
+
+    ``kind`` is one of
+
+    * ``"adiabatic"`` — zero flux (the default on every face);
+    * ``"temperature"`` — fixed surface temperature ``value`` [K];
+    * ``"convection"`` — film coefficient ``value`` [W/(m²·K)] to an
+      ambient at ``ambient`` [K];
+    * ``"flux"`` — imposed inward heat flux ``value`` [W/m²].
+    """
+
+    kind: str
+    value: float = 0.0
+    ambient: float = 293.15
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("adiabatic", "temperature", "convection", "flux"):
+            raise InputError(f"unknown boundary kind {self.kind!r}")
+        if self.kind == "temperature" and self.value <= 0.0:
+            raise InputError("fixed temperature must be positive kelvin")
+        if self.kind == "convection":
+            if self.value <= 0.0:
+                raise InputError("film coefficient must be positive")
+            if self.ambient <= 0.0:
+                raise InputError("ambient temperature must be positive")
+
+
+ADIABATIC = BoundaryCondition("adiabatic")
+
+
+class CartesianGrid:
+    """Uniform Cartesian grid with per-cell material fields.
+
+    Parameters
+    ----------
+    shape:
+        Cell counts ``(nx, ny, nz)``; use 1 along collapsed axes for 1-D
+        or 2-D problems.
+    size:
+        Physical extents ``(lx, ly, lz)`` in metres.
+    conductivity:
+        Default isotropic conductivity [W/(m·K)] filled into all cells.
+    density, specific_heat:
+        Defaults for transient problems.
+    """
+
+    def __init__(self, shape: Tuple[int, int, int],
+                 size: Tuple[float, float, float],
+                 conductivity: float = 1.0,
+                 density: float = 1000.0,
+                 specific_heat: float = 1000.0) -> None:
+        if len(shape) != 3 or len(size) != 3:
+            raise InputError("shape and size must be 3-tuples")
+        if any(int(n) < 1 for n in shape):
+            raise InputError("cell counts must be >= 1")
+        if any(s <= 0.0 for s in size):
+            raise InputError("extents must be positive")
+        if conductivity <= 0.0 or density <= 0.0 or specific_heat <= 0.0:
+            raise InputError("material defaults must be positive")
+        self.shape = tuple(int(n) for n in shape)
+        self.size = tuple(float(s) for s in size)
+        self.spacing = tuple(s / n for s, n in zip(self.size, self.shape))
+        full = self.shape
+        self.kx = np.full(full, float(conductivity))
+        self.ky = np.full(full, float(conductivity))
+        self.kz = np.full(full, float(conductivity))
+        self.source = np.zeros(full)  # volumetric source [W/m³]
+        self.rho_cp = np.full(full, float(density) * float(specific_heat))
+
+    # -- geometry helpers ----------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def cell_volume(self) -> float:
+        """Volume of one cell [m³]."""
+        dx, dy, dz = self.spacing
+        return dx * dy * dz
+
+    def cell_centers(self, axis: int) -> np.ndarray:
+        """Cell-centre coordinates along ``axis`` (0=x, 1=y, 2=z) [m]."""
+        if axis not in (0, 1, 2):
+            raise InputError("axis must be 0, 1 or 2")
+        n = self.shape[axis]
+        d = self.spacing[axis]
+        return (np.arange(n) + 0.5) * d
+
+    def region_slices(self, x_range: Tuple[float, float],
+                      y_range: Tuple[float, float],
+                      z_range: Tuple[float, float]) -> Tuple[slice, slice, slice]:
+        """Cell-index slices covering a physical box (inclusive of partially
+        covered cells whose centres fall inside the box)."""
+        slices = []
+        for axis, (lo, hi) in enumerate((x_range, y_range, z_range)):
+            if lo > hi:
+                raise InputError("range lower bound exceeds upper bound")
+            centers = self.cell_centers(axis)
+            inside = np.where((centers >= lo) & (centers <= hi))[0]
+            if inside.size == 0:
+                raise InputError(
+                    f"region does not cover any cell centre on axis {axis}")
+            slices.append(slice(int(inside[0]), int(inside[-1]) + 1))
+        return tuple(slices)
+
+    # -- field editing ---------------------------------------------------------
+
+    def set_material(self, region: Tuple[slice, slice, slice],
+                     conductivity: float,
+                     density: Optional[float] = None,
+                     specific_heat: Optional[float] = None,
+                     conductivity_z: Optional[float] = None) -> None:
+        """Assign material properties in a region of cells.
+
+        ``conductivity_z`` allows orthotropic boards (in-plane value in
+        ``conductivity``, through-thickness value in ``conductivity_z``).
+        """
+        if conductivity <= 0.0:
+            raise InputError("conductivity must be positive")
+        self.kx[region] = conductivity
+        self.ky[region] = conductivity
+        self.kz[region] = conductivity_z if conductivity_z else conductivity
+        if conductivity_z is not None and conductivity_z <= 0.0:
+            raise InputError("conductivity_z must be positive")
+        if density is not None or specific_heat is not None:
+            rho = density if density is not None else 1000.0
+            cp = specific_heat if specific_heat is not None else 1000.0
+            if rho <= 0.0 or cp <= 0.0:
+                raise InputError("density and cp must be positive")
+            self.rho_cp[region] = rho * cp
+
+    def add_power(self, region: Tuple[slice, slice, slice],
+                  power: float) -> None:
+        """Distribute ``power`` [W] uniformly over the region's cells."""
+        if power < 0.0:
+            raise InputError("power must be non-negative")
+        count = int(np.prod([s.stop - s.start for s in region]))
+        if count == 0:
+            raise InputError("region covers no cells")
+        self.source[region] += power / (count * self.cell_volume)
+
+    def total_power(self) -> float:
+        """Total volumetric source power over the grid [W]."""
+        return float(self.source.sum() * self.cell_volume)
+
+
+@dataclass(frozen=True)
+class ConductionSolution:
+    """Steady conduction result.
+
+    ``temperatures`` has the grid's cell shape.  Convenience accessors
+    return hot-spot data used by the design flow.
+    """
+
+    grid: CartesianGrid
+    temperatures: np.ndarray
+
+    @property
+    def max_temperature(self) -> float:
+        """Peak cell temperature [K]."""
+        return float(self.temperatures.max())
+
+    @property
+    def min_temperature(self) -> float:
+        """Lowest cell temperature [K]."""
+        return float(self.temperatures.min())
+
+    def hotspot_index(self) -> Tuple[int, int, int]:
+        """Cell index of the peak temperature."""
+        flat = int(np.argmax(self.temperatures))
+        return tuple(int(i) for i in np.unravel_index(flat,
+                                                      self.temperatures.shape))
+
+    def mean_temperature(self) -> float:
+        """Volume-average temperature [K]."""
+        return float(self.temperatures.mean())
+
+
+class ConductionSolver:
+    """Finite-volume solver bound to a grid and boundary conditions."""
+
+    def __init__(self, grid: CartesianGrid,
+                 boundaries: Optional[Dict[str, BoundaryCondition]] = None
+                 ) -> None:
+        self.grid = grid
+        self.boundaries: Dict[str, BoundaryCondition] = {
+            face: ADIABATIC for face in FACES}
+        for face, bc in (boundaries or {}).items():
+            self.set_boundary(face, bc)
+
+    def set_boundary(self, face: str, condition: BoundaryCondition) -> None:
+        """Assign ``condition`` to a face (one of :data:`FACES`)."""
+        if face not in FACES:
+            raise InputError(f"unknown face {face!r}; expected one of {FACES}")
+        self.boundaries[face] = condition
+
+    # -- assembly ---------------------------------------------------------------
+
+    def _assemble(self) -> Tuple[csr_matrix, np.ndarray]:
+        """Assemble A·T = b for steady conduction (A is SPD-like M-matrix).
+
+        Fully vectorised: interior-face conductances are computed as
+        array slices per axis and scattered into COO triplets; boundary
+        faces likewise operate on whole index planes.
+        """
+        grid = self.grid
+        nx, ny, nz = grid.shape
+        dx, dy, dz = grid.spacing
+        n = grid.n_cells
+        volume = grid.cell_volume
+
+        index = np.arange(n).reshape(nx, ny, nz)
+        rows_list = []
+        cols_list = []
+        vals_list = []
+        rhs = (grid.source * volume).ravel().astype(float)
+
+        k_fields = {0: grid.kx, 1: grid.ky, 2: grid.kz}
+        spacings = {0: dx, 1: dy, 2: dz}
+        face_areas = {0: dy * dz, 1: dx * dz, 2: dx * dy}
+
+        def scatter(rows, cols, vals):
+            rows_list.append(rows.ravel())
+            cols_list.append(cols.ravel())
+            vals_list.append(vals.ravel())
+
+        # Interior faces: harmonic-mean conductance between neighbours.
+        for axis in range(3):
+            if grid.shape[axis] < 2:
+                continue
+            k_field = k_fields[axis]
+            d = spacings[axis]
+            area = face_areas[axis]
+            lo = [slice(None)] * 3
+            hi = [slice(None)] * 3
+            lo[axis] = slice(None, -1)
+            hi[axis] = slice(1, None)
+            k1 = k_field[tuple(lo)]
+            k2 = k_field[tuple(hi)]
+            g = (2.0 * k1 * k2 / (k1 + k2)) * area / d
+            a = index[tuple(lo)]
+            b = index[tuple(hi)]
+            scatter(a, a, g)
+            scatter(b, b, g)
+            scatter(a, b, -g)
+            scatter(b, a, -g)
+
+        # Boundary faces, one whole plane at a time.
+        for face in FACES:
+            bc = self.boundaries[face]
+            if bc.kind == "adiabatic":
+                continue
+            axis = {"x": 0, "y": 1, "z": 2}[face[0]]
+            layer = 0 if face.endswith("min") else grid.shape[axis] - 1
+            d = spacings[axis]
+            area = face_areas[axis]
+            plane = [slice(None)] * 3
+            plane[axis] = layer
+            cells = index[tuple(plane)].ravel()
+            if bc.kind == "flux":
+                np.add.at(rhs, cells, bc.value * area)
+                continue
+            k_plane = k_fields[axis][tuple(plane)].ravel()
+            g_half = k_plane * area / (d / 2.0)
+            if bc.kind == "temperature":
+                g = g_half
+                np.add.at(rhs, cells, g * bc.value)
+            else:  # convection
+                g_film = bc.value * area
+                g = g_half * g_film / (g_half + g_film)
+                np.add.at(rhs, cells, g * bc.ambient)
+            scatter(cells, cells, g)
+
+        matrix = coo_matrix(
+            (np.concatenate(vals_list),
+             (np.concatenate(rows_list), np.concatenate(cols_list))),
+            shape=(n, n)).tocsr()
+        return matrix, rhs
+
+    def _check_well_posed(self) -> None:
+        if all(self.boundaries[f].kind in ("adiabatic", "flux")
+               for f in FACES):
+            raise InputError(
+                "problem is singular: at least one face needs a temperature "
+                "or convection boundary condition")
+
+    # -- solving ------------------------------------------------------------------
+
+    def solve_steady(self) -> ConductionSolution:
+        """Solve the steady conduction problem."""
+        self._check_well_posed()
+        matrix, rhs = self._assemble()
+        temps = spsolve(matrix, rhs)
+        return ConductionSolution(self.grid,
+                                  np.asarray(temps).reshape(self.grid.shape))
+
+    def solve_transient(self, initial_temperature: float, duration: float,
+                        time_step: float) -> "TransientConductionResult":
+        """Backward-Euler transient solve from a uniform initial field.
+
+        Returns the sampled temperature history.  Unconditionally stable;
+        accuracy is first order in ``time_step``.
+        """
+        if duration <= 0.0 or time_step <= 0.0:
+            raise InputError("duration and time step must be positive")
+        if initial_temperature <= 0.0:
+            raise InputError("initial temperature must be positive kelvin")
+        self._check_well_posed()
+        matrix, rhs = self._assemble()
+        capacity = (self.grid.rho_cp * self.grid.cell_volume).ravel()
+        n_steps = max(1, int(round(duration / time_step)))
+        system = identity(self.grid.n_cells, format="csr").multiply(
+            capacity[:, None] / time_step) + matrix
+        system = csr_matrix(system)
+        temps = np.full(self.grid.n_cells, float(initial_temperature))
+        times = [0.0]
+        history = [temps.reshape(self.grid.shape).copy()]
+        for step in range(1, n_steps + 1):
+            b = rhs + capacity / time_step * temps
+            temps = np.asarray(spsolve(system, b))
+            times.append(step * time_step)
+            history.append(temps.reshape(self.grid.shape).copy())
+        return TransientConductionResult(np.asarray(times),
+                                         np.asarray(history), self.grid)
+
+
+@dataclass(frozen=True)
+class TransientConductionResult:
+    """Sampled transient temperature history.
+
+    ``times`` has shape (n_samples,), ``fields`` has shape
+    (n_samples, nx, ny, nz).
+    """
+
+    times: np.ndarray
+    fields: np.ndarray
+    grid: CartesianGrid
+
+    def max_temperature_history(self) -> np.ndarray:
+        """Peak temperature at every sample [K]."""
+        return self.fields.reshape(self.fields.shape[0], -1).max(axis=1)
+
+    def final_field(self) -> np.ndarray:
+        """The last temperature field."""
+        return self.fields[-1]
+
+    def time_to_reach(self, temperature: float) -> float:
+        """First time the peak temperature reaches ``temperature`` [s].
+
+        Returns ``inf`` if it is never reached within the simulated span.
+        """
+        peaks = self.max_temperature_history()
+        hits = np.where(peaks >= temperature)[0]
+        if hits.size == 0:
+            return float("inf")
+        return float(self.times[hits[0]])

@@ -1,0 +1,319 @@
+"""Convective heat-transfer correlations.
+
+The correlations here replace the CFD step of a tool like FloTHERM with
+validated engineering relations.  They cover the situations in the paper:
+
+* **natural convection** around cabin equipment (the SEB with fans removed),
+  on vertical/horizontal plates and from the seat-structure rods;
+* **forced convection** in avionics racks supplied by ARINC 600 air
+  (channel flow between boards, flow over components);
+* helpers producing temperature-dependent conductance callables for
+  :class:`avipack.thermal.network.ThermalNetwork`.
+
+All functions take a :class:`~avipack.materials.fluids.FluidState` for the
+film-temperature fluid properties and return a mean film coefficient
+``h`` in W/(m²·K) or a Nusselt number.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import InputError, ModelRangeError
+from ..materials.fluids import FluidState, air_properties
+from ..units import G0
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0.0:
+            raise InputError(f"{name} must be positive, got {value}")
+
+
+# ---------------------------------------------------------------------------
+# Dimensionless groups
+# ---------------------------------------------------------------------------
+
+def reynolds_number(fluid: FluidState, velocity: float,
+                    length: float) -> float:
+    """Reynolds number Re = ρ·V·L / µ."""
+    _check_positive(velocity=velocity, length=length)
+    return fluid.density * velocity * length / fluid.viscosity
+
+
+def rayleigh_number(fluid: FluidState, delta_t: float, length: float) -> float:
+    """Rayleigh number Ra = g·β·ΔT·L³ / (ν·α) for natural convection.
+
+    ``delta_t`` is taken in absolute value; a zero ΔT returns 0.
+    """
+    _check_positive(length=length)
+    nu = fluid.kinematic_viscosity
+    alpha = fluid.thermal_diffusivity
+    return G0 * fluid.expansion_coeff * abs(delta_t) * length ** 3 / (nu * alpha)
+
+
+# ---------------------------------------------------------------------------
+# Natural convection
+# ---------------------------------------------------------------------------
+
+def natural_convection_vertical_plate(fluid: FluidState, delta_t: float,
+                                      height: float) -> float:
+    """Mean film coefficient on a vertical plate (Churchill & Chu 1975).
+
+    Valid for any Rayleigh number; returns h in W/(m²·K).  ``delta_t`` is
+    the surface-to-ambient temperature difference and ``height`` the plate
+    height.
+    """
+    ra = rayleigh_number(fluid, delta_t, height)
+    pr = fluid.prandtl
+    if ra <= 0.0:
+        return 0.0
+    term = (1.0 + (0.492 / pr) ** (9.0 / 16.0)) ** (8.0 / 27.0)
+    nu = (0.825 + 0.387 * ra ** (1.0 / 6.0) / term) ** 2
+    return nu * fluid.conductivity / height
+
+
+def natural_convection_horizontal_plate_up(fluid: FluidState, delta_t: float,
+                                           length: float,
+                                           width: float) -> float:
+    """Hot horizontal plate facing up (McAdams), h in W/(m²·K).
+
+    ``length`` and ``width`` define the characteristic length
+    L = A / P (area over perimeter).
+    """
+    _check_positive(length=length, width=width)
+    l_char = (length * width) / (2.0 * (length + width))
+    ra = rayleigh_number(fluid, delta_t, l_char)
+    if ra <= 0.0:
+        return 0.0
+    if ra < 1e7:
+        nu = 0.54 * ra ** 0.25
+    else:
+        nu = 0.15 * ra ** (1.0 / 3.0)
+    return nu * fluid.conductivity / l_char
+
+
+def natural_convection_horizontal_plate_down(fluid: FluidState,
+                                             delta_t: float, length: float,
+                                             width: float) -> float:
+    """Hot horizontal plate facing down (McAdams), h in W/(m²·K)."""
+    _check_positive(length=length, width=width)
+    l_char = (length * width) / (2.0 * (length + width))
+    ra = rayleigh_number(fluid, delta_t, l_char)
+    if ra <= 0.0:
+        return 0.0
+    nu = 0.27 * ra ** 0.25
+    return nu * fluid.conductivity / l_char
+
+
+def natural_convection_horizontal_cylinder(fluid: FluidState, delta_t: float,
+                                           diameter: float) -> float:
+    """Horizontal cylinder (Churchill & Chu 1975), h in W/(m²·K).
+
+    Used for the seat-structure rods that act as the LHP heat sink.
+    """
+    ra = rayleigh_number(fluid, delta_t, diameter)
+    pr = fluid.prandtl
+    if ra <= 0.0:
+        return 0.0
+    term = (1.0 + (0.559 / pr) ** (9.0 / 16.0)) ** (8.0 / 27.0)
+    nu = (0.60 + 0.387 * ra ** (1.0 / 6.0) / term) ** 2
+    return nu * fluid.conductivity / diameter
+
+
+def natural_convection_enclosure(fluid: FluidState, delta_t: float,
+                                 gap: float, height: float) -> float:
+    """Vertical rectangular enclosure (MacGregor & Emery), h in W/(m²·K).
+
+    Models the buried/enclosed zones around cabin equipment: two vertical
+    walls ``gap`` apart and ``height`` tall.  Falls back to pure conduction
+    (Nu = 1) at low Rayleigh number.
+    """
+    _check_positive(gap=gap, height=height)
+    ra = rayleigh_number(fluid, delta_t, gap)
+    aspect = height / gap
+    if aspect < 1.0:
+        raise ModelRangeError("enclosure correlation needs height >= gap")
+    if ra < 1e3:
+        nu = 1.0
+    else:
+        nu = max(1.0, 0.42 * ra ** 0.25 * fluid.prandtl ** 0.012
+                 * aspect ** -0.3)
+    return nu * fluid.conductivity / gap
+
+
+# ---------------------------------------------------------------------------
+# Forced convection
+# ---------------------------------------------------------------------------
+
+def forced_convection_flat_plate(fluid: FluidState, velocity: float,
+                                 length: float) -> float:
+    """Mean h over a flat plate with mixed laminar/turbulent boundary layer.
+
+    Uses Nu = 0.664·Re^0.5·Pr^(1/3) in laminar flow and the mixed
+    correlation Nu = (0.037·Re^0.8 − 871)·Pr^(1/3) past the transition at
+    Re = 5·10⁵ (Incropera).  Returns h in W/(m²·K).
+    """
+    re = reynolds_number(fluid, velocity, length)
+    pr = fluid.prandtl
+    if re < 5e5:
+        nu = 0.664 * math.sqrt(re) * pr ** (1.0 / 3.0)
+    else:
+        nu = (0.037 * re ** 0.8 - 871.0) * pr ** (1.0 / 3.0)
+    return nu * fluid.conductivity / length
+
+
+def forced_convection_duct(fluid: FluidState, velocity: float,
+                           hydraulic_diameter: float,
+                           heating: bool = True) -> float:
+    """Fully developed duct flow, laminar or Dittus–Boelter turbulent.
+
+    The card-to-card channel of an air-cooled rack is modelled as a duct of
+    hydraulic diameter ``D_h = 4·A/P``.  Laminar flow (Re < 2300) uses the
+    constant-Nu solution for parallel plates (Nu = 7.54); turbulent flow
+    uses Nu = 0.023·Re^0.8·Pr^n with n = 0.4 when heating the fluid.
+    Returns h in W/(m²·K).
+    """
+    re = reynolds_number(fluid, velocity, hydraulic_diameter)
+    pr = fluid.prandtl
+    if re < 2300.0:
+        nu = 7.54
+    else:
+        exponent = 0.4 if heating else 0.3
+        nu = 0.023 * re ** 0.8 * pr ** exponent
+    return nu * fluid.conductivity / hydraulic_diameter
+
+
+def duct_velocity(mass_flow: float, fluid: FluidState,
+                  flow_area: float) -> float:
+    """Bulk velocity from mass flow: V = ṁ / (ρ·A) [m/s]."""
+    _check_positive(mass_flow=mass_flow, flow_area=flow_area)
+    return mass_flow / (fluid.density * flow_area)
+
+
+def air_outlet_temperature(inlet_temperature: float, power: float,
+                           mass_flow: float,
+                           specific_heat: float = 1006.0) -> float:
+    """Coolant outlet temperature from an energy balance.
+
+    T_out = T_in + Q / (ṁ·cp).  Used to size ARINC 600 flow allocations.
+    """
+    _check_positive(mass_flow=mass_flow, specific_heat=specific_heat)
+    if power < 0.0:
+        raise InputError("power must be non-negative")
+    return inlet_temperature + power / (mass_flow * specific_heat)
+
+
+def fin_efficiency(height: float, thickness: float, conductivity: float,
+                   h_coefficient: float) -> float:
+    """Efficiency of a straight rectangular fin with adiabatic tip.
+
+    η = tanh(m·Lc) / (m·Lc) with m = sqrt(2h/(k·t)) and the corrected
+    length Lc = L + t/2.
+    """
+    _check_positive(height=height, thickness=thickness,
+                    conductivity=conductivity, h_coefficient=h_coefficient)
+    m = math.sqrt(2.0 * h_coefficient / (conductivity * thickness))
+    l_corr = height + thickness / 2.0
+    ml = m * l_corr
+    return math.tanh(ml) / ml if ml > 0.0 else 1.0
+
+
+def heat_sink_conductance(base_area: float, n_fins: int, fin_height: float,
+                          fin_thickness: float, fin_length: float,
+                          conductivity: float, h_coefficient: float) -> float:
+    """Total conductance of a plate-fin heat sink [W/K].
+
+    Sums the exposed base area and the fin area weighted by fin efficiency.
+    """
+    _check_positive(base_area=base_area, fin_height=fin_height,
+                    fin_thickness=fin_thickness, fin_length=fin_length,
+                    conductivity=conductivity, h_coefficient=h_coefficient)
+    if n_fins < 0:
+        raise InputError("fin count must be non-negative")
+    eta = fin_efficiency(fin_height, fin_thickness, conductivity,
+                         h_coefficient)
+    fin_area = n_fins * 2.0 * fin_height * fin_length
+    base_exposed = max(base_area - n_fins * fin_thickness * fin_length, 0.0)
+    return h_coefficient * (base_exposed + eta * fin_area)
+
+
+# ---------------------------------------------------------------------------
+# Network-ready conductance callables
+# ---------------------------------------------------------------------------
+
+def natural_convection_conductance(area: float, height: float,
+                                   orientation: str = "vertical",
+                                   width: float = 0.1,
+                                   pressure: float = 101_325.0
+                                   ) -> Callable[[float, float], float]:
+    """Build a ``g(t_surface, t_ambient)`` callable for a network link.
+
+    The callable re-evaluates air properties at the film temperature and
+    the appropriate natural-convection correlation at every solver
+    iteration, giving the network its nonlinearity.
+
+    Parameters
+    ----------
+    area:
+        Wetted surface area [m²].
+    height:
+        Characteristic length (plate height or cylinder diameter) [m].
+    orientation:
+        ``"vertical"``, ``"horizontal_up"``, ``"horizontal_down"`` or
+        ``"cylinder"``.
+    width:
+        Plate width for the horizontal correlations [m].
+    pressure:
+        Ambient pressure [Pa] (cabin altitude derating).
+    """
+    _check_positive(area=area, height=height)
+    correlations = {
+        "vertical": lambda f, dt: natural_convection_vertical_plate(
+            f, dt, height),
+        "horizontal_up": lambda f, dt: natural_convection_horizontal_plate_up(
+            f, dt, height, width),
+        "horizontal_down":
+            lambda f, dt: natural_convection_horizontal_plate_down(
+                f, dt, height, width),
+        "cylinder": lambda f, dt: natural_convection_horizontal_cylinder(
+            f, dt, height),
+    }
+    if orientation not in correlations:
+        raise InputError(f"unknown orientation {orientation!r}; expected one "
+                         f"of {sorted(correlations)}")
+    correlation = correlations[orientation]
+
+    def conductance(t_surface: float, t_ambient: float) -> float:
+        film = 0.5 * (t_surface + t_ambient)
+        fluid = air_properties(max(film, 200.0), pressure)
+        delta_t = max(abs(t_surface - t_ambient), 0.1)
+        h = correlation(fluid, delta_t)
+        return max(h * area, 1e-6)
+
+    return conductance
+
+
+def forced_convection_conductance(area: float, velocity: float,
+                                  length: float, duct: bool = False,
+                                  pressure: float = 101_325.0
+                                  ) -> Callable[[float, float], float]:
+    """Build a ``g(t_surface, t_fluid)`` callable for forced convection.
+
+    ``duct=True`` selects the internal-flow correlation with ``length`` as
+    the hydraulic diameter; otherwise external flat-plate flow with
+    ``length`` as the flow length.
+    """
+    _check_positive(area=area, velocity=velocity, length=length)
+
+    def conductance(t_surface: float, t_fluid: float) -> float:
+        film = 0.5 * (t_surface + t_fluid)
+        fluid = air_properties(max(film, 200.0), pressure)
+        if duct:
+            h = forced_convection_duct(fluid, velocity, length)
+        else:
+            h = forced_convection_flat_plate(fluid, velocity, length)
+        return max(h * area, 1e-6)
+
+    return conductance

@@ -1,0 +1,434 @@
+"""Thermal resistance network solver.
+
+This is the workhorse behind the paper's three-level simulation pyramid
+(Fig. 4, "resistive network model"): equipment, PCB and component models
+all reduce to a network of temperature nodes connected by thermal
+conductances, with heat sources at dissipating nodes and fixed temperatures
+at ambient/sink nodes.
+
+The solver supports
+
+* constant conductances (conduction paths, interface resistances),
+* **temperature-dependent** conductances supplied as callables
+  ``g(t_hot, t_cold) -> W/K`` (natural convection, radiation), resolved by
+  damped fixed-point iteration,
+* exact linear solves via SciPy sparse LU when the network is linear.
+
+Energy conservation at every node is the defining equation:
+
+.. math:: \\sum_j G_{ij} (T_j - T_i) + Q_i = 0
+
+for every free node *i*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from ..errors import ConvergenceError, InputError
+
+#: Conductance type: constant [W/K] or callable ``g(t_a, t_b) -> W/K``.
+Conductance = Union[float, Callable[[float, float], float]]
+
+
+@dataclass
+class _Node:
+    name: str
+    heat_load: float = 0.0
+    fixed_temperature: Optional[float] = None
+    capacitance: float = 0.0
+
+
+@dataclass
+class _Link:
+    node_a: str
+    node_b: str
+    conductance: Conductance
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class NetworkSolution:
+    """Result of a steady-state network solve.
+
+    Attributes
+    ----------
+    temperatures:
+        Mapping node name → temperature [K].
+    heat_flows:
+        Mapping link label (or ``"a->b"``) → heat flow [W], positive from
+        ``node_a`` to ``node_b``.
+    iterations:
+        Fixed-point iterations used (1 for a purely linear network).
+    residual:
+        Final energy-balance residual norm [W].
+    """
+
+    temperatures: Dict[str, float]
+    heat_flows: Dict[str, float]
+    iterations: int
+    residual: float
+
+    def temperature(self, node: str) -> float:
+        """Temperature of ``node`` [K]."""
+        try:
+            return self.temperatures[node]
+        except KeyError:
+            raise InputError(f"no node named {node!r} in solution") from None
+
+    def delta(self, hot: str, cold: str) -> float:
+        """Temperature difference ``T(hot) - T(cold)`` [K]."""
+        return self.temperature(hot) - self.temperature(cold)
+
+
+class ThermalNetwork:
+    """A lumped thermal network of nodes, links, sources and sinks.
+
+    Examples
+    --------
+    >>> net = ThermalNetwork()
+    >>> net.add_node("chip", heat_load=10.0)
+    >>> net.add_node("ambient", fixed_temperature=300.0)
+    >>> net.add_resistance("chip", "ambient", resistance=2.0)
+    >>> sol = net.solve()
+    >>> round(sol.temperature("chip"), 3)
+    320.0
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, _Node] = {}
+        self._links: List[_Link] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, name: str, heat_load: float = 0.0,
+                 fixed_temperature: Optional[float] = None,
+                 capacitance: float = 0.0) -> None:
+        """Add a temperature node.
+
+        Parameters
+        ----------
+        name:
+            Unique node identifier.
+        heat_load:
+            Heat injected at the node [W] (dissipating components).
+        fixed_temperature:
+            If given, the node is a boundary (sink) held at this value [K].
+        capacitance:
+            Lumped thermal capacitance [J/K], used only by the transient
+            solver in :mod:`avipack.thermal.transient`.
+        """
+        if not name:
+            raise InputError("node name must be non-empty")
+        if name in self._nodes:
+            raise InputError(f"node {name!r} already exists")
+        if fixed_temperature is not None and fixed_temperature <= 0.0:
+            raise InputError("fixed temperature must be positive kelvin")
+        if capacitance < 0.0:
+            raise InputError("capacitance must be non-negative")
+        self._nodes[name] = _Node(name, heat_load, fixed_temperature,
+                                  capacitance)
+
+    def add_heat_load(self, name: str, heat_load: float) -> None:
+        """Add (accumulate) a heat load on an existing node [W]."""
+        node = self._require(name)
+        if node.fixed_temperature is not None and heat_load != 0.0:
+            raise InputError(f"cannot load fixed-temperature node {name!r}")
+        node.heat_load += heat_load
+
+    def add_conductance(self, node_a: str, node_b: str,
+                        conductance: Conductance, label: str = "") -> None:
+        """Connect two nodes with a thermal conductance [W/K].
+
+        ``conductance`` may be a positive constant or a callable
+        ``g(t_a, t_b)`` returning W/K for temperature-dependent paths.
+        """
+        self._require(node_a)
+        self._require(node_b)
+        if node_a == node_b:
+            raise InputError("cannot link a node to itself")
+        if not callable(conductance) and conductance <= 0.0:
+            raise InputError("conductance must be positive")
+        self._links.append(_Link(node_a, node_b, conductance, label))
+
+    def add_resistance(self, node_a: str, node_b: str, resistance: float,
+                       label: str = "") -> None:
+        """Connect two nodes with a thermal resistance [K/W]."""
+        if resistance <= 0.0:
+            raise InputError("resistance must be positive")
+        self.add_conductance(node_a, node_b, 1.0 / resistance, label)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        """All node names in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def link_count(self) -> int:
+        """Number of links in the network."""
+        return len(self._links)
+
+    def total_heat_load(self) -> float:
+        """Sum of heat injected at free nodes [W]."""
+        return sum(n.heat_load for n in self._nodes.values()
+                   if n.fixed_temperature is None)
+
+    def node_capacitance(self, name: str) -> float:
+        """Lumped capacitance of ``name`` [J/K]."""
+        return self._require(name).capacitance
+
+    def node_heat_load(self, name: str) -> float:
+        """Heat load on ``name`` [W]."""
+        return self._require(name).heat_load
+
+    def node_fixed_temperature(self, name: str) -> Optional[float]:
+        """Fixed temperature of ``name``, or None for a free node."""
+        return self._require(name).fixed_temperature
+
+    def iter_links(self):
+        """Yield ``(node_a, node_b, conductance, label)`` tuples."""
+        for link in self._links:
+            yield link.node_a, link.node_b, link.conductance, link.label
+
+    def _require(self, name: str) -> _Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise InputError(f"unknown node {name!r}") from None
+
+    def _has_nonlinear_links(self) -> bool:
+        return any(callable(link.conductance) for link in self._links)
+
+    def _check_connectivity(self) -> None:
+        """Every free node must reach a fixed-temperature node.
+
+        A floating island has no defined temperature (singular system);
+        report it by name instead of failing inside the linear solver.
+        """
+        adjacency: Dict[str, list] = {name: [] for name in self._nodes}
+        for link in self._links:
+            adjacency[link.node_a].append(link.node_b)
+            adjacency[link.node_b].append(link.node_a)
+        reached = set()
+        frontier = [name for name, node in self._nodes.items()
+                    if node.fixed_temperature is not None]
+        while frontier:
+            name = frontier.pop()
+            if name in reached:
+                continue
+            reached.add(name)
+            frontier.extend(adjacency[name])
+        floating = sorted(set(self._nodes) - reached)
+        if floating:
+            raise InputError(
+                "nodes not connected to any fixed-temperature node: "
+                + ", ".join(floating))
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(self, initial_guess: float = 320.0, max_iterations: int = 200,
+              tolerance: float = 1e-8, relaxation: float = 0.7
+              ) -> NetworkSolution:
+        """Solve the steady-state energy balance.
+
+        Linear networks are solved exactly in one sparse factorisation.
+        Networks with callable conductances iterate: each pass linearises
+        the conductances at the current temperatures, solves, and relaxes
+        the update by ``relaxation``.
+
+        Parameters
+        ----------
+        initial_guess:
+            Starting temperature for free nodes [K] when iterating.
+        max_iterations:
+            Fixed-point iteration budget.
+        tolerance:
+            Convergence threshold on the max temperature update [K].
+        relaxation:
+            Under-relaxation factor in (0, 1].
+
+        Raises
+        ------
+        InputError
+            If the network has no fixed-temperature node (the problem is
+            singular) or no nodes at all.
+        ConvergenceError
+            If fixed-point iteration fails to converge.
+        """
+        if not self._nodes:
+            raise InputError("network has no nodes")
+        if all(n.fixed_temperature is None for n in self._nodes.values()):
+            raise InputError(
+                "network needs at least one fixed-temperature node")
+        if not 0.0 < relaxation <= 1.0:
+            raise InputError("relaxation must be in (0, 1]")
+        self._check_connectivity()
+
+        names = list(self._nodes)
+        index = {name: i for i, name in enumerate(names)}
+        free = [i for i, name in enumerate(names)
+                if self._nodes[name].fixed_temperature is None]
+        free_index = {i: j for j, i in enumerate(free)}
+
+        temps = np.full(len(names), float(initial_guess))
+        for i, name in enumerate(names):
+            fixed = self._nodes[name].fixed_temperature
+            if fixed is not None:
+                temps[i] = fixed
+
+        nonlinear = self._has_nonlinear_links()
+        iterations = 0
+        for iteration in range(1, max_iterations + 1):
+            iterations = iteration
+            new_free = self._linear_solve(names, index, free, free_index,
+                                          temps)
+            delta = np.max(np.abs(new_free - temps[free])) if free else 0.0
+            if nonlinear:
+                temps[free] += relaxation * (new_free - temps[free])
+            else:
+                temps[free] = new_free
+            if delta < tolerance or not nonlinear:
+                break
+        else:
+            raise ConvergenceError(
+                f"network solve did not converge in {max_iterations} "
+                f"iterations (last update {delta:.3e} K)",
+                iterations=max_iterations, residual=float(delta))
+
+        if nonlinear and delta >= tolerance and iterations >= max_iterations:
+            raise ConvergenceError(
+                "network solve did not converge", iterations=iterations,
+                residual=float(delta))
+
+        solution_temps = {name: float(temps[index[name]]) for name in names}
+        flows = self._heat_flows(solution_temps)
+        residual = self._residual(solution_temps)
+        return NetworkSolution(solution_temps, flows, iterations, residual)
+
+    def _linear_solve(self, names, index, free, free_index, temps):
+        """One linearised solve for the free-node temperatures."""
+        n_free = len(free)
+        if n_free == 0:
+            return np.empty(0)
+        matrix = lil_matrix((n_free, n_free))
+        rhs = np.zeros(n_free)
+        for i in free:
+            rhs[free_index[i]] = self._nodes[names[i]].heat_load
+        for link in self._links:
+            ia, ib = index[link.node_a], index[link.node_b]
+            g = self._evaluate(link, temps[ia], temps[ib])
+            a_free, b_free = ia in free_index, ib in free_index
+            if a_free:
+                ja = free_index[ia]
+                matrix[ja, ja] += g
+                if b_free:
+                    matrix[ja, free_index[ib]] -= g
+                else:
+                    rhs[ja] += g * temps[ib]
+            if b_free:
+                jb = free_index[ib]
+                matrix[jb, jb] += g
+                if a_free:
+                    matrix[jb, free_index[ia]] -= g
+                else:
+                    rhs[jb] += g * temps[ia]
+        solution = spsolve(matrix.tocsr(), rhs)
+        return np.atleast_1d(solution)
+
+    @staticmethod
+    def _evaluate(link: _Link, t_a: float, t_b: float) -> float:
+        if callable(link.conductance):
+            g = float(link.conductance(t_a, t_b))
+            if g < 0.0:
+                raise InputError(
+                    f"conductance callable for {link.node_a}-{link.node_b} "
+                    f"returned negative value {g}")
+            return max(g, 1e-12)
+        return float(link.conductance)
+
+    def _heat_flows(self, temps: Dict[str, float]) -> Dict[str, float]:
+        flows: Dict[str, float] = {}
+        for i, link in enumerate(self._links):
+            t_a, t_b = temps[link.node_a], temps[link.node_b]
+            g = self._evaluate(link, t_a, t_b)
+            key = link.label or f"{link.node_a}->{link.node_b}"
+            if key in flows:
+                key = f"{key}#{i}"
+            flows[key] = g * (t_a - t_b)
+        return flows
+
+    def _residual(self, temps: Dict[str, float]) -> float:
+        """Max energy-balance residual over free nodes [W]."""
+        balance = {name: node.heat_load
+                   for name, node in self._nodes.items()
+                   if node.fixed_temperature is None}
+        for link in self._links:
+            t_a, t_b = temps[link.node_a], temps[link.node_b]
+            g = self._evaluate(link, t_a, t_b)
+            q = g * (t_a - t_b)
+            if link.node_a in balance:
+                balance[link.node_a] -= q
+            if link.node_b in balance:
+                balance[link.node_b] += q
+        if not balance:
+            return 0.0
+        return float(max(abs(v) for v in balance.values()))
+
+
+def series_resistance(*resistances: float) -> float:
+    """Total resistance of resistances in series [K/W]."""
+    if not resistances:
+        raise InputError("need at least one resistance")
+    if any(r <= 0.0 for r in resistances):
+        raise InputError("resistances must be positive")
+    return float(sum(resistances))
+
+
+def parallel_resistance(*resistances: float) -> float:
+    """Total resistance of resistances in parallel [K/W]."""
+    if not resistances:
+        raise InputError("need at least one resistance")
+    if any(r <= 0.0 for r in resistances):
+        raise InputError("resistances must be positive")
+    return 1.0 / sum(1.0 / r for r in resistances)
+
+
+def slab_resistance(thickness: float, conductivity: float,
+                    area: float) -> float:
+    """Conduction resistance of a plane slab, R = L / (k·A) [K/W]."""
+    if thickness <= 0.0 or conductivity <= 0.0 or area <= 0.0:
+        raise InputError("thickness, conductivity and area must be positive")
+    return thickness / (conductivity * area)
+
+
+def spreading_resistance(source_radius: float, plate_radius: float,
+                         plate_thickness: float, conductivity: float,
+                         h_sink: float = 1e4) -> float:
+    """Spreading resistance of a circular source on a finite circular plate.
+
+    Implements the closed-form of Song, Lee & Au (1994) widely used for
+    hot-spot analysis: a heat source of radius ``source_radius`` centred on
+    a plate of radius ``plate_radius`` and thickness ``plate_thickness``
+    with film coefficient ``h_sink`` on the far face.
+
+    Returns only the *spreading* part of the resistance (the 1-D slab and
+    film resistances should be added separately).
+    """
+    if not 0.0 < source_radius <= plate_radius:
+        raise InputError("need 0 < source_radius <= plate_radius")
+    if plate_thickness <= 0.0 or conductivity <= 0.0 or h_sink <= 0.0:
+        raise InputError("thickness, conductivity, h must be positive")
+    eps = source_radius / plate_radius
+    tau = plate_thickness / plate_radius
+    bi = h_sink * plate_radius / conductivity
+    lam = np.pi + 1.0 / (np.sqrt(np.pi) * eps)
+    phi = (np.tanh(lam * tau) + lam / bi) / (1.0 + lam / bi * np.tanh(lam * tau))
+    psi_max = eps * tau / np.sqrt(np.pi) + (1.0 - eps) * phi / np.sqrt(np.pi)
+    return float(psi_max / (conductivity * source_radius * np.sqrt(np.pi)))

@@ -1,0 +1,271 @@
+"""Transient solver for lumped thermal networks.
+
+Integrates ``C_i dT_i/dt = Σ_j G_ij (T_j − T_i) + Q_i`` for the free nodes
+of a :class:`~avipack.thermal.network.ThermalNetwork` whose nodes were
+given capacitances.  Supports
+
+* time-varying boundary temperatures (ramp profiles for thermal-shock and
+  climatic testing per DO-160),
+* time-varying heat loads (power duty cycles),
+* semi-implicit backward-Euler stepping: conductances are evaluated at the
+  start-of-step temperatures, then the linear system is solved implicitly,
+  which is unconditionally stable for the stiff networks that arise when
+  interface resistances are small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from ..errors import InputError
+from .network import ThermalNetwork
+
+#: A time-dependent scalar: constant or callable ``f(time_s) -> value``.
+Schedule = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class TransientNetworkResult:
+    """Temperature history of every node.
+
+    ``times`` has shape (n_samples,); ``temperatures[name]`` is the
+    matching per-node history array.
+    """
+
+    times: np.ndarray
+    temperatures: Dict[str, np.ndarray]
+
+    def node(self, name: str) -> np.ndarray:
+        """History of node ``name`` [K]."""
+        try:
+            return self.temperatures[name]
+        except KeyError:
+            raise InputError(f"no node named {name!r}") from None
+
+    def final(self, name: str) -> float:
+        """Final temperature of ``name`` [K]."""
+        return float(self.node(name)[-1])
+
+    def peak(self, name: str) -> float:
+        """Peak temperature of ``name`` over the run [K]."""
+        return float(self.node(name).max())
+
+    def trough(self, name: str) -> float:
+        """Minimum temperature of ``name`` over the run [K]."""
+        return float(self.node(name).min())
+
+    def max_rate(self, name: str) -> float:
+        """Largest |dT/dt| of ``name`` [K/s]."""
+        history = self.node(name)
+        if history.size < 2:
+            return 0.0
+        rates = np.diff(history) / np.diff(self.times)
+        return float(np.abs(rates).max())
+
+
+class TransientNetworkSolver:
+    """Time integrator bound to a thermal network.
+
+    Parameters
+    ----------
+    network:
+        The network to integrate.  Free nodes must have positive
+        capacitances; fixed-temperature nodes may follow schedules.
+    boundary_schedules:
+        Optional mapping node name → ``f(t) -> K`` overriding the node's
+        fixed temperature over time (e.g. a thermal-shock chamber ramp).
+    load_schedules:
+        Optional mapping node name → ``f(t) -> W`` overriding the node's
+        constant heat load over time (power duty cycles).
+    """
+
+    def __init__(self, network: ThermalNetwork,
+                 boundary_schedules: Optional[Dict[str, Schedule]] = None,
+                 load_schedules: Optional[Dict[str, Schedule]] = None) -> None:
+        self.network = network
+        self.boundary_schedules = dict(boundary_schedules or {})
+        self.load_schedules = dict(load_schedules or {})
+        names = network.node_names
+        for name in self.boundary_schedules:
+            if name not in names:
+                raise InputError(f"schedule for unknown node {name!r}")
+            if network.node_fixed_temperature(name) is None:
+                raise InputError(
+                    f"boundary schedule on non-boundary node {name!r}")
+        for name in self.load_schedules:
+            if name not in names:
+                raise InputError(f"load schedule for unknown node {name!r}")
+        for name in names:
+            if (network.node_fixed_temperature(name) is None
+                    and network.node_capacitance(name) <= 0.0):
+                raise InputError(
+                    f"free node {name!r} needs a positive capacitance "
+                    "for transient analysis")
+
+    def integrate(self, duration: float, time_step: float,
+                  initial_temperature: float = 293.15
+                  ) -> TransientNetworkResult:
+        """Integrate for ``duration`` seconds with fixed ``time_step``.
+
+        Free nodes start at ``initial_temperature``; boundary nodes start
+        at their fixed value (or schedule value at t=0).
+        """
+        if duration <= 0.0 or time_step <= 0.0:
+            raise InputError("duration and time step must be positive")
+        if time_step > duration:
+            raise InputError("time step exceeds duration")
+        net = self.network
+        names = list(net.node_names)
+        index = {name: i for i, name in enumerate(names)}
+        free = [name for name in names
+                if net.node_fixed_temperature(name) is None]
+        free_idx = {name: j for j, name in enumerate(free)}
+        n_free = len(free)
+        capacity = np.array([net.node_capacitance(name) for name in free])
+
+        temps = np.full(len(names), float(initial_temperature))
+        for name in names:
+            fixed = net.node_fixed_temperature(name)
+            if fixed is not None:
+                temps[index[name]] = self._boundary_value(name, 0.0, fixed)
+
+        n_steps = max(1, int(round(duration / time_step)))
+        times = [0.0]
+        history = [temps.copy()]
+
+        for step in range(1, n_steps + 1):
+            t_now = step * time_step
+            # Update boundary temperatures for this step.
+            for name in names:
+                fixed = net.node_fixed_temperature(name)
+                if fixed is not None:
+                    temps[index[name]] = self._boundary_value(
+                        name, t_now, fixed)
+            if n_free:
+                temps = self._implicit_step(temps, names, index, free,
+                                            free_idx, capacity, time_step,
+                                            t_now)
+            times.append(t_now)
+            history.append(temps.copy())
+
+        history_arr = np.asarray(history)
+        per_node = {name: history_arr[:, index[name]] for name in names}
+        return TransientNetworkResult(np.asarray(times), per_node)
+
+    # -- internals ------------------------------------------------------------
+
+    def _boundary_value(self, name: str, time: float, fallback: float
+                        ) -> float:
+        schedule = self.boundary_schedules.get(name)
+        if schedule is None:
+            return fallback
+        value = float(schedule(time))
+        if value <= 0.0:
+            raise InputError(
+                f"boundary schedule for {name!r} returned {value} K")
+        return value
+
+    def _load_value(self, name: str, time: float) -> float:
+        schedule = self.load_schedules.get(name)
+        if schedule is not None:
+            return float(schedule(time))
+        return self.network.node_heat_load(name)
+
+    def _implicit_step(self, temps, names, index, free, free_idx, capacity,
+                       dt, t_now):
+        """One backward-Euler step with start-of-step conductances."""
+        n_free = len(free)
+        matrix = lil_matrix((n_free, n_free))
+        rhs = np.zeros(n_free)
+        for j, name in enumerate(free):
+            matrix[j, j] += capacity[j] / dt
+            rhs[j] += capacity[j] / dt * temps[index[name]]
+            rhs[j] += self._load_value(name, t_now)
+        for node_a, node_b, conductance, _label in self.network.iter_links():
+            ia, ib = index[node_a], index[node_b]
+            if callable(conductance):
+                g = max(float(conductance(temps[ia], temps[ib])), 1e-12)
+            else:
+                g = float(conductance)
+            a_free = node_a in free_idx
+            b_free = node_b in free_idx
+            if a_free:
+                ja = free_idx[node_a]
+                matrix[ja, ja] += g
+                if b_free:
+                    matrix[ja, free_idx[node_b]] -= g
+                else:
+                    rhs[ja] += g * temps[ib]
+            if b_free:
+                jb = free_idx[node_b]
+                matrix[jb, jb] += g
+                if a_free:
+                    matrix[jb, free_idx[node_a]] -= g
+                else:
+                    rhs[jb] += g * temps[ia]
+        solution = np.atleast_1d(spsolve(matrix.tocsr(), rhs))
+        new_temps = temps.copy()
+        for name in free:
+            new_temps[index[name]] = solution[free_idx[name]]
+        return new_temps
+
+
+def ramp_profile(start_value: float, end_value: float, ramp_rate: float,
+                 hold_time: float = 0.0, start_time: float = 0.0) -> Schedule:
+    """Build a linear ramp schedule f(t) from one value to another.
+
+    The value holds at ``start_value`` until ``start_time``, ramps at
+    ``ramp_rate`` (absolute units per second, sign inferred), then holds at
+    ``end_value``.  ``hold_time`` is accepted for symmetry with cycle
+    builders but does not alter the profile (the value holds indefinitely).
+    """
+    if ramp_rate <= 0.0:
+        raise InputError("ramp rate must be positive")
+    span = end_value - start_value
+    ramp_duration = abs(span) / ramp_rate
+
+    def profile(time: float) -> float:
+        if time <= start_time:
+            return start_value
+        progress = min((time - start_time) / ramp_duration, 1.0) \
+            if ramp_duration > 0.0 else 1.0
+        return start_value + span * progress
+
+    return profile
+
+
+def cyclic_profile(low_value: float, high_value: float, ramp_rate: float,
+                   dwell_time: float) -> Schedule:
+    """Build a thermal-cycling schedule: dwell low → ramp up → dwell high →
+    ramp down → repeat.
+
+    Matches the DO-160 / MIL-STD thermal-shock pattern (−45 °C / +55 °C at
+    5 °C/min in the paper's qualification campaign, when expressed in
+    kelvin).
+    """
+    if ramp_rate <= 0.0 or dwell_time < 0.0:
+        raise InputError("ramp rate must be positive, dwell non-negative")
+    if high_value <= low_value:
+        raise InputError("high value must exceed low value")
+    ramp_duration = (high_value - low_value) / ramp_rate
+    period = 2.0 * (dwell_time + ramp_duration)
+
+    def profile(time: float) -> float:
+        phase = time % period
+        if phase < dwell_time:
+            return low_value
+        phase -= dwell_time
+        if phase < ramp_duration:
+            return low_value + ramp_rate * phase
+        phase -= ramp_duration
+        if phase < dwell_time:
+            return high_value
+        phase -= dwell_time
+        return high_value - ramp_rate * phase
+
+    return profile

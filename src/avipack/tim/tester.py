@@ -1,0 +1,216 @@
+"""Virtual ASTM D5470 thermal-interface tester.
+
+NANOPACK built a steady-state tester per ASTM D5470-06 with ±1 K·mm²/W
+resistance accuracy and ±2 µm thickness accuracy.  Since the physical rig
+is a hardware gate, this module *simulates* it faithfully:
+
+* two instrumented metering bars (upper hot, lower cold) with equally
+  spaced thermocouples;
+* the sample resistance extracted exactly as the standard prescribes —
+  linear extrapolation of the two bar temperature gradients to the sample
+  faces;
+* calibrated Gaussian instrument noise reproducing the quoted accuracies,
+  driven by a seeded :class:`numpy.random.Generator` so experiments are
+  repeatable;
+* the standard multi-thickness protocol that separates bulk conductivity
+  from contact resistance by linear regression of R_total vs BLT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InputError
+from ..units import si_to_kmm2_per_w
+from .interface import ThermalInterface
+
+
+@dataclass(frozen=True)
+class D5470Measurement:
+    """One tester reading.
+
+    ``specific_resistance`` in K·m²/W, ``bond_line_thickness`` in m — both
+    as *measured* (noise included).
+    """
+
+    specific_resistance: float
+    bond_line_thickness: float
+    heat_flux: float
+    hot_face_temperature: float
+    cold_face_temperature: float
+
+    @property
+    def specific_resistance_kmm2(self) -> float:
+        """Measured resistance in data-sheet units [K·mm²/W]."""
+        return si_to_kmm2_per_w(self.specific_resistance)
+
+
+@dataclass
+class D5470Tester:
+    """Steady-state metering-bar tester per ASTM D5470.
+
+    Parameters
+    ----------
+    bar_conductivity:
+        Metering-bar material conductivity [W/(m·K)] (electrolytic copper).
+    bar_area:
+        Bar cross-section = sample area [m²] (standard 1 in² ≈ 6.45 cm²).
+    resistance_accuracy_kmm2:
+        1σ Gaussian noise on the extracted resistance [K·mm²/W]; ±1 per
+        the NANOPACK build.
+    thickness_accuracy:
+        1σ Gaussian noise on the BLT measurement [m]; ±2 µm per NANOPACK.
+    seed:
+        Seed for the repeatable noise generator.
+    """
+
+    bar_conductivity: float = 390.0
+    bar_area: float = 6.45e-4
+    resistance_accuracy_kmm2: float = 1.0
+    thickness_accuracy: float = 2.0e-6
+    seed: int = 20100308  # DATE 2010 conference date
+
+    def __post_init__(self) -> None:
+        if self.bar_conductivity <= 0.0 or self.bar_area <= 0.0:
+            raise InputError("bar conductivity and area must be positive")
+        if self.resistance_accuracy_kmm2 < 0.0:
+            raise InputError("resistance accuracy must be non-negative")
+        if self.thickness_accuracy < 0.0:
+            raise InputError("thickness accuracy must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def measure(self, interface: ThermalInterface,
+                heat_flux: float = 5.0e4,
+                cold_plate_temperature: float = 298.15) -> D5470Measurement:
+        """Measure one assembled interface at an imposed heat flux.
+
+        Simulates the steady 1-D stack: the true face temperatures follow
+        from the interface's specific resistance; the reading then adds
+        the calibrated instrument noise.
+        """
+        if heat_flux <= 0.0:
+            raise InputError("heat flux must be positive")
+        if cold_plate_temperature <= 0.0:
+            raise InputError("cold plate temperature must be positive")
+        true_r = interface.specific_resistance  # K·m²/W
+        cold_face = cold_plate_temperature + heat_flux * 1.0e-5
+        hot_face = cold_face + heat_flux * true_r
+        noise_r = self._rng.normal(
+            0.0, self.resistance_accuracy_kmm2) * 1e-6
+        noise_t = self._rng.normal(0.0, self.thickness_accuracy)
+        measured_r = max(true_r + noise_r, 1e-9)
+        measured_blt = max(interface.bond_line_thickness + noise_t, 1e-7)
+        return D5470Measurement(
+            specific_resistance=measured_r,
+            bond_line_thickness=measured_blt,
+            heat_flux=heat_flux,
+            hot_face_temperature=hot_face,
+            cold_face_temperature=cold_face,
+        )
+
+    def characterize(self, interfaces: Sequence[ThermalInterface],
+                     n_repeats: int = 3) -> "TimCharacterization":
+        """Run the multi-thickness ASTM protocol.
+
+        ``interfaces`` must be the same material assembled at several
+        bond-line thicknesses.  Fits R(BLT) = BLT/k + 2·R_c by least
+        squares over ``n_repeats`` measurements of each sample and
+        extracts (k, R_c) with their standard errors.
+        """
+        if len(interfaces) < 2:
+            raise InputError(
+                "need at least two bond-line thicknesses to separate "
+                "conductivity from contact resistance")
+        if n_repeats < 1:
+            raise InputError("need at least one repeat")
+        blts: List[float] = []
+        resistances: List[float] = []
+        for interface in interfaces:
+            for _ in range(n_repeats):
+                reading = self.measure(interface)
+                blts.append(reading.bond_line_thickness)
+                resistances.append(reading.specific_resistance)
+        x = np.asarray(blts)
+        y = np.asarray(resistances)
+        design = np.vstack([x, np.ones_like(x)]).T
+        coeffs, residuals, _rank, _sv = np.linalg.lstsq(design, y,
+                                                        rcond=None)
+        slope, intercept = float(coeffs[0]), float(coeffs[1])
+        if slope <= 0.0:
+            # Noise swamped the bulk term (ultra-thin/ultra-conductive
+            # sample); report the conductivity as unresolved.
+            conductivity = float("inf")
+        else:
+            conductivity = 1.0 / slope
+        contact = max(intercept / 2.0, 0.0)
+        dof = max(x.size - 2, 1)
+        if residuals.size:
+            sigma2 = float(residuals[0]) / dof
+        else:
+            sigma2 = float(np.sum((y - design @ coeffs) ** 2)) / dof
+        sxx = float(np.sum((x - x.mean()) ** 2))
+        slope_se = math.sqrt(sigma2 / sxx) if sxx > 0.0 else float("inf")
+        return TimCharacterization(
+            conductivity=conductivity,
+            contact_resistance=contact,
+            conductivity_std_error=(slope_se / slope ** 2
+                                    if slope > 0.0 else float("inf")),
+            n_samples=x.size,
+        )
+
+
+@dataclass(frozen=True)
+class TimCharacterization:
+    """Result of the ASTM multi-thickness protocol.
+
+    ``conductivity`` [W/(m·K)], ``contact_resistance`` per side [K·m²/W].
+    """
+
+    conductivity: float
+    contact_resistance: float
+    conductivity_std_error: float
+    n_samples: int
+
+    @property
+    def contact_resistance_kmm2(self) -> float:
+        """Per-side contact resistance in data-sheet units [K·mm²/W]."""
+        return si_to_kmm2_per_w(self.contact_resistance)
+
+
+@dataclass
+class FourWireOhmmeter:
+    """Virtual four-wire micro-ohmmeter for conductive adhesives.
+
+    NANOPACK's electrical rig resolves > 50 µΩ with 5 µΩ resolution; the
+    simulation adds Gaussian noise at that resolution and refuses
+    readings below the floor.
+    """
+
+    resolution_ohm: float = 5.0e-6
+    floor_ohm: float = 50.0e-6
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.resolution_ohm <= 0.0 or self.floor_ohm <= 0.0:
+            raise InputError("resolution and floor must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    def measure(self, resistivity: float, length: float,
+                area: float) -> float:
+        """Measured resistance of a bulk sample [Ω].
+
+        Raises :class:`InputError` for samples below the instrument floor.
+        """
+        if resistivity <= 0.0 or length <= 0.0 or area <= 0.0:
+            raise InputError("resistivity, length and area must be positive")
+        true_resistance = resistivity * length / area
+        if true_resistance < self.floor_ohm:
+            raise InputError(
+                f"sample resistance {true_resistance:.2e} Ohm is below the "
+                f"{self.floor_ohm:.0e} Ohm instrument floor")
+        noise = self._rng.normal(0.0, self.resolution_ohm)
+        return max(true_resistance + noise, self.floor_ohm)

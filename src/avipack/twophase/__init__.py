@@ -1,0 +1,44 @@
+"""Two-phase (phase-change) cooling devices.
+
+The novel cooling technologies the paper investigates through the COSEE
+project: heat pipes, loop heat pipes and thermosyphons, plus the wick
+structures and working-fluid models they share.
+"""
+
+from .workingfluid import WorkingFluid, select_fluid
+from .wick import (
+    Wick,
+    axial_groove_wick,
+    screen_mesh_wick,
+    sintered_necked_wick,
+    sintered_powder_wick,
+)
+from .vaporchamber import VaporChamber, electronics_vapor_chamber
+from .heatpipe import (
+    HeatPipe,
+    HeatPipeGeometry,
+    NUCLEATION_RADIUS,
+    standard_copper_water_heatpipe,
+)
+from .loopheatpipe import LoopHeatPipe, TransportLine, cosee_ammonia_lhp
+from .thermosyphon import Thermosyphon
+
+__all__ = [
+    "HeatPipe",
+    "HeatPipeGeometry",
+    "LoopHeatPipe",
+    "NUCLEATION_RADIUS",
+    "Thermosyphon",
+    "TransportLine",
+    "VaporChamber",
+    "electronics_vapor_chamber",
+    "sintered_necked_wick",
+    "Wick",
+    "WorkingFluid",
+    "axial_groove_wick",
+    "cosee_ammonia_lhp",
+    "screen_mesh_wick",
+    "select_fluid",
+    "sintered_powder_wick",
+    "standard_copper_water_heatpipe",
+]

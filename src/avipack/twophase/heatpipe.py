@@ -1,0 +1,298 @@
+"""Cylindrical heat-pipe model: operating limits and thermal resistance.
+
+Implements the classical engineering model of a wicked heat pipe
+(Peterson, *An Introduction to Heat Pipes*, 1994 — reference [3] of the
+paper): the five operating limits that bound the transportable power as a
+function of vapour temperature, and the series radial-resistance model
+that gives the evaporator-to-condenser temperature drop in normal
+operation.
+
+In the COSEE seat-electronics-box demonstrator, heat pipes carry the
+component heat to the edge of the box; the model here reproduces both
+their very low thermal resistance (effective conductivity 10–100× copper)
+and their power ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import InputError, OperatingLimitError
+from ..units import G0
+from .wick import Wick
+from .workingfluid import WorkingFluid
+
+#: Typical nucleation-site radius for the boiling limit [m] (Chi 1976).
+NUCLEATION_RADIUS = 2.54e-7
+
+#: Ratio of specific heats used for the sonic limit (vapour, diatomic-ish).
+GAMMA_VAPOR = 1.33
+
+
+@dataclass(frozen=True)
+class HeatPipeGeometry:
+    """Geometry of a cylindrical wicked heat pipe.
+
+    Lengths along the pipe: evaporator, adiabatic section, condenser.
+    Radii from outside in: ``outer_radius`` → wall → ``inner_radius`` →
+    wick → ``vapor_radius``.
+    """
+
+    outer_radius: float
+    wall_thickness: float
+    wick_thickness: float
+    evaporator_length: float
+    adiabatic_length: float
+    condenser_length: float
+
+    def __post_init__(self) -> None:
+        for name in ("outer_radius", "wall_thickness", "wick_thickness",
+                     "evaporator_length", "condenser_length"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+        if self.adiabatic_length < 0.0:
+            raise InputError("adiabatic length must be non-negative")
+        if self.vapor_radius <= 0.0:
+            raise InputError(
+                "wall + wick thickness leaves no vapour core")
+
+    @property
+    def inner_radius(self) -> float:
+        """Radius at the wall/wick interface [m]."""
+        return self.outer_radius - self.wall_thickness
+
+    @property
+    def vapor_radius(self) -> float:
+        """Radius of the vapour core [m]."""
+        return self.inner_radius - self.wick_thickness
+
+    @property
+    def total_length(self) -> float:
+        """End-to-end pipe length [m]."""
+        return (self.evaporator_length + self.adiabatic_length
+                + self.condenser_length)
+
+    @property
+    def effective_length(self) -> float:
+        """Effective transport length L_eff = L_a + (L_e + L_c)/2 [m]."""
+        return (self.adiabatic_length
+                + 0.5 * (self.evaporator_length + self.condenser_length))
+
+    @property
+    def vapor_area(self) -> float:
+        """Vapour-core cross-section [m²]."""
+        return math.pi * self.vapor_radius ** 2
+
+    @property
+    def wick_area(self) -> float:
+        """Wick cross-section (annulus) [m²]."""
+        return math.pi * (self.inner_radius ** 2 - self.vapor_radius ** 2)
+
+
+@dataclass(frozen=True)
+class HeatPipe:
+    """A complete heat pipe: geometry + wick + fluid + wall material.
+
+    Parameters
+    ----------
+    geometry:
+        Cylindrical geometry.
+    wick:
+        Wick structure (see :mod:`avipack.twophase.wick`).
+    fluid:
+        Working fluid.
+    wall_conductivity:
+        Wall material conductivity [W/(m·K)] (copper ≈ 398).
+    tilt_deg:
+        Orientation: positive when the **evaporator is above** the
+        condenser (adverse gravity head working against the capillary
+        pump); negative for gravity-assisted operation.
+    """
+
+    geometry: HeatPipeGeometry
+    wick: Wick
+    fluid: WorkingFluid
+    wall_conductivity: float = 398.0
+    tilt_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wall_conductivity <= 0.0:
+            raise InputError("wall conductivity must be positive")
+        if not -90.0 <= self.tilt_deg <= 90.0:
+            raise InputError("tilt must be within +/-90 degrees")
+
+    # -- operating limits ------------------------------------------------------
+
+    def capillary_limit(self, temperature: float) -> float:
+        """Capillary (wicking) limit at vapour temperature ``T`` [W].
+
+        Classical closed form: the capillary pressure 2σ/r_eff minus the
+        hydrostatic head must overcome the Darcy liquid-return loss.
+        Returns 0 when gravity alone exceeds the pump (dried-out pipe).
+        """
+        sat = self.fluid.saturation(temperature)
+        geo = self.geometry
+        pump = self.wick.max_capillary_pressure(sat.surface_tension)
+        head = (sat.liquid_density * G0 * geo.total_length
+                * math.sin(math.radians(self.tilt_deg)))
+        available = pump - head
+        if available <= 0.0:
+            return 0.0
+        mass_flow_per_pa = (sat.liquid_density * self.wick.permeability
+                            * geo.wick_area
+                            / (sat.liquid_viscosity * geo.effective_length))
+        return available * mass_flow_per_pa * sat.latent_heat
+
+    def sonic_limit(self, temperature: float) -> float:
+        """Sonic (choked vapour flow) limit [W]."""
+        sat = self.fluid.saturation(temperature)
+        gamma = GAMMA_VAPOR
+        r_specific = sat.pressure / (sat.vapor_density * temperature)
+        speed_term = math.sqrt(gamma * r_specific * temperature
+                               / (2.0 * (gamma + 1.0)))
+        return (self.geometry.vapor_area * sat.vapor_density
+                * sat.latent_heat * speed_term)
+
+    def entrainment_limit(self, temperature: float) -> float:
+        """Entrainment limit: counterflow vapour shearing liquid off the
+        wick surface [W]."""
+        sat = self.fluid.saturation(temperature)
+        hydraulic_radius = self.wick.effective_pore_radius
+        return (self.geometry.vapor_area * sat.latent_heat
+                * math.sqrt(sat.surface_tension * sat.vapor_density
+                            / (2.0 * hydraulic_radius)))
+
+    def boiling_limit(self, temperature: float) -> float:
+        """Boiling limit: nucleate boiling in the wick blocks liquid
+        return [W]."""
+        sat = self.fluid.saturation(temperature)
+        geo = self.geometry
+        ln_ratio = math.log(geo.inner_radius / geo.vapor_radius)
+        critical_superheat_term = (2.0 * sat.surface_tension
+                                   * (1.0 / NUCLEATION_RADIUS
+                                      - 1.0 / self.wick.effective_pore_radius))
+        return (2.0 * math.pi * geo.evaporator_length
+                * self.wick.conductivity_saturated * temperature
+                * critical_superheat_term
+                / (sat.latent_heat * sat.vapor_density * ln_ratio))
+
+    def viscous_limit(self, temperature: float) -> float:
+        """Viscous (vapour-pressure) limit, relevant near start-up [W]."""
+        sat = self.fluid.saturation(temperature)
+        geo = self.geometry
+        return (math.pi * geo.vapor_radius ** 4 * sat.latent_heat
+                * sat.vapor_density * sat.pressure
+                / (12.0 * sat.vapor_viscosity * geo.effective_length))
+
+    def operating_limits(self, temperature: float) -> Dict[str, float]:
+        """All five limits at ``temperature`` [W], keyed by name."""
+        return {
+            "capillary": self.capillary_limit(temperature),
+            "sonic": self.sonic_limit(temperature),
+            "entrainment": self.entrainment_limit(temperature),
+            "boiling": self.boiling_limit(temperature),
+            "viscous": self.viscous_limit(temperature),
+        }
+
+    def max_heat_transport(self, temperature: float) -> Tuple[float, str]:
+        """Binding limit at ``temperature``: ``(Q_max, limit_name)``."""
+        limits = self.operating_limits(temperature)
+        name = min(limits, key=limits.get)
+        return limits[name], name
+
+    # -- thermal resistance -----------------------------------------------------
+
+    def thermal_resistance(self, temperature: float) -> float:
+        """End-to-end resistance (evaporator wall → condenser wall) [K/W].
+
+        Series model: radial wall conduction and saturated-wick conduction
+        at both ends, plus the (tiny) axial vapour temperature drop derived
+        from the Clausius–Clapeyron slope.
+        """
+        sat = self.fluid.saturation(temperature)
+        geo = self.geometry
+
+        def radial(length: float, r_out: float, r_in: float,
+                   conductivity: float) -> float:
+            return math.log(r_out / r_in) / (2.0 * math.pi * length
+                                             * conductivity)
+
+        r_wall_e = radial(geo.evaporator_length, geo.outer_radius,
+                          geo.inner_radius, self.wall_conductivity)
+        r_wick_e = radial(geo.evaporator_length, geo.inner_radius,
+                          geo.vapor_radius,
+                          self.wick.conductivity_saturated)
+        r_wall_c = radial(geo.condenser_length, geo.outer_radius,
+                          geo.inner_radius, self.wall_conductivity)
+        r_wick_c = radial(geo.condenser_length, geo.inner_radius,
+                          geo.vapor_radius,
+                          self.wick.conductivity_saturated)
+        # Vapour-space resistance from Clausius-Clapeyron: dT/dp = T·v_fg/h_fg,
+        # combined with laminar vapour pressure drop per watt.
+        dp_per_q = (8.0 * sat.vapor_viscosity * geo.effective_length
+                    / (math.pi * sat.vapor_density * geo.vapor_radius ** 4
+                       * sat.latent_heat))
+        dt_per_dp = temperature / (sat.latent_heat * sat.vapor_density)
+        r_vapor = dp_per_q * dt_per_dp
+        return r_wall_e + r_wick_e + r_vapor + r_wick_c + r_wall_c
+
+    def effective_conductivity(self, temperature: float) -> float:
+        """Equivalent rod conductivity k_eff = L / (R·A) [W/(m·K)].
+
+        The figure of merit quoted against solid copper drains.
+        """
+        geo = self.geometry
+        area = math.pi * geo.outer_radius ** 2
+        return geo.total_length / (self.thermal_resistance(temperature)
+                                   * area)
+
+    def check_operation(self, power: float, temperature: float) -> None:
+        """Raise :class:`OperatingLimitError` if ``power`` exceeds the
+        binding limit at ``temperature``."""
+        if power < 0.0:
+            raise InputError("power must be non-negative")
+        q_max, name = self.max_heat_transport(temperature)
+        if power > q_max:
+            raise OperatingLimitError(
+                f"heat pipe overloaded: {power:.1f} W exceeds the "
+                f"{name} limit of {q_max:.1f} W at {temperature:.1f} K",
+                limit_name=name, limit_value=q_max)
+
+    def temperature_drop(self, power: float, temperature: float) -> float:
+        """Evaporator-to-condenser ΔT at ``power`` [K].
+
+        Raises :class:`OperatingLimitError` above the binding limit.
+        """
+        self.check_operation(power, temperature)
+        return power * self.thermal_resistance(temperature)
+
+
+def standard_copper_water_heatpipe(diameter: float = 6.0e-3,
+                                   length: float = 0.15,
+                                   tilt_deg: float = 0.0) -> HeatPipe:
+    """A representative COTS copper/water/sintered heat pipe.
+
+    6 mm copper envelope, sintered copper-powder wick, water fill — the
+    kind of pipe used inside the COSEE SEB to drain component heat to the
+    box edge.  ``length`` is split 30 % evaporator / 40 % adiabatic /
+    30 % condenser.
+    """
+    from .wick import sintered_powder_wick
+
+    if diameter <= 0.0 or length <= 0.0:
+        raise InputError("diameter and length must be positive")
+    geometry = HeatPipeGeometry(
+        outer_radius=diameter / 2.0,
+        wall_thickness=0.3e-3,
+        wick_thickness=0.6e-3,
+        evaporator_length=0.3 * length,
+        adiabatic_length=0.4 * length,
+        condenser_length=0.3 * length,
+    )
+    wick = sintered_powder_wick(particle_radius=50e-6, porosity=0.5,
+                                k_solid=398.0, k_liquid=0.63)
+    return HeatPipe(geometry=geometry, wick=wick,
+                    fluid=WorkingFluid("water"), wall_conductivity=398.0,
+                    tilt_deg=tilt_deg)

@@ -1,0 +1,331 @@
+"""Loop heat pipe (LHP) model.
+
+A loop heat pipe separates the capillary structure (a fine-pored sintered
+wick confined to the evaporator) from smooth-walled vapour and liquid
+transport lines, which is why it moves heat over *large distances with
+small temperature differences* — exactly the property the COSEE project
+exploits to couple the seat electronics box to the seat structure
+(references [4–7] of the paper).
+
+The model solves the loop pressure balance
+
+.. math::
+
+   \\Delta p_{cap,max} = \\frac{2\\sigma}{r_{eff}} \\geq
+   \\Delta p_{vap} + \\Delta p_{cond} + \\Delta p_{liq} +
+   \\Delta p_{wick} + \\Delta p_{grav}(tilt)
+
+for the transport limit, and a series resistance model (evaporation film
++ wick conduction + Clausius–Clapeyron vapour-line drop + condensation
+film) for the operating temperature drop.  Tilting the loop adds an
+adverse hydrostatic term that both erodes the capillary margin and raises
+the required evaporator saturation pressure — reproducing the small but
+visible 22° tilt penalty of Fig. 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..errors import InputError, OperatingLimitError
+from ..units import G0
+from .wick import Wick, sintered_powder_wick
+from .workingfluid import WorkingFluid
+
+
+@dataclass(frozen=True)
+class TransportLine:
+    """A smooth transport line (vapour or liquid) of the loop."""
+
+    diameter: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.diameter <= 0.0 or self.length <= 0.0:
+            raise InputError("line diameter and length must be positive")
+
+    @property
+    def area(self) -> float:
+        """Flow cross-section [m²]."""
+        return math.pi * self.diameter ** 2 / 4.0
+
+    def laminar_pressure_drop(self, mass_flow: float, density: float,
+                              viscosity: float) -> float:
+        """Hagen–Poiseuille pressure drop [Pa] (laminar, checked by Re)."""
+        if mass_flow < 0.0:
+            raise InputError("mass flow must be non-negative")
+        if mass_flow == 0.0:
+            return 0.0
+        velocity = mass_flow / (density * self.area)
+        reynolds = density * velocity * self.diameter / viscosity
+        if reynolds < 2300.0:
+            return (128.0 * viscosity * self.length * mass_flow
+                    / (math.pi * density * self.diameter ** 4))
+        # Blasius turbulent friction for the rare high-flow cases.
+        friction = 0.3164 / reynolds ** 0.25
+        return (friction * self.length / self.diameter
+                * 0.5 * density * velocity ** 2)
+
+
+@dataclass(frozen=True)
+class LoopHeatPipe:
+    """A complete loop heat pipe.
+
+    Parameters
+    ----------
+    wick:
+        Primary evaporator wick (typically fine sintered nickel/titanium).
+    fluid:
+        Working fluid (ammonia for the COSEE/ITP units).
+    evaporator_area:
+        Active evaporation area inside the evaporator [m²].
+    condenser_area:
+        Condensation area wetted by the condenser line [m²].
+    vapor_line, liquid_line:
+        Transport-line geometries.
+    wick_thickness:
+        Radial thickness of the primary wick [m].
+    wick_area:
+        Wick cross-section normal to the liquid feed [m²].
+    evaporation_coefficient:
+        Evaporation film coefficient [W/(m²·K)]; 2–5·10⁴ typical.
+    condensation_coefficient:
+        Condensation film coefficient [W/(m²·K)].
+    elevation:
+        Height of the evaporator **above** the condenser at zero tilt [m]
+        (positive = adverse).
+    loop_span:
+        Horizontal distance between evaporator and condenser [m]; tilting
+        the whole installation by θ adds ``loop_span·sin(θ)`` of adverse
+        elevation.
+    max_evaporator_flux:
+        Boiling-crisis heat flux of the evaporator [W/m²]; miniature
+        ammonia LHPs sustain roughly 10 W/cm² before vapour blankets the
+        wick.
+    wick_participation:
+        Fraction of the wick thickness the heat actually conducts across
+        before evaporating at the vapour-groove menisci (< 1 because
+        evaporation occurs near the heated fin/groove interface, not at
+        the inner wick surface).
+    """
+
+    wick: Wick
+    fluid: WorkingFluid
+    evaporator_area: float
+    condenser_area: float
+    vapor_line: TransportLine
+    liquid_line: TransportLine
+    wick_thickness: float = 3.0e-3
+    wick_area: float = 8.0e-4
+    evaporation_coefficient: float = 3.0e4
+    condensation_coefficient: float = 8.0e3
+    elevation: float = 0.0
+    loop_span: float = 0.5
+    max_evaporator_flux: float = 1.0e5
+    wick_participation: float = 0.25
+    tilt_resistance_coefficient: float = 0.15
+
+    def __post_init__(self) -> None:
+        for name in ("evaporator_area", "condenser_area", "wick_thickness",
+                     "wick_area", "evaporation_coefficient",
+                     "condensation_coefficient", "loop_span",
+                     "max_evaporator_flux"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+        if not 0.0 < self.wick_participation <= 1.0:
+            raise InputError("wick participation must be in (0, 1]")
+
+    # -- pressure balance --------------------------------------------------------
+
+    def adverse_head(self, tilt_deg: float) -> float:
+        """Adverse elevation of the evaporator over the condenser [m]."""
+        if not -90.0 <= tilt_deg <= 90.0:
+            raise InputError("tilt must be within +/-90 degrees")
+        return self.elevation + self.loop_span * math.sin(
+            math.radians(tilt_deg))
+
+    def pressure_drops(self, power: float, temperature: float,
+                       tilt_deg: float = 0.0) -> Dict[str, float]:
+        """Loop pressure drops at ``power`` [W] and vapour temperature [K].
+
+        Returns a dict with keys ``vapor``, ``liquid``, ``wick``,
+        ``gravity`` and ``capillary_max``; all in Pa.  The gravity term may
+        be negative (assisting) for downward tilt.
+        """
+        if power < 0.0:
+            raise InputError("power must be non-negative")
+        sat = self.fluid.saturation(temperature)
+        mass_flow = power / sat.latent_heat
+        dp_vapor = self.vapor_line.laminar_pressure_drop(
+            mass_flow, sat.vapor_density, sat.vapor_viscosity)
+        dp_liquid = self.liquid_line.laminar_pressure_drop(
+            mass_flow, sat.liquid_density, sat.liquid_viscosity)
+        dp_wick = self.wick.liquid_pressure_drop(
+            mass_flow, sat.liquid_viscosity, sat.liquid_density,
+            self.wick_thickness, self.wick_area)
+        dp_gravity = (sat.liquid_density * G0
+                      * self.adverse_head(tilt_deg))
+        return {
+            "vapor": dp_vapor,
+            "liquid": dp_liquid,
+            "wick": dp_wick,
+            "gravity": dp_gravity,
+            "capillary_max": self.wick.max_capillary_pressure(
+                sat.surface_tension),
+        }
+
+    def capillary_margin(self, power: float, temperature: float,
+                         tilt_deg: float = 0.0) -> float:
+        """Remaining capillary pressure margin [Pa] (negative = dry-out)."""
+        drops = self.pressure_drops(power, temperature, tilt_deg)
+        consumed = (drops["vapor"] + drops["liquid"] + drops["wick"]
+                    + max(drops["gravity"], 0.0))
+        return drops["capillary_max"] - consumed
+
+    def capillary_limit(self, temperature: float,
+                        tilt_deg: float = 0.0) -> float:
+        """Capillary-limited maximum power at ``temperature`` [W].
+
+        Found by bisection on the pressure balance; returns 0 when gravity
+        alone exceeds the capillary pump.
+        """
+        if self.capillary_margin(0.0, temperature, tilt_deg) <= 0.0:
+            return 0.0
+        lo, hi = 0.0, 10.0
+        while (self.capillary_margin(hi, temperature, tilt_deg) > 0.0
+               and hi < 1.0e6):
+            hi *= 2.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.capillary_margin(mid, temperature, tilt_deg) > 0.0:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def boiling_limit(self) -> float:
+        """Evaporator boiling-crisis limit q''_max · A_evap [W]."""
+        return self.max_evaporator_flux * self.evaporator_area
+
+    def max_transport(self, temperature: float,
+                      tilt_deg: float = 0.0) -> float:
+        """Binding maximum power: min(capillary, boiling) [W]."""
+        return min(self.capillary_limit(temperature, tilt_deg),
+                   self.boiling_limit())
+
+    # -- thermal model ------------------------------------------------------------
+
+    def thermal_resistance(self, power: float, temperature: float,
+                           tilt_deg: float = 0.0) -> float:
+        """Evaporator-saddle to condenser-saddle resistance [K/W].
+
+        Series terms: evaporation film, wick radial conduction, the
+        vapour-line saturation-temperature drop (Clausius–Clapeyron on the
+        line + gravity pressure difference) and condensation film.  The
+        power dependence is weak; pass the actual power for the
+        vapour-line term (use a small floor at very low power).
+        """
+        sat = self.fluid.saturation(temperature)
+        r_evap = 1.0 / (self.evaporation_coefficient * self.evaporator_area)
+        effective_thickness = self.wick_thickness * self.wick_participation
+        r_wick = effective_thickness / (self.wick.conductivity_saturated
+                                        * self.evaporator_area)
+        r_cond = 1.0 / (self.condensation_coefficient * self.condenser_area)
+        dt_per_dp = temperature / (sat.latent_heat * sat.vapor_density)
+        power_floor = max(power, 1.0)
+        drops = self.pressure_drops(power_floor, temperature, tilt_deg)
+        dp_loop = drops["vapor"] + max(drops["gravity"], 0.0)
+        r_line = dp_loop * dt_per_dp / power_floor
+        # Adverse tilt increases the compensation-chamber heat leak (the
+        # liquid column partially floods the CC), seen experimentally as a
+        # small extra resistance growing with sin(tilt).
+        head = self.adverse_head(tilt_deg)
+        r_tilt = (self.tilt_resistance_coefficient
+                  * max(head, 0.0) / max(self.loop_span, 1e-9))
+        return r_evap + r_wick + r_cond + r_line + r_tilt
+
+    def conductance(self, power: float, temperature: float,
+                    tilt_deg: float = 0.0) -> float:
+        """Loop conductance [W/K] = 1 / resistance."""
+        return 1.0 / self.thermal_resistance(power, temperature, tilt_deg)
+
+    def check_operation(self, power: float, temperature: float,
+                        tilt_deg: float = 0.0) -> None:
+        """Raise :class:`OperatingLimitError` when beyond the binding
+        limit (capillary pressure balance or evaporator boiling) at this
+        tilt."""
+        if power < 0.0:
+            raise InputError("power must be non-negative")
+        q_cap = self.capillary_limit(temperature, tilt_deg)
+        q_boil = self.boiling_limit()
+        name, q_max = (("capillary", q_cap) if q_cap <= q_boil
+                       else ("boiling", q_boil))
+        if power > q_max:
+            raise OperatingLimitError(
+                f"LHP overloaded: {power:.1f} W exceeds the {name} limit "
+                f"of {q_max:.1f} W at {temperature:.1f} K, "
+                f"tilt {tilt_deg:.0f} deg",
+                limit_name=name, limit_value=q_max)
+
+    def temperature_drop(self, power: float, temperature: float,
+                         tilt_deg: float = 0.0) -> float:
+        """Saddle-to-saddle ΔT at ``power`` [K], limit-checked."""
+        self.check_operation(power, temperature, tilt_deg)
+        return power * self.thermal_resistance(power, temperature, tilt_deg)
+
+    def network_conductance(self, power_hint: float,
+                            tilt_deg: float = 0.0
+                            ) -> Callable[[float, float], float]:
+        """Conductance callable ``g(t_hot, t_cold)`` for a thermal network.
+
+        The saturation temperature is approximated by the hot-side
+        temperature; ``power_hint`` sets the vapour-line term.  When the
+        hot side exceeds the fluid's validity range the conductance
+        degrades to a tiny value, mimicking loop shutdown/dry-out.
+        """
+        if power_hint < 0.0:
+            raise InputError("power hint must be non-negative")
+
+        def conductance(t_hot: float, t_cold: float) -> float:
+            try:
+                q_max = self.max_transport(t_hot, tilt_deg)
+                if q_max < power_hint:
+                    # Partially dried loop: conductance collapses smoothly.
+                    factor = max(q_max / max(power_hint, 1e-9), 1e-3)
+                else:
+                    factor = 1.0
+                return factor * self.conductance(power_hint, t_hot, tilt_deg)
+            except Exception:
+                return 1e-4
+
+        return conductance
+
+
+def cosee_ammonia_lhp(elevation: float = 0.0,
+                      loop_span: float = 0.6) -> LoopHeatPipe:
+    """A COSEE-class miniature ammonia LHP (ITP / Euro Heat Pipes style).
+
+    Sintered nickel primary wick (≈1–2 µm pores), ammonia fill, ~0.6 m
+    transport lines to the seat structure.  Each unit carries roughly
+    30 W — the paper reports two such loops moving 58 W together.
+    """
+    wick = sintered_powder_wick(particle_radius=1.5e-6, porosity=0.6,
+                                k_solid=90.0, k_liquid=0.5)
+    return LoopHeatPipe(
+        wick=wick,
+        fluid=WorkingFluid("ammonia"),
+        evaporator_area=1.8e-3,
+        condenser_area=6.0e-3,
+        vapor_line=TransportLine(diameter=3.0e-3, length=loop_span),
+        liquid_line=TransportLine(diameter=2.0e-3, length=loop_span),
+        wick_thickness=3.0e-3,
+        wick_area=6.0e-4,
+        evaporation_coefficient=2.5e4,
+        condensation_coefficient=6.0e3,
+        elevation=elevation,
+        loop_span=loop_span,
+        max_evaporator_flux=5.0e4,
+        wick_participation=0.25,
+    )

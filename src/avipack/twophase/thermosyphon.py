@@ -1,0 +1,184 @@
+"""Two-phase closed thermosyphon model.
+
+A thermosyphon is a wickless heat pipe: gravity returns the condensate, so
+it only works with the evaporator *below* the condenser.  The paper lists
+thermosyphon loops among the phase-change options investigated for cabin
+equipment; compared with an LHP it is cheaper but orientation-critical —
+an important trade-off the core design flow must expose.
+
+The model provides the flooding (counter-current flow) limit via the
+Wallis/Kutateladze correlation, a dry-out limit from the fill charge, film
+condensation and nucleate boiling resistances (Nusselt and Rohsenow), and
+an orientation check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import InputError, OperatingLimitError
+from ..units import G0
+from .workingfluid import WorkingFluid
+
+#: Rohsenow surface/fluid coefficient for copper-water class surfaces.
+ROHSENOW_CSF = 0.013
+
+
+@dataclass(frozen=True)
+class Thermosyphon:
+    """Closed two-phase thermosyphon tube.
+
+    Parameters
+    ----------
+    inner_diameter:
+        Tube bore [m].
+    evaporator_length, adiabatic_length, condenser_length:
+        Section lengths [m].
+    fluid:
+        Working fluid.
+    fill_ratio:
+        Liquid charge as a fraction of evaporator volume (0.2–0.8 typical).
+    inclination_deg:
+        Angle from vertical; 0 = perfectly vertical (condenser up).
+        Beyond ``max_inclination_deg`` the condensate no longer returns.
+    max_inclination_deg:
+        Orientation tolerance before gravity return fails.
+    """
+
+    inner_diameter: float
+    evaporator_length: float
+    adiabatic_length: float
+    condenser_length: float
+    fluid: WorkingFluid
+    fill_ratio: float = 0.5
+    inclination_deg: float = 0.0
+    max_inclination_deg: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.inner_diameter <= 0.0:
+            raise InputError("inner diameter must be positive")
+        for name in ("evaporator_length", "condenser_length"):
+            if getattr(self, name) <= 0.0:
+                raise InputError(f"{name} must be positive")
+        if self.adiabatic_length < 0.0:
+            raise InputError("adiabatic length must be non-negative")
+        if not 0.05 <= self.fill_ratio <= 1.0:
+            raise InputError("fill ratio must be in [0.05, 1.0]")
+        if not 0.0 <= self.max_inclination_deg < 90.0:
+            raise InputError("max inclination must be in [0, 90) degrees")
+
+    @property
+    def cross_section(self) -> float:
+        """Vapour-core cross-section [m²]."""
+        return math.pi * self.inner_diameter ** 2 / 4.0
+
+    def check_orientation(self) -> None:
+        """Raise :class:`OperatingLimitError` when gravity return fails."""
+        if abs(self.inclination_deg) > self.max_inclination_deg:
+            raise OperatingLimitError(
+                f"thermosyphon inclined {self.inclination_deg:.0f} deg "
+                f"exceeds the {self.max_inclination_deg:.0f} deg gravity-"
+                "return tolerance",
+                limit_name="orientation",
+                limit_value=self.max_inclination_deg)
+
+    # -- limits ---------------------------------------------------------------
+
+    def flooding_limit(self, temperature: float) -> float:
+        """Counter-current flooding limit (Kutateladze/Faghri) [W].
+
+        Q_max = f·A·h_fg·[g·σ·(ρ_l−ρ_v)]^0.25·ρ_v^0.5 with the Bond-number
+        factor f and the effective gravity reduced by inclination.
+        """
+        self.check_orientation()
+        sat = self.fluid.saturation(temperature)
+        g_eff = G0 * math.cos(math.radians(self.inclination_deg))
+        bond = self.inner_diameter * math.sqrt(
+            g_eff * (sat.liquid_density - sat.vapor_density)
+            / sat.surface_tension)
+        kutateladze = (bond / (1.0 + bond)) * 3.2
+        flux_term = (g_eff * sat.surface_tension
+                     * (sat.liquid_density - sat.vapor_density)) ** 0.25
+        return (kutateladze * self.cross_section * sat.latent_heat
+                * math.sqrt(sat.vapor_density) * flux_term)
+
+    def dryout_limit(self, temperature: float) -> float:
+        """Dry-out limit from the liquid charge [W].
+
+        Scales the flooding limit by the fill ratio: an under-filled tube
+        dries before it floods (Faghri's engineering approximation).
+        """
+        fill_factor = min(1.0, self.fill_ratio / 0.5)
+        return fill_factor * self.flooding_limit(temperature)
+
+    def operating_limits(self, temperature: float) -> Dict[str, float]:
+        """Both limits at ``temperature`` [W], keyed by name."""
+        return {
+            "flooding": self.flooding_limit(temperature),
+            "dryout": self.dryout_limit(temperature),
+        }
+
+    def max_heat_transport(self, temperature: float) -> Tuple[float, str]:
+        """Binding limit: ``(Q_max, name)``."""
+        limits = self.operating_limits(temperature)
+        name = min(limits, key=limits.get)
+        return limits[name], name
+
+    # -- resistances -------------------------------------------------------------
+
+    def condensation_resistance(self, power: float,
+                                temperature: float) -> float:
+        """Nusselt falling-film condensation resistance [K/W]."""
+        self.check_orientation()
+        sat = self.fluid.saturation(temperature)
+        area = math.pi * self.inner_diameter * self.condenser_length
+        g_eff = G0 * math.cos(math.radians(self.inclination_deg))
+        # Nusselt film with ΔT eliminated via q = h·ΔT: iterate twice.
+        delta_t = 2.0
+        for _ in range(3):
+            h = 0.943 * (sat.liquid_density
+                         * (sat.liquid_density - sat.vapor_density)
+                         * g_eff * sat.latent_heat
+                         * sat.liquid_conductivity ** 3
+                         / (sat.liquid_viscosity * delta_t
+                            * self.condenser_length)) ** 0.25
+            delta_t = max(power / (h * area), 0.05)
+        return 1.0 / (h * area)
+
+    def boiling_resistance(self, power: float, temperature: float) -> float:
+        """Nucleate pool-boiling resistance in the evaporator [K/W].
+
+        Rohsenow correlation inverted for ΔT at the imposed flux.
+        """
+        if power <= 0.0:
+            raise InputError("power must be positive for boiling resistance")
+        sat = self.fluid.saturation(temperature)
+        area = math.pi * self.inner_diameter * self.evaporator_length
+        flux = power / area
+        prandtl = (sat.liquid_viscosity * sat.liquid_specific_heat
+                   / sat.liquid_conductivity)
+        bubble_length = math.sqrt(
+            sat.surface_tension
+            / (G0 * (sat.liquid_density - sat.vapor_density)))
+        delta_t = (ROHSENOW_CSF * sat.latent_heat * prandtl
+                   / sat.liquid_specific_heat
+                   * (flux / (sat.liquid_viscosity * sat.latent_heat)
+                      * bubble_length) ** (1.0 / 3.0))
+        return delta_t / power
+
+    def thermal_resistance(self, power: float, temperature: float) -> float:
+        """Total evaporator-wall to condenser-wall resistance [K/W]."""
+        return (self.boiling_resistance(power, temperature)
+                + self.condensation_resistance(power, temperature))
+
+    def temperature_drop(self, power: float, temperature: float) -> float:
+        """ΔT at ``power`` [K]; raises beyond the binding limit."""
+        q_max, name = self.max_heat_transport(temperature)
+        if power > q_max:
+            raise OperatingLimitError(
+                f"thermosyphon overloaded: {power:.1f} W exceeds the {name} "
+                f"limit of {q_max:.1f} W", limit_name=name,
+                limit_value=q_max)
+        return power * self.thermal_resistance(power, temperature)

@@ -1,0 +1,25 @@
+"""repro — distribution shim re-exporting :mod:`avipack`.
+
+The reproduction workspace mandates the ``repro`` import name; the
+library proper lives in :mod:`avipack`.  Both names expose the same
+public API::
+
+    import repro
+    repro.SeatElectronicsBox  # same object as avipack.SeatElectronicsBox
+"""
+
+from avipack import *  # noqa: F401,F403
+from avipack import (  # noqa: F401
+    __version__,
+    core,
+    environments,
+    experiments,
+    materials,
+    mechanical,
+    packaging,
+    reliability,
+    thermal,
+    tim,
+    twophase,
+    units,
+)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the avipack test suite."""
+
+import pytest
+
+from avipack.packaging.seb import (
+    SeatElectronicsBox,
+    SebConfiguration,
+    carbon_composite_seat_structure,
+)
+from avipack.mechanical.random_vibration import PowerSpectralDensity
+from avipack.twophase.heatpipe import standard_copper_water_heatpipe
+from avipack.twophase.loopheatpipe import cosee_ammonia_lhp
+
+
+@pytest.fixture(scope="session")
+def seb():
+    """The default COSEE seat electronics box."""
+    return SeatElectronicsBox()
+
+
+@pytest.fixture(scope="session")
+def seb_natural():
+    return SebConfiguration(cooling="natural")
+
+
+@pytest.fixture(scope="session")
+def seb_lhp():
+    return SebConfiguration(cooling="hp_lhp")
+
+
+@pytest.fixture(scope="session")
+def seb_tilted():
+    return SebConfiguration(cooling="hp_lhp", tilt_deg=22.0)
+
+
+@pytest.fixture(scope="session")
+def seb_carbon():
+    return SebConfiguration(cooling="hp_lhp",
+                            structure=carbon_composite_seat_structure())
+
+
+@pytest.fixture(scope="session")
+def copper_water_hp():
+    return standard_copper_water_heatpipe()
+
+
+@pytest.fixture(scope="session")
+def cosee_lhp():
+    return cosee_ammonia_lhp()
+
+
+@pytest.fixture
+def flat_psd():
+    """A flat 0.01 g²/Hz PSD from 10 to 2000 Hz."""
+    return PowerSpectralDensity(((10.0, 0.01), (2000.0, 0.01)))

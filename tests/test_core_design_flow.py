@@ -1,0 +1,150 @@
+"""Tests for the Fig. 1 design procedure and reporting."""
+
+import pytest
+
+from avipack.core.design_flow import (
+    FrequencyAllocation,
+    PackagingSpecification,
+    run_design_procedure,
+    run_mechanical_branch,
+)
+from avipack.core.report import (
+    render_design_document,
+    summarize_margins,
+)
+from avipack.errors import InputError, SpecificationError
+from avipack.packaging.component import make_component
+from avipack.packaging.module import Module
+from avipack.packaging.pcb import Pcb
+from avipack.packaging.rack import Rack
+from avipack.reliability.mtbf import PartReliability
+
+
+def build_rack(power=8.0, thickness=1.6e-3):
+    rack = Rack("unit_rack")
+    board = Pcb(0.16, 0.1, thickness=thickness)
+    board.place(make_component("U1", "bga_23mm", power * 0.6,
+                               (0.08, 0.05)))
+    board.place(make_component("U2", "to_220", power * 0.4, (0.04, 0.03)))
+    rack.add_module(Module("m1", pcb=board))
+    return rack
+
+
+class TestFrequencyAllocation:
+    def test_contains(self):
+        plan = FrequencyAllocation(400.0, 600.0)
+        assert plan.contains(500.0)
+        assert not plan.contains(300.0)
+
+    def test_center(self):
+        assert FrequencyAllocation(400.0, 600.0).center \
+            == pytest.approx(500.0)
+
+    def test_invalid_order(self):
+        with pytest.raises(InputError):
+            FrequencyAllocation(600.0, 400.0)
+
+
+class TestSpecification:
+    def test_defaults_match_paper(self):
+        spec = PackagingSpecification("unit")
+        assert spec.board_limit == pytest.approx(358.15)     # 85 degC
+        assert spec.junction_limit == pytest.approx(398.15)  # 125 degC
+        assert spec.mtbf_target_hours == pytest.approx(40_000.0)
+
+    def test_invalid_category(self):
+        with pytest.raises(InputError):
+            PackagingSpecification("unit", temperature_category_name="Z1")
+
+    def test_invalid_curve(self):
+        with pytest.raises(InputError):
+            PackagingSpecification("unit", vibration_curve_name="Q")
+
+
+class TestMechanicalBranch:
+    def test_runs_on_rack(self):
+        review = run_mechanical_branch(build_rack(),
+                                       PackagingSpecification("unit"))
+        assert review.fundamental_hz > 0.0
+        assert review.allowable_deflection > 0.0
+
+    def test_allocation_violation_detected(self):
+        spec = PackagingSpecification(
+            "unit",
+            frequency_allocation=FrequencyAllocation(2000.0, 3000.0))
+        review = run_mechanical_branch(build_rack(), spec)
+        assert not review.allocation_respected
+
+    def test_thicker_board_higher_frequency(self):
+        spec = PackagingSpecification("unit")
+        thin = run_mechanical_branch(build_rack(thickness=1.0e-3), spec)
+        thick = run_mechanical_branch(build_rack(thickness=3.2e-3), spec)
+        assert thick.fundamental_hz > thin.fundamental_hz
+
+    def test_rack_without_pcb_rejected(self):
+        rack = Rack("bare")
+        rack.add_module(Module("m1", power_override=10.0))
+        with pytest.raises(InputError):
+            run_mechanical_branch(rack, PackagingSpecification("unit"))
+
+
+class TestDesignProcedure:
+    def test_compliant_design(self):
+        review = run_design_procedure(build_rack(power=6.0),
+                                      PackagingSpecification("unit"))
+        assert review.compliant
+        assert review.violations == ()
+
+    def test_reliability_rollup(self):
+        parts = [PartReliability("U1", 300.0),
+                 PartReliability("U2", 200.0)]
+        review = run_design_procedure(build_rack(power=6.0),
+                                      PackagingSpecification("unit"),
+                                      parts=parts)
+        assert review.mtbf_hours is not None
+        assert review.mtbf_hours > 0.0
+
+    def test_thermal_violation_reported(self):
+        review = run_design_procedure(build_rack(power=150.0),
+                                      PackagingSpecification("unit"))
+        assert not review.compliant
+        assert any("level" in v for v in review.violations)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(SpecificationError) as excinfo:
+            run_design_procedure(build_rack(power=150.0),
+                                 PackagingSpecification("unit"),
+                                 strict=True)
+        assert excinfo.value.violations
+
+    def test_frequency_plan_violation_reported(self):
+        spec = PackagingSpecification(
+            "unit",
+            frequency_allocation=FrequencyAllocation(2000.0, 3000.0))
+        review = run_design_procedure(build_rack(power=6.0), spec)
+        assert any("frequency" in v for v in review.violations)
+
+
+class TestReport:
+    def test_document_renders(self):
+        review = run_design_procedure(build_rack(power=6.0),
+                                      PackagingSpecification("unit"))
+        document = render_design_document(review)
+        assert "PACKAGING DESIGN DOCUMENT" in document
+        assert "COMPLIANT" in document
+        assert "THERMAL DESIGN" in document
+        assert "MECHANICAL DESIGN" in document
+
+    def test_violations_listed(self):
+        review = run_design_procedure(build_rack(power=150.0),
+                                      PackagingSpecification("unit"))
+        document = render_design_document(review)
+        assert "NON-COMPLIANT" in document
+
+    def test_margin_summary(self):
+        review = run_design_procedure(build_rack(power=6.0),
+                                      PackagingSpecification("unit"))
+        summary = summarize_margins(review)
+        assert summary["compliant"]
+        assert summary["fundamental_hz"] > 0.0
+        assert summary["n_violations"] == 0

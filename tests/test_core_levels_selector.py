@@ -1,0 +1,177 @@
+"""Tests for the three-level pyramid and the architecture selector."""
+
+import pytest
+
+from avipack.core.levels import (
+    run_level1,
+    run_level2,
+    run_level3,
+    run_pyramid,
+)
+from avipack.core.selector import (
+    Architecture,
+    ThermalRequirement,
+    assess,
+    forced_air_no_longer_applicable,
+    select_architecture,
+)
+from avipack.errors import InputError
+from avipack.packaging.cooling import CoolingTechnique
+from avipack.packaging.component import make_component
+from avipack.packaging.module import Module
+from avipack.packaging.pcb import Pcb
+from avipack.packaging.rack import Rack, computer_rack
+from avipack.units import celsius_to_kelvin
+
+
+def populated_rack(power_per_module=15.0, n_modules=3):
+    """A realistic populated rack: heavy-copper boards, spread power."""
+    rack = Rack("test_rack")
+    for index in range(n_modules):
+        board = Pcb(0.16, 0.1, n_copper_layers=8, copper_coverage=0.7)
+        board.place(make_component(f"U{index}_1", "bga_35mm",
+                                   power_per_module * 0.5, (0.08, 0.05)))
+        board.place(make_component(f"U{index}_2", "to_220",
+                                   power_per_module * 0.3, (0.04, 0.03)))
+        board.place(make_component(f"U{index}_3", "dpak",
+                                   power_per_module * 0.2, (0.12, 0.07)))
+        rack.add_module(Module(f"m{index + 1}", pcb=board))
+    return rack
+
+
+class TestLevel1:
+    def test_low_power_recommends_simple(self):
+        result = run_level1(15.0)
+        assert result.is_feasible
+        assert result.recommended in (CoolingTechnique.FREE_CONVECTION,
+                                      CoolingTechnique.DIRECT_AIR_FLOW)
+
+    def test_high_power_escalates(self):
+        result = run_level1(150.0)
+        assert result.recommended not in (
+            CoolingTechnique.FREE_CONVECTION, None)
+
+    def test_extreme_power_nothing_feasible(self):
+        result = run_level1(800.0)
+        assert not result.is_feasible
+        assert result.recommended is None
+
+    def test_rises_reported_for_all(self):
+        result = run_level1(30.0)
+        assert set(result.technique_rises) == set(CoolingTechnique)
+
+    def test_invalid_power(self):
+        with pytest.raises(InputError):
+            run_level1(-1.0)
+
+
+class TestLevel2:
+    def test_compliance_depends_on_power(self):
+        assert run_level2(computer_rack(4, 10.0)).compliant
+        assert not run_level2(computer_rack(4, 250.0)).compliant
+
+    def test_board_lookup(self):
+        result = run_level2(computer_rack(3, 20.0))
+        assert result.board_temperature("computer_rack_m2") > 0.0
+        with pytest.raises(InputError):
+            result.board_temperature("ghost")
+
+
+class TestLevel3:
+    def test_junctions_above_boundary(self):
+        board = Pcb(0.16, 0.1)
+        board.place(make_component("U1", "bga_23mm", 8.0, (0.08, 0.05)))
+        result = run_level3(board, celsius_to_kelvin(45.0))
+        assert result.max_junction > celsius_to_kelvin(45.0)
+
+    def test_violation_detection(self):
+        board = Pcb(0.16, 0.1)
+        board.place(make_component("U1", "bga_23mm", 40.0, (0.08, 0.05)))
+        result = run_level3(board, celsius_to_kelvin(70.0), h_film=8.0)
+        assert "U1" in result.violations
+        assert not result.compliant
+
+    def test_empty_board_rejected(self):
+        with pytest.raises(InputError):
+            run_level3(Pcb(0.16, 0.1), 313.15)
+
+
+class TestPyramid:
+    def test_full_run_compliant_rack(self):
+        result = run_pyramid(populated_rack(10.0),
+                             ambient=celsius_to_kelvin(40.0))
+        assert result.level1.is_feasible
+        assert result.level3  # level 3 ran on populated boards
+        assert result.compliant
+
+    def test_junctions_cascade_from_level2(self):
+        result = run_pyramid(populated_rack(15.0))
+        for level3 in result.level3.values():
+            assert level3.max_junction \
+                > result.level2.slots[0].inlet_temperature
+
+    def test_overloaded_rack_not_compliant(self):
+        result = run_pyramid(populated_rack(150.0))
+        assert not result.compliant
+
+
+class TestSelector:
+    def test_low_power_free_convection(self):
+        req = ThermalRequirement(module_power=15.0, peak_flux_w_cm2=1.0)
+        assert select_architecture(req) \
+            is Architecture.FREE_CONVECTION
+
+    def test_standard_module_forced_air(self):
+        req = ThermalRequirement(module_power=80.0, peak_flux_w_cm2=5.0)
+        assert select_architecture(req) is Architecture.FORCED_AIR
+
+    def test_hotspot_crisis_forces_two_phase(self):
+        # The paper's scenario: >100 W modules, >10 W/cm2 hot spots.
+        req = ThermalRequirement(module_power=120.0,
+                                 peak_flux_w_cm2=40.0)
+        choice = select_architecture(req)
+        assert choice in (Architecture.HEAT_PIPE_ASSISTED,
+                          Architecture.THERMOSYPHON,
+                          Architecture.LOOP_HEAT_PIPE)
+        assert forced_air_no_longer_applicable(req)
+
+    def test_long_distance_needs_lhp(self):
+        # The COSEE scenario: heat moved ~0.6 m to the seat structure.
+        req = ThermalRequirement(module_power=100.0,
+                                 peak_flux_w_cm2=15.0,
+                                 air_available=False,
+                                 coldwall_available=False,
+                                 transport_distance=0.6)
+        assert select_architecture(req) is Architecture.LOOP_HEAT_PIPE
+
+    def test_unstable_orientation_excludes_thermosyphon(self):
+        req = ThermalRequirement(module_power=200.0,
+                                 peak_flux_w_cm2=30.0,
+                                 orientation_stable=False)
+        verdicts = {a.architecture: a for a in assess(req)}
+        assert not verdicts[Architecture.THERMOSYPHON].viable
+
+    def test_sealed_excludes_direct_air(self):
+        req = ThermalRequirement(module_power=50.0, sealed=True)
+        verdicts = {a.architecture: a for a in assess(req)}
+        assert not verdicts[Architecture.FORCED_AIR].viable
+
+    def test_impossible_requirement_raises(self):
+        req = ThermalRequirement(module_power=5000.0,
+                                 peak_flux_w_cm2=500.0)
+        with pytest.raises(InputError):
+            select_architecture(req)
+
+    def test_viable_sorted_first(self):
+        req = ThermalRequirement(module_power=80.0)
+        ranked = assess(req)
+        seen_nonviable = False
+        for verdict in ranked:
+            if not verdict.viable:
+                seen_nonviable = True
+            elif seen_nonviable:
+                pytest.fail("viable architecture after a non-viable one")
+
+    def test_reasons_always_present(self):
+        for verdict in assess(ThermalRequirement(module_power=80.0)):
+            assert verdict.reasons

@@ -1,0 +1,99 @@
+"""Meta tests: documentation and packaging stay consistent with the code.
+
+These keep the repo honest as it evolves: every bench DESIGN.md points
+at must exist, every documented example must run as a file, and the
+public namespaces must resolve completely.
+"""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocumentsExist:
+    def test_required_documents(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "pyproject.toml"):
+            assert (ROOT / name).is_file(), name
+
+    def test_design_mentions_paper_identity_check(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "identity check" in text.lower()
+
+    def test_experiments_covers_headline_figure(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert "Fig. 10" in text
+        assert "58 W" in text
+
+
+class TestDesignIndexHonest:
+    def test_every_indexed_bench_exists(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        benches = set(re.findall(r"benchmarks/([\w]+\.py)", text))
+        assert benches, "DESIGN.md lists no benches?"
+        for bench in benches:
+            assert (ROOT / "benchmarks" / bench).is_file(), bench
+
+    def test_every_bench_file_is_indexed_or_perf(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for path in (ROOT / "benchmarks").glob("test_*.py"):
+            name = path.name
+            if name in ("test_solver_performance.py",
+                        "test_ife_fleet.py"):
+                continue  # perf suite / indexed by EXPERIMENTS.md
+            indexed = name in text \
+                or name in (ROOT / "EXPERIMENTS.md").read_text()
+            assert indexed, f"{name} not referenced by the docs"
+
+
+class TestExamplesDocumented:
+    def test_readme_lists_every_example(self):
+        readme = (ROOT / "README.md").read_text()
+        for path in (ROOT / "examples").glob("*.py"):
+            assert path.name in readme, path.name
+
+    def test_every_example_has_module_docstring(self):
+        import ast
+
+        for path in (ROOT / "examples").glob("*.py"):
+            tree = ast.parse(path.read_text())
+            assert ast.get_docstring(tree), path.name
+
+    def test_every_example_has_main_guard(self):
+        for path in (ROOT / "examples").glob("*.py"):
+            assert '__name__ == "__main__"' in path.read_text(), \
+                path.name
+
+
+class TestNamespaces:
+    SUBPACKAGES = ("materials", "thermal", "twophase", "mechanical",
+                   "tim", "environments", "reliability", "packaging",
+                   "core", "experiments")
+
+    @pytest.mark.parametrize("subpackage", SUBPACKAGES)
+    def test_all_exports_resolve(self, subpackage):
+        module = importlib.import_module(f"avipack.{subpackage}")
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{subpackage}.{name}"
+
+    @pytest.mark.parametrize("subpackage", SUBPACKAGES)
+    def test_all_lists_unique(self, subpackage):
+        module = importlib.import_module(f"avipack.{subpackage}")
+        exported = list(getattr(module, "__all__", ()))
+        assert len(exported) == len(set(exported)), subpackage
+
+    def test_public_functions_documented(self):
+        # Every public callable reachable from avipack.* __all__ must
+        # carry a docstring - the (e) deliverable, enforced.
+        undocumented = []
+        for subpackage in self.SUBPACKAGES:
+            module = importlib.import_module(f"avipack.{subpackage}")
+            for name in getattr(module, "__all__", ()):
+                obj = getattr(module, name)
+                if callable(obj) and not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{subpackage}.{name}")
+        assert not undocumented, undocumented

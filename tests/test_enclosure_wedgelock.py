@@ -1,0 +1,153 @@
+"""Tests for the box radiation enclosure and the wedge-lock model."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from avipack.errors import InputError
+from avipack.packaging.wedgelock import WedgeLock, torque_study
+from avipack.thermal.enclosure import BOX_FACES, BoxEnclosure
+from avipack.thermal.radiation import enclosure_exchange_factor
+from avipack.units import STEFAN_BOLTZMANN
+
+
+@pytest.fixture
+def seb_box():
+    return BoxEnclosure((0.3, 0.2, 0.08))
+
+
+@pytest.fixture
+def cube():
+    return BoxEnclosure((0.1, 0.1, 0.1))
+
+
+class TestViewFactors:
+    def test_rows_close(self, seb_box):
+        f = seb_box.view_factor_matrix()
+        assert np.allclose(f.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_reciprocity_exact(self, seb_box):
+        f = seb_box.view_factor_matrix()
+        areas = np.array([seb_box.face_area(face) for face in BOX_FACES])
+        af = areas[:, None] * f
+        assert np.max(np.abs(af - af.T)) < 1e-12
+
+    def test_cube_analytic_values(self, cube):
+        # Exact cube factors: opposite faces 0.19982, perpendicular
+        # 0.20004 (they differ only in the 4th decimal).
+        f = cube.view_factor_matrix()
+        assert f[0, 1] == pytest.approx(0.19982, rel=1e-3)   # opposite
+        assert f[0, 2] == pytest.approx(0.20004, rel=1e-3)   # perp.
+
+    def test_self_view_zero(self, seb_box):
+        f = seb_box.view_factor_matrix()
+        assert np.allclose(np.diag(f), 0.0, atol=1e-12)
+
+    def test_close_plates_dominate(self):
+        # A very flat box: opposite large faces see mostly each other.
+        flat = BoxEnclosure((0.3, 0.3, 0.01))
+        f = flat.view_factor_matrix()
+        index = {face: i for i, face in enumerate(BOX_FACES)}
+        assert f[index["z_min"], index["z_max"]] > 0.85
+
+
+class TestExchange:
+    def test_energy_conservation(self, seb_box):
+        temps = {face: 300.0 for face in BOX_FACES}
+        temps["x_min"] = 340.0
+        flows = seb_box.net_radiation(temps)
+        assert sum(flows.values()) == pytest.approx(0.0, abs=1e-9)
+        assert flows["x_min"] > 0.0
+
+    def test_isothermal_no_exchange(self, seb_box):
+        temps = {face: 320.0 for face in BOX_FACES}
+        flows = seb_box.net_radiation(temps)
+        assert all(abs(q) < 1e-9 for q in flows.values())
+
+    def test_black_cube_matches_two_surface_bound(self, cube):
+        # One hot face vs five cold faces, all black: the hot face's
+        # emission is A sigma (T1^4 - T2^4) exactly (F to others = 1).
+        black = replace(cube, default_emissivity=1.0)
+        temps = {face: 300.0 for face in BOX_FACES}
+        temps["z_min"] = 350.0
+        flows = black.net_radiation(temps)
+        area = black.face_area("z_min")
+        expected = area * STEFAN_BOLTZMANN * (350.0 ** 4 - 300.0 ** 4)
+        assert flows["z_min"] == pytest.approx(expected, rel=1e-9)
+
+    def test_missing_face_rejected(self, seb_box):
+        with pytest.raises(InputError):
+            seb_box.net_radiation({"x_min": 300.0})
+
+    def test_pair_conductance_positive_and_sane(self, seb_box):
+        g = seb_box.pair_conductance("z_min", "z_max", 330.0, 300.0)
+        # h_r ~ 5-6 W/m2K at 315 K over 0.06 m2 with view factor < 1.
+        assert 0.05 < g < 0.5
+
+    def test_pair_conductance_validates(self, seb_box):
+        with pytest.raises(InputError):
+            seb_box.pair_conductance("z_min", "z_min", 330.0, 300.0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(InputError):
+            BoxEnclosure((0.1, -0.1, 0.1))
+
+    def test_invalid_emissivity(self):
+        with pytest.raises(InputError):
+            BoxEnclosure((0.1, 0.1, 0.1), emissivities={"x_min": 1.5})
+
+
+class TestWedgeLock:
+    def test_force_chain(self):
+        lock = WedgeLock(screw_torque=1.0, screw_diameter=4e-3,
+                         wedge_angle_deg=45.0)
+        assert lock.axial_force == pytest.approx(1.0 / (0.2 * 4e-3))
+        assert lock.normal_force == pytest.approx(lock.axial_force)
+
+    def test_shallower_wedge_clamps_harder(self):
+        steep = WedgeLock(wedge_angle_deg=60.0)
+        shallow = WedgeLock(wedge_angle_deg=30.0)
+        assert shallow.normal_force > steep.normal_force
+
+    def test_conductance_magnitude(self):
+        # Real wedge locks: ~0.02-0.2 K/W per clamped edge.
+        lock = WedgeLock()
+        assert 0.01 < lock.resistance() < 0.3
+
+    def test_torque_study_monotone(self):
+        results = torque_study(WedgeLock())
+        conductances = [g for _t, g in results]
+        assert conductances == sorted(conductances)
+
+    def test_under_torqued_lock_degrades(self):
+        nominal = WedgeLock(screw_torque=1.1)
+        loose = WedgeLock(screw_torque=0.3)
+        assert loose.conductance() < 0.5 * nominal.conductance()
+
+    def test_smoother_surface_better(self):
+        rough = WedgeLock(surface_roughness=5e-6)
+        smooth = WedgeLock(surface_roughness=0.5e-6)
+        assert smooth.conductance() > rough.conductance()
+
+    def test_invalid_angle(self):
+        with pytest.raises(InputError):
+            WedgeLock(wedge_angle_deg=5.0)
+
+    def test_invalid_torque_in_study(self):
+        with pytest.raises(InputError):
+            torque_study(WedgeLock(), torques=(-1.0,))
+
+    def test_conductance_feeds_module_envelope(self):
+        # Round trip: a wedge-locked conduction-cooled module.
+        from avipack.packaging.cooling import (
+            CoolingTechnique,
+            ModuleEnvelope,
+            evaluate_cooling,
+        )
+
+        lock = WedgeLock()
+        envelope = ModuleEnvelope(edge_conductance=lock.conductance())
+        evaluation = evaluate_cooling(CoolingTechnique.CONDUCTION_COOLED,
+                                      40.0, envelope)
+        assert evaluation.feasible_85c

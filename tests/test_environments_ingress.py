@@ -1,0 +1,161 @@
+"""Tests for ingress-protection / sealing constraints and the CLI."""
+
+import pytest
+
+from avipack.environments.ingress import (
+    SealingLevel,
+    assess_sealing,
+    compatible_techniques,
+    required_sealing,
+    seb_zone_explains_passive_choice,
+    technique_compatible,
+)
+from avipack.errors import InputError
+from avipack.packaging.cooling import CoolingTechnique
+
+
+class TestZones:
+    def test_bay_needs_no_sealing(self):
+        assert required_sealing("avionics_bay") is SealingLevel.NONE
+
+    def test_cabin_seat_dust_protected(self):
+        assert required_sealing("cabin_seat") \
+            is SealingLevel.DUST_PROTECTED
+
+    def test_external_worst(self):
+        assert required_sealing("unpressurised") \
+            is SealingLevel.IMMERSION
+
+    def test_unknown_zone(self):
+        with pytest.raises(InputError):
+            required_sealing("engine_core")
+
+
+class TestCompatibility:
+    def test_direct_air_only_in_open_bay(self):
+        assert technique_compatible(CoolingTechnique.DIRECT_AIR_FLOW,
+                                    SealingLevel.NONE)
+        assert not technique_compatible(
+            CoolingTechnique.DIRECT_AIR_FLOW,
+            SealingLevel.DUST_PROTECTED)
+
+    def test_washed_shell_survives_dust(self):
+        assert technique_compatible(CoolingTechnique.AIR_FLOW_AROUND,
+                                    SealingLevel.DUST_TIGHT)
+        assert not technique_compatible(
+            CoolingTechnique.AIR_FLOW_AROUND, SealingLevel.SPLASH_PROOF)
+
+    def test_sealed_techniques_always_work(self):
+        for technique in (CoolingTechnique.FREE_CONVECTION,
+                          CoolingTechnique.CONDUCTION_COOLED,
+                          CoolingTechnique.LIQUID_FLOW_THROUGH):
+            assert technique_compatible(technique,
+                                        SealingLevel.IMMERSION)
+
+    def test_string_values_accepted(self):
+        # The string form is what crosses the package boundary.
+        assert not technique_compatible("direct_air_flow",
+                                        SealingLevel.DUST_TIGHT)
+
+    def test_compatible_set_shrinks_with_severity(self):
+        bay = compatible_techniques("avionics_bay")
+        seat = compatible_techniques("cabin_seat")
+        external = compatible_techniques("unpressurised")
+        assert len(external) <= len(seat) <= len(bay)
+        assert CoolingTechnique.DIRECT_AIR_FLOW in bay
+        assert CoolingTechnique.DIRECT_AIR_FLOW not in seat
+
+
+class TestAssessment:
+    def test_surcharge_tracks_level(self):
+        mild = assess_sealing("avionics_bay",
+                              CoolingTechnique.FREE_CONVECTION)
+        severe = assess_sealing("unpressurised",
+                                CoolingTechnique.FREE_CONVECTION)
+        assert severe.complexity_surcharge > mild.complexity_surcharge
+
+    def test_cosee_logic_holds(self):
+        # The model agrees with the paper's reasoning for going passive.
+        assert seb_zone_explains_passive_choice()
+
+
+class TestCli:
+    def test_default_runs(self, capsys):
+        from avipack.__main__ import main
+
+        assert main([]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 10" in output
+        assert "capability increase" in output
+
+    def test_subcommands(self, capsys):
+        from avipack.__main__ import main
+
+        assert main(["nanopack"]) == 0
+        assert "NANOPACK" in capsys.readouterr().out
+        assert main(["qual"]) == 0
+        assert "QUALIFICATION" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        from avipack.__main__ import main
+
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        from avipack.__main__ import main
+
+        assert main(["--help"]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+
+class TestZoneAwareSelection:
+    def test_seb_case_derives_lhp(self):
+        """The headline: the COSEE architecture falls out of the model."""
+        from avipack.core.selector import (
+            Architecture,
+            ThermalRequirement,
+            select_for_zone,
+        )
+
+        requirement = ThermalRequirement(module_power=40.0,
+                                         peak_flux_w_cm2=3.0,
+                                         transport_distance=0.6)
+        assert select_for_zone("cabin_seat", requirement) \
+            is Architecture.LOOP_HEAT_PIPE
+
+    def test_bay_keeps_forced_air(self):
+        from avipack.core.selector import (
+            Architecture,
+            ThermalRequirement,
+            select_for_zone,
+        )
+
+        requirement = ThermalRequirement(module_power=40.0,
+                                         peak_flux_w_cm2=3.0)
+        assert select_for_zone("avionics_bay", requirement) \
+            is Architecture.FORCED_AIR
+
+    def test_low_power_seat_box_stays_passive(self):
+        from avipack.core.selector import (
+            Architecture,
+            ThermalRequirement,
+            select_for_zone,
+        )
+
+        requirement = ThermalRequirement(module_power=15.0,
+                                         peak_flux_w_cm2=1.0,
+                                         transport_distance=0.1)
+        assert select_for_zone("cabin_seat", requirement) \
+            is Architecture.FREE_CONVECTION
+
+    def test_unknown_zone_rejected(self):
+        from avipack.core.selector import (
+            ThermalRequirement,
+            select_for_zone,
+        )
+        from avipack.errors import InputError
+
+        with pytest.raises(InputError):
+            select_for_zone("flight_deck_window",
+                            ThermalRequirement(module_power=10.0))

@@ -1,0 +1,133 @@
+"""Cross-module integration tests: full workflows end to end."""
+
+import pytest
+
+from avipack import (
+    FrequencyAllocation,
+    PackagingSpecification,
+    SeatElectronicsBox,
+    SebConfiguration,
+    run_campaign,
+    run_design_procedure,
+)
+from avipack.core.report import (
+    render_design_document,
+    render_qualification_report,
+)
+from avipack.environments.profiles import cosee_campaign
+from avipack.experiments.cosee import measure_claims, seb_under_test
+from avipack.packaging.component import make_component
+from avipack.packaging.module import Module
+from avipack.packaging.pcb import Pcb, dummy_resistive_pcb
+from avipack.packaging.rack import Rack
+from avipack.reliability.mtbf import PartReliability, predict_mtbf
+from avipack.thermal.transient import TransientNetworkSolver, ramp_profile
+from avipack.units import celsius_to_kelvin
+
+
+def avionics_rack():
+    rack = Rack("avionics_unit")
+    for index in range(2):
+        board = Pcb(0.16, 0.1, n_copper_layers=8, copper_coverage=0.7)
+        board.place(make_component(f"cpu{index}", "bga_35mm", 3.0,
+                                   (0.08, 0.05)))
+        board.place(make_component(f"reg{index}", "to_220", 2.0,
+                                   (0.04, 0.03)))
+        rack.add_module(Module(f"board{index + 1}", pcb=board))
+    return rack
+
+
+class TestFullDesignFlow:
+    def test_design_to_document_to_reliability(self):
+        """Spec -> design procedure -> document -> MTBF, end to end."""
+        spec = PackagingSpecification(
+            "ifu_computer",
+            frequency_allocation=FrequencyAllocation(100.0, 2000.0))
+        parts = [
+            PartReliability("cpu0", 150.0, 0.5, quality="full_mil"),
+            PartReliability("reg0", 100.0, quality="full_mil"),
+            PartReliability("cpu1", 150.0, 0.5, quality="full_mil"),
+            PartReliability("reg1", 100.0, quality="full_mil"),
+        ]
+        review = run_design_procedure(avionics_rack(), spec, parts=parts)
+        assert review.compliant
+        assert review.mtbf_hours is not None
+        document = render_design_document(review)
+        assert "MTBF" in document
+        # The MTBF printed comes from the level-3 junctions.
+        junctions = {}
+        for level3 in review.thermal.level3.values():
+            junctions.update(level3.junction_temperatures)
+        direct = predict_mtbf(parts, junctions)
+        assert review.mtbf_hours == pytest.approx(direct.mtbf_hours)
+
+
+class TestCoseeEndToEnd:
+    def test_claims_plus_qualification(self):
+        """The complete COSEE story: thermal gains AND qualification."""
+        claims = measure_claims()
+        assert claims.capability_with_lhp > 2.0 \
+            * claims.capability_without_lhp
+        report = run_campaign(seb_under_test(power=40.0),
+                              cosee_campaign())
+        assert report.passed
+        text = render_qualification_report(report)
+        assert "PASS" in text
+
+    def test_seb_transient_startup(self, seb, seb_lhp):
+        """Power-on transient of the SEB reaches its steady solution."""
+        steady = seb.solve(40.0, seb_lhp)
+        network = seb.build_network(40.0, seb_lhp)
+        solver = TransientNetworkSolver(network)
+        result = solver.integrate(duration=4.0 * 3600.0, time_step=30.0,
+                                  initial_temperature=seb_lhp.ambient)
+        assert result.final("pcb") == pytest.approx(
+            steady.pcb_temperature, abs=1.5)
+
+    def test_seb_cabin_heatup(self, seb, seb_lhp):
+        """Cabin ambient ramp drags the SEB up with thermal lag."""
+        network = seb.build_network(40.0, seb_lhp)
+        ramp = ramp_profile(celsius_to_kelvin(20.0),
+                            celsius_to_kelvin(40.0), ramp_rate=0.05)
+        solver = TransientNetworkSolver(
+            network, boundary_schedules={"ambient": ramp})
+        result = solver.integrate(duration=3.0 * 3600.0, time_step=30.0,
+                                  initial_temperature=celsius_to_kelvin(
+                                      20.0))
+        # Final pcb temperature reflects the new 40 degC ambient.
+        assert result.final("pcb") > celsius_to_kelvin(40.0)
+
+
+class TestDummyPcbInSeb:
+    def test_dummy_board_junctions_from_seb_solution(self, seb, seb_lhp):
+        """Level-3 style: hand the SEB pcb-node temperature down to the
+        dummy resistive board's resistor junctions."""
+        solution = seb.solve(40.0, seb_lhp)
+        board = dummy_resistive_pcb(0.26, 0.16, 40.0, n_resistors=6)
+        for component in board.components:
+            junction = component.junction_temperature(
+                solution.pcb_temperature)
+            # Resistor junctions stay under 155 degC even at capability.
+            assert junction < celsius_to_kelvin(155.0)
+
+    def test_lhp_failure_mode_detected(self, seb):
+        """With the LHPs disconnected (natural cooling), 100 W is not a
+        legal operating point: the PCB exceeds any sane limit."""
+        natural = SebConfiguration(cooling="natural")
+        solution = seb.solve(100.0, natural)
+        assert solution.pcb_temperature > celsius_to_kelvin(120.0)
+
+
+class TestPublicApi:
+    def test_repro_shim_exports(self):
+        import repro
+
+        assert repro.SeatElectronicsBox is SeatElectronicsBox
+        assert hasattr(repro, "run_design_procedure")
+        assert hasattr(repro.experiments, "fig10_curves")
+
+    def test_top_level_exports(self):
+        import avipack
+
+        for name in avipack.__all__:
+            assert hasattr(avipack, name), name

@@ -1,0 +1,143 @@
+"""Tests for fluid property correlations, checked against handbook values."""
+
+import pytest
+
+from avipack.errors import InputError, ModelRangeError
+from avipack.materials.fluids import (
+    air_properties,
+    list_working_fluids,
+    rank_working_fluids,
+    saturation_properties,
+    water_properties,
+)
+
+
+class TestAir:
+    def test_density_at_300k(self):
+        # Ideal gas: 1.177 kg/m3 at 300 K, 1 atm.
+        assert air_properties(300.0).density == pytest.approx(1.177,
+                                                              rel=0.01)
+
+    def test_viscosity_at_300k(self):
+        # Sutherland: ~1.85e-5 Pa.s.
+        assert air_properties(300.0).viscosity \
+            == pytest.approx(1.85e-5, rel=0.02)
+
+    def test_prandtl_near_0p7(self):
+        assert air_properties(300.0).prandtl == pytest.approx(0.71,
+                                                              abs=0.03)
+
+    def test_expansion_is_ideal_gas(self):
+        assert air_properties(350.0).expansion_coeff \
+            == pytest.approx(1.0 / 350.0)
+
+    def test_density_scales_with_pressure(self):
+        sea = air_properties(300.0, 101_325.0)
+        altitude = air_properties(300.0, 50_000.0)
+        assert altitude.density == pytest.approx(
+            sea.density * 50_000.0 / 101_325.0, rel=1e-9)
+
+    def test_out_of_range(self):
+        with pytest.raises(ModelRangeError):
+            air_properties(100.0)
+
+    def test_negative_pressure(self):
+        with pytest.raises(InputError):
+            air_properties(300.0, -1.0)
+
+
+class TestWater:
+    def test_density_at_20c(self):
+        assert water_properties(293.15).density == pytest.approx(998.2,
+                                                                 rel=0.005)
+
+    def test_viscosity_at_20c(self):
+        assert water_properties(293.15).viscosity \
+            == pytest.approx(1.0e-3, rel=0.05)
+
+    def test_conductivity_at_20c(self):
+        assert water_properties(293.15).conductivity \
+            == pytest.approx(0.60, rel=0.03)
+
+    def test_prandtl_at_20c(self):
+        assert water_properties(293.15).prandtl == pytest.approx(7.0,
+                                                                 rel=0.1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ModelRangeError):
+            water_properties(400.0)
+
+
+class TestSaturation:
+    def test_water_boiling_point(self):
+        state = saturation_properties("water", 373.15)
+        assert state.pressure == pytest.approx(101_325.0, rel=0.01)
+        assert state.latent_heat == pytest.approx(2.257e6, rel=0.01)
+
+    def test_water_at_60c(self):
+        # Steam tables: 19.95 kPa at 60 degC.
+        state = saturation_properties("water", 333.15)
+        assert state.pressure == pytest.approx(19_950.0, rel=0.03)
+
+    def test_ammonia_at_25c(self):
+        # NIST: ~10.0 bar at 25 degC.
+        state = saturation_properties("ammonia", 298.15)
+        assert state.pressure == pytest.approx(1.0e6, rel=0.1)
+
+    def test_latent_heat_decreases_towards_critical(self):
+        low = saturation_properties("water", 300.0)
+        high = saturation_properties("water", 450.0)
+        assert high.latent_heat < low.latent_heat
+
+    def test_surface_tension_decreases_with_temperature(self):
+        low = saturation_properties("acetone", 280.0)
+        high = saturation_properties("acetone", 400.0)
+        assert high.surface_tension < low.surface_tension
+
+    def test_vapor_density_increases_with_temperature(self):
+        low = saturation_properties("methanol", 300.0)
+        high = saturation_properties("methanol", 400.0)
+        assert high.vapor_density > low.vapor_density
+
+    def test_liquid_denser_than_vapor(self):
+        for fluid in list_working_fluids():
+            state = saturation_properties(fluid, 320.0)
+            assert state.liquid_density > state.vapor_density
+
+    def test_unknown_fluid(self):
+        with pytest.raises(InputError):
+            saturation_properties("mercury", 400.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ModelRangeError):
+            saturation_properties("ammonia", 500.0)
+
+    def test_all_fluids_evaluate_mid_range(self):
+        for fluid in list_working_fluids():
+            state = saturation_properties(fluid, 320.0)
+            assert state.pressure > 0.0
+            assert state.latent_heat > 0.0
+            assert state.merit_number() > 0.0
+
+
+class TestMeritRanking:
+    def test_water_wins_at_electronics_temperatures(self):
+        # Water has the highest figure of merit in the 300-450 K band.
+        ranking = rank_working_fluids(330.0)
+        assert ranking[0][0] == "water"
+
+    def test_ranking_sorted_descending(self):
+        ranking = rank_working_fluids(330.0)
+        merits = [merit for _name, merit in ranking]
+        assert merits == sorted(merits, reverse=True)
+
+    def test_cold_ranking_excludes_water(self):
+        # Water correlation does not reach 220 K (frozen anyway).
+        names = [name for name, _merit in rank_working_fluids(220.0)]
+        assert "water" not in names
+        assert "ammonia" in names
+
+    def test_water_merit_magnitude(self):
+        # Literature: water merit ~ 3-5e11 W/m2 near 330-370 K.
+        ranking = dict(rank_working_fluids(350.0))
+        assert ranking["water"] == pytest.approx(4.0e11, rel=0.5)

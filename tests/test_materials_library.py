@@ -1,0 +1,144 @@
+"""Tests for the solid material library."""
+
+import pytest
+
+from avipack.errors import InputError, MaterialNotFoundError
+from avipack.materials.library import (
+    CARBON_COMPOSITE,
+    DEFAULT_LIBRARY,
+    FR4_LAMINATE,
+    Material,
+    MaterialLibrary,
+    OrthotropicMaterial,
+    get_material,
+    pcb_effective_conductivity,
+)
+
+
+class TestMaterial:
+    def test_aluminum_properties(self):
+        alu = get_material("aluminum_6061")
+        assert alu.conductivity == pytest.approx(167.0)
+        assert alu.density == pytest.approx(2700.0)
+        assert alu.youngs_modulus == pytest.approx(68.9e9)
+
+    def test_copper_beats_aluminum(self):
+        assert get_material("copper").conductivity \
+            > get_material("aluminum_6061").conductivity
+
+    def test_diffusivity_positive(self):
+        for name in DEFAULT_LIBRARY:
+            assert get_material(name).thermal_diffusivity() > 0.0
+
+    def test_copper_diffusivity_magnitude(self):
+        # Copper alpha ~ 1.1e-4 m2/s.
+        assert get_material("copper").thermal_diffusivity() \
+            == pytest.approx(1.15e-4, rel=0.05)
+
+    def test_conductivity_at_temperature(self):
+        copper = get_material("copper")
+        assert copper.conductivity_at(373.15) < copper.conductivity_at(293.15)
+
+    def test_conductivity_never_negative(self):
+        silicon = get_material("silicon")
+        assert silicon.conductivity_at(900.0) > 0.0
+
+    def test_conductivity_at_zero_kelvin_rejected(self):
+        with pytest.raises(InputError):
+            get_material("copper").conductivity_at(0.0)
+
+    def test_with_conductivity(self):
+        derated = get_material("copper").with_conductivity(200.0)
+        assert derated.conductivity == pytest.approx(200.0)
+        assert derated.density == get_material("copper").density
+
+    def test_with_conductivity_invalid(self):
+        with pytest.raises(InputError):
+            get_material("copper").with_conductivity(-1.0)
+
+    def test_invalid_density(self):
+        with pytest.raises(InputError):
+            Material("bad", density=-1.0, conductivity=1.0,
+                     specific_heat=1.0)
+
+    def test_invalid_emissivity(self):
+        with pytest.raises(InputError):
+            Material("bad", density=1.0, conductivity=1.0,
+                     specific_heat=1.0, emissivity=1.5)
+
+    def test_invalid_poisson(self):
+        with pytest.raises(InputError):
+            Material("bad", density=1.0, conductivity=1.0,
+                     specific_heat=1.0, poisson_ratio=0.6)
+
+
+class TestOrthotropic:
+    def test_fr4_anisotropy(self):
+        assert FR4_LAMINATE.conductivity_xy > 10 * FR4_LAMINATE.conductivity_z
+
+    def test_carbon_composite_poor_conductor(self):
+        # The paper: "rather poor thermal conductivity" vs aluminium.
+        alu = get_material("aluminum_6061")
+        assert CARBON_COMPOSITE.conductivity_xy < alu.conductivity / 10.0
+
+    def test_isotropic_equivalent_between_bounds(self):
+        iso = FR4_LAMINATE.isotropic_equivalent()
+        assert FR4_LAMINATE.conductivity_z < iso.conductivity \
+            < FR4_LAMINATE.conductivity_xy
+
+    def test_invalid_conductivity(self):
+        with pytest.raises(InputError):
+            OrthotropicMaterial("bad", 1000.0, -1.0, 1.0, 1000.0)
+
+
+class TestLibrary:
+    def test_unknown_material(self):
+        with pytest.raises(MaterialNotFoundError):
+            get_material("unobtainium")
+
+    def test_duplicate_registration_rejected(self):
+        lib = MaterialLibrary()
+        mat = Material("m", 1.0, 1.0, 1.0)
+        lib.register(mat)
+        with pytest.raises(InputError):
+            lib.register(mat)
+
+    def test_overwrite_allowed(self):
+        lib = MaterialLibrary()
+        lib.register(Material("m", 1.0, 1.0, 1.0))
+        lib.register(Material("m", 2.0, 2.0, 2.0), overwrite=True)
+        assert lib.get("m").density == pytest.approx(2.0)
+
+    def test_contains_and_len(self):
+        assert "copper" in DEFAULT_LIBRARY
+        assert len(DEFAULT_LIBRARY) >= 15
+
+    def test_iteration_sorted(self):
+        names = list(DEFAULT_LIBRARY)
+        assert names == sorted(names)
+
+
+class TestPcbEffectiveConductivity:
+    def test_inplane_dominated_by_copper(self):
+        k_xy, k_z = pcb_effective_conductivity(0.5, 4, 35e-6, 1.6e-3)
+        assert k_xy > 10.0
+        assert k_z < 1.0
+        assert k_xy > k_z
+
+    def test_no_copper_gives_resin(self):
+        k_xy, k_z = pcb_effective_conductivity(0.0, 0, 35e-6, 1.6e-3)
+        assert k_xy == pytest.approx(0.35)
+        assert k_z == pytest.approx(0.35)
+
+    def test_more_layers_more_conductive(self):
+        k4, _ = pcb_effective_conductivity(0.5, 4, 35e-6, 1.6e-3)
+        k8, _ = pcb_effective_conductivity(0.5, 8, 35e-6, 1.6e-3)
+        assert k8 > k4
+
+    def test_copper_exceeding_board_rejected(self):
+        with pytest.raises(InputError):
+            pcb_effective_conductivity(1.0, 100, 35e-6, 1.6e-3)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InputError):
+            pcb_effective_conductivity(1.5, 4, 35e-6, 1.6e-3)

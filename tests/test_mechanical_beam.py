@@ -1,0 +1,134 @@
+"""Tests for the beam FEM against closed-form solutions."""
+
+import numpy as np
+import pytest
+
+from avipack.errors import InputError
+from avipack.mechanical.beam import (
+    BeamModel,
+    BeamSection,
+    simply_supported_beam_frequency,
+)
+
+
+@pytest.fixture
+def alu_section():
+    return BeamSection.rectangular(0.02, 0.005, 70e9, 2700.0)
+
+
+def pinned_beam(section, length=0.5, n=40):
+    beam = BeamModel(length, section, n)
+    beam.set_support("left", "pinned")
+    beam.set_support("right", "pinned")
+    return beam
+
+
+class TestSections:
+    def test_rectangular_inertia(self):
+        sec = BeamSection.rectangular(0.02, 0.01, 70e9, 2700.0)
+        assert sec.inertia == pytest.approx(0.02 * 0.01 ** 3 / 12.0)
+
+    def test_tube_area(self):
+        sec = BeamSection.tube(0.03, 0.002, 70e9, 2700.0)
+        expected = np.pi / 4.0 * (0.03 ** 2 - 0.026 ** 2)
+        assert sec.area == pytest.approx(expected)
+
+    def test_tube_wall_too_thick(self):
+        with pytest.raises(InputError):
+            BeamSection.tube(0.03, 0.02, 70e9, 2700.0)
+
+    def test_invalid_section(self):
+        with pytest.raises(InputError):
+            BeamSection(area=-1.0, inertia=1e-8, youngs_modulus=70e9,
+                        density=2700.0)
+
+
+class TestModal:
+    def test_pinned_pinned_matches_analytic(self, alu_section):
+        beam = pinned_beam(alu_section)
+        fem = beam.natural_frequencies(3)
+        for mode in range(1, 4):
+            analytic = simply_supported_beam_frequency(0.5, alu_section,
+                                                       mode)
+            assert fem[mode - 1] == pytest.approx(analytic, rel=0.001)
+
+    def test_clamped_clamped_stiffer_than_pinned(self, alu_section):
+        pinned = pinned_beam(alu_section)
+        clamped = BeamModel(0.5, alu_section, 40)
+        clamped.set_support("left", "clamped")
+        clamped.set_support("right", "clamped")
+        assert clamped.natural_frequencies(1)[0] \
+            > 2.0 * pinned.natural_frequencies(1)[0]
+
+    def test_cantilever_frequency(self, alu_section):
+        # f1 = (1.8751^2 / 2 pi L^2) sqrt(EI/rhoA).
+        beam = BeamModel(0.3, alu_section, 40)
+        beam.set_support("left", "clamped")
+        ei = alu_section.youngs_modulus * alu_section.inertia
+        rho_a = alu_section.density * alu_section.area
+        analytic = 1.8751 ** 2 / (2.0 * np.pi * 0.3 ** 2) \
+            * np.sqrt(ei / rho_a)
+        assert beam.natural_frequencies(1)[0] == pytest.approx(analytic,
+                                                               rel=0.001)
+
+    def test_point_mass_lowers_frequency(self, alu_section):
+        bare = pinned_beam(alu_section)
+        loaded = pinned_beam(alu_section)
+        loaded.add_point_mass(0.25, 0.5)
+        assert loaded.natural_frequencies(1)[0] \
+            < bare.natural_frequencies(1)[0]
+
+    def test_mass_at_node_of_mode2_ignored_by_mode2(self, alu_section):
+        # Mass at mid-span sits on mode 2's node: f2 barely changes.
+        bare = pinned_beam(alu_section)
+        loaded = pinned_beam(alu_section)
+        loaded.add_point_mass(0.25, 0.3)
+        f2_bare = bare.natural_frequencies(2)[1]
+        f2_loaded = loaded.natural_frequencies(2)[1]
+        assert f2_loaded == pytest.approx(f2_bare, rel=0.01)
+
+    def test_unconstrained_rejected(self, alu_section):
+        beam = BeamModel(0.5, alu_section)
+        with pytest.raises(InputError):
+            beam.natural_frequencies(1)
+
+
+class TestStatic:
+    def test_center_load_matches_analytic(self, alu_section):
+        # Pinned-pinned centre load: delta = F L^3 / (48 EI).
+        beam = pinned_beam(alu_section, n=40)
+        deflection = beam.static_deflection({0.25: 100.0})
+        ei = alu_section.youngs_modulus * alu_section.inertia
+        analytic = 100.0 * 0.5 ** 3 / (48.0 * ei)
+        assert deflection[20] == pytest.approx(analytic, rel=0.001)
+
+    def test_supports_stay_put(self, alu_section):
+        beam = pinned_beam(alu_section)
+        deflection = beam.static_deflection({0.25: 100.0})
+        assert deflection[0] == pytest.approx(0.0, abs=1e-15)
+        assert deflection[-1] == pytest.approx(0.0, abs=1e-15)
+
+    def test_quasi_static_9g(self, alu_section):
+        # The paper's acceleration test: deflection under 9 g must exceed
+        # the 1 g deflection by exactly 9x (linear).
+        beam = pinned_beam(alu_section)
+        d9 = beam.quasi_static_acceleration_deflection(9.0 * 9.80665)
+        d1 = beam.quasi_static_acceleration_deflection(9.80665)
+        assert np.max(np.abs(d9)) == pytest.approx(
+            9.0 * np.max(np.abs(d1)), rel=1e-9)
+
+    def test_bending_stress_positive(self, alu_section):
+        beam = pinned_beam(alu_section)
+        deflection = beam.static_deflection({0.25: 100.0})
+        stress = beam.max_bending_stress(deflection, 0.0025)
+        assert stress > 0.0
+
+    def test_bending_stress_wrong_shape(self, alu_section):
+        beam = pinned_beam(alu_section)
+        with pytest.raises(InputError):
+            beam.max_bending_stress(np.zeros(3), 0.0025)
+
+    def test_off_beam_load_rejected(self, alu_section):
+        beam = pinned_beam(alu_section)
+        with pytest.raises(InputError):
+            beam.static_deflection({2.0: 100.0})

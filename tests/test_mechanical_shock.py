@@ -1,0 +1,117 @@
+"""Tests for shock response and quasi-static acceleration checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from avipack.errors import InputError
+from avipack.mechanical.shock import (
+    QuasiStaticLoadCase,
+    bracket_stress,
+    fastener_shear_stress,
+    half_sine_pulse,
+    sdof_peak_response,
+    shock_response_spectrum,
+    terminal_sawtooth_pulse,
+)
+from avipack.units import G0
+
+
+class TestPulses:
+    def test_half_sine_peak(self):
+        pulse = half_sine_pulse(6.0, 0.011)
+        assert pulse(0.0055) == pytest.approx(6.0 * G0)
+
+    def test_half_sine_zero_outside(self):
+        pulse = half_sine_pulse(6.0, 0.011)
+        assert pulse(-0.001) == 0.0
+        assert pulse(0.02) == 0.0
+
+    def test_sawtooth_peak_at_end(self):
+        pulse = terminal_sawtooth_pulse(20.0, 0.011)
+        assert pulse(0.011) == pytest.approx(20.0 * G0)
+        assert pulse(0.0) == pytest.approx(0.0)
+
+    def test_invalid_pulse(self):
+        with pytest.raises(InputError):
+            half_sine_pulse(-6.0, 0.011)
+
+
+class TestSdofResponse:
+    def test_static_regime_tracks_input(self):
+        # f_n >> 1/duration: response approaches the input peak.
+        pulse = half_sine_pulse(6.0, 0.011)
+        peak = sdof_peak_response(2000.0, 0.05, pulse, 0.011)
+        assert peak == pytest.approx(6.0, rel=0.1)
+
+    def test_impulsive_regime_attenuates(self):
+        # f_n << 1/duration: the mass barely moves.
+        pulse = half_sine_pulse(6.0, 0.011)
+        peak = sdof_peak_response(5.0, 0.05, pulse, 0.011)
+        assert peak < 3.0
+
+    def test_dynamic_amplification_near_resonance(self):
+        # Half-sine SRS peaks ~1.6-1.8x input around f ~ 0.8/duration.
+        pulse = half_sine_pulse(6.0, 0.011)
+        peak = sdof_peak_response(0.8 / 0.011, 0.05, pulse, 0.011)
+        assert 1.4 * 6.0 < peak < 1.9 * 6.0
+
+    def test_damping_reduces_peak(self):
+        pulse = half_sine_pulse(6.0, 0.011)
+        light = sdof_peak_response(70.0, 0.02, pulse, 0.011)
+        heavy = sdof_peak_response(70.0, 0.3, pulse, 0.011)
+        assert heavy < light
+
+    def test_invalid_damping(self):
+        pulse = half_sine_pulse(6.0, 0.011)
+        with pytest.raises(InputError):
+            sdof_peak_response(100.0, 1.5, pulse, 0.011)
+
+
+class TestSrs:
+    def test_srs_shape(self):
+        pulse = half_sine_pulse(6.0, 0.011)
+        freqs = [5.0, 20.0, 70.0, 200.0, 1000.0]
+        srs = shock_response_spectrum(pulse, 0.011, freqs)
+        # Rising at low frequency, peak near 0.8/D, settling to input.
+        assert srs[0] < srs[2]
+        assert srs[2] == max(srs)
+        assert srs[-1] == pytest.approx(6.0, rel=0.15)
+
+    def test_srs_scales_with_input(self):
+        freqs = [50.0, 100.0]
+        srs6 = shock_response_spectrum(half_sine_pulse(6.0, 0.011),
+                                       0.011, freqs)
+        srs12 = shock_response_spectrum(half_sine_pulse(12.0, 0.011),
+                                        0.011, freqs)
+        assert np.allclose(srs12, 2.0 * srs6, rtol=1e-6)
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(InputError):
+            shock_response_spectrum(half_sine_pulse(6.0, 0.011), 0.011, [])
+
+
+class TestQuasiStatic:
+    def test_paper_load_case(self):
+        # 9 g, 3 minutes per axis.
+        case = QuasiStaticLoadCase(acceleration_g=9.0)
+        assert case.duration_s == pytest.approx(180.0)
+        assert case.inertial_force(2.0) == pytest.approx(2.0 * 9.0 * G0)
+
+    def test_invalid_axis(self):
+        with pytest.raises(InputError):
+            QuasiStaticLoadCase(9.0, axis="w")
+
+    def test_bracket_stress(self):
+        # 100 N at 50 mm on Z = 1e-7 m3: 50 MPa.
+        assert bracket_stress(100.0, 0.05, 1e-7) == pytest.approx(5.0e7)
+
+    def test_fastener_shear(self):
+        stress = fastener_shear_stress(1000.0, 4, 4e-3)
+        area = math.pi / 4.0 * (4e-3) ** 2
+        assert stress == pytest.approx(1000.0 / (4 * area))
+
+    def test_fastener_count_validated(self):
+        with pytest.raises(InputError):
+            fastener_shear_stress(1000.0, 0, 4e-3)

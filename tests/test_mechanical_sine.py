@@ -1,0 +1,123 @@
+"""Tests for sinusoidal vibration sweeps and responses."""
+
+import pytest
+
+from avipack.errors import InputError
+from avipack.mechanical.sine import (
+    SineSpec,
+    do160_propeller_sine,
+    peak_sine_response,
+    resonance_dwell_cycles,
+    sdof_magnification,
+)
+
+
+@pytest.fixture
+def spec():
+    return do160_propeller_sine()
+
+
+class TestSineSpec:
+    def test_level_lookup(self, spec):
+        assert spec.level(100.0) == pytest.approx(4.0)
+        assert spec.level(10.0) == pytest.approx(0.5)
+
+    def test_outside_band_zero(self, spec):
+        assert spec.level(1000.0) == 0.0
+
+    def test_band_edges(self, spec):
+        assert spec.f_min == pytest.approx(5.0)
+        assert spec.f_max == pytest.approx(500.0)
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(InputError):
+            SineSpec(segments=((10.0, 50.0, 1.0), (40.0, 100.0, 2.0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InputError):
+            SineSpec(segments=())
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(InputError):
+            SineSpec(segments=((10.0, 50.0, -1.0),))
+
+
+class TestMagnification:
+    def test_unity_at_low_frequency(self):
+        assert sdof_magnification(1.0, 100.0, 10.0) \
+            == pytest.approx(1.0, abs=0.01)
+
+    def test_q_at_resonance(self):
+        assert sdof_magnification(100.0, 100.0, 10.0) \
+            == pytest.approx(10.0, rel=0.01)
+
+    def test_rolloff_above_resonance(self):
+        assert sdof_magnification(1000.0, 100.0, 10.0) < 0.05
+
+    def test_invalid_q(self):
+        with pytest.raises(InputError):
+            sdof_magnification(100.0, 100.0, 0.4)
+
+
+class TestPeakResponse:
+    def test_resonance_in_band_amplifies_by_q(self, spec):
+        response, frequency = peak_sine_response(spec, 94.0, 10.0)
+        assert frequency == pytest.approx(94.0, rel=0.02)
+        assert response == pytest.approx(4.0 * 10.0, rel=0.05)
+
+    def test_resonance_above_band_tracks_edge(self, spec):
+        response, frequency = peak_sine_response(spec, 5000.0, 10.0)
+        # No resonance in band: response stays near the input level.
+        assert response < 6.0
+
+    def test_stiffer_structure_lower_peak(self, spec):
+        soft, _f1 = peak_sine_response(spec, 100.0, 10.0)
+        stiff, _f2 = peak_sine_response(spec, 2000.0, 10.0)
+        assert stiff < soft
+
+
+class TestDwellCycles:
+    def test_slower_sweep_more_cycles(self):
+        fast = resonance_dwell_cycles(94.0, 10.0, 4.0)
+        slow = resonance_dwell_cycles(94.0, 10.0, 0.5)
+        assert slow == pytest.approx(8.0 * fast)
+
+    def test_sharper_resonance_fewer_cycles(self):
+        broad = resonance_dwell_cycles(94.0, 5.0, 1.0)
+        sharp = resonance_dwell_cycles(94.0, 50.0, 1.0)
+        assert sharp < broad
+
+    def test_magnitude(self):
+        # 94 Hz, Q=10, 1 oct/min: ~800 cycles - the classic result that
+        # a single sweep is a negligible fatigue dose vs 2e7 capability.
+        cycles = resonance_dwell_cycles(94.0, 10.0, 1.0)
+        assert 100.0 < cycles < 5000.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(InputError):
+            resonance_dwell_cycles(94.0, 10.0, -1.0)
+
+
+class TestExperimentsExtensions:
+    """Ceiling/altitude studies (grouped here with other new features)."""
+
+    def test_ceiling_beats_seat(self):
+        from avipack.experiments.cosee import ceiling_installation_study
+
+        study = ceiling_installation_study(60.0)
+        assert study["ceiling_capability"] > study["seat_capability"]
+        assert study["ceiling_delta_t"] < study["seat_delta_t"]
+
+    def test_altitude_derates_monotonically(self):
+        from avipack.experiments.cosee import altitude_derating_study
+
+        study = altitude_derating_study(40.0)
+        pressures = sorted(study, reverse=True)
+        deltas = [study[p] for p in pressures]
+        assert deltas == sorted(deltas)
+
+    def test_altitude_study_validates_power(self):
+        from avipack.experiments.cosee import altitude_derating_study
+
+        with pytest.raises(InputError):
+            altitude_derating_study(-1.0)

@@ -1,0 +1,185 @@
+"""Tests for component and PCB equipment models."""
+
+import pytest
+
+from avipack.errors import InputError
+from avipack.packaging.component import (
+    Component,
+    get_package,
+    make_component,
+)
+from avipack.packaging.pcb import Pcb, dummy_resistive_pcb
+from avipack.units import celsius_to_kelvin
+
+
+class TestComponent:
+    def test_junction_from_case(self):
+        comp = make_component("U1", "bga_35mm", 10.0)
+        # Rjc = 0.4: Tj = Tcase + 4 K.
+        assert comp.junction_temperature(350.0) == pytest.approx(354.0)
+
+    def test_junction_from_board(self):
+        comp = make_component("U1", "bga_35mm", 10.0)
+        assert comp.junction_temperature_from_board(350.0) \
+            == pytest.approx(350.0 + 10.0 * 6.0)
+
+    def test_heat_flux_w_cm2(self):
+        # 30 W on 35x35 mm: ~2.45 W/cm2.
+        comp = make_component("U1", "bga_35mm", 30.0)
+        assert comp.heat_flux_w_cm2 == pytest.approx(30.0 / 12.25,
+                                                     rel=1e-6)
+
+    def test_paper_hotspot_class(self):
+        # 50 W in a small package: tens of W/cm2 (the paper's crisis).
+        comp = make_component("U1", "bga_23mm", 50.0)
+        assert comp.heat_flux_w_cm2 > 9.0
+
+    def test_junction_margin_sign(self):
+        comp = make_component("U1", "qfp_20mm", 2.0)
+        assert comp.junction_margin(celsius_to_kelvin(100.0)) > 0.0
+        assert comp.junction_margin(celsius_to_kelvin(130.0)) < 0.0
+
+    def test_unknown_package(self):
+        with pytest.raises(InputError):
+            make_component("U1", "mystery", 1.0)
+
+    def test_negative_power(self):
+        with pytest.raises(InputError):
+            Component("U1", get_package("soic_8"), -1.0)
+
+
+class TestPcb:
+    def test_total_power_sums(self):
+        board = Pcb(0.2, 0.15)
+        board.place(make_component("U1", "bga_35mm", 10.0, (0.05, 0.05)))
+        board.place(make_component("U2", "qfp_20mm", 5.0, (0.15, 0.10)))
+        assert board.total_power == pytest.approx(15.0)
+
+    def test_off_board_placement_rejected(self):
+        board = Pcb(0.2, 0.15)
+        with pytest.raises(InputError):
+            board.place(make_component("U1", "bga_35mm", 10.0,
+                                       (0.5, 0.05)))
+
+    def test_effective_conductivity_anisotropic(self):
+        board = Pcb(0.2, 0.15, n_copper_layers=6, copper_coverage=0.6)
+        k_xy, k_z = board.effective_conductivity()
+        assert k_xy > 10.0 * k_z
+
+    def test_plate_includes_component_mass(self):
+        board = Pcb(0.2, 0.15)
+        board.place(make_component("U1", "bga_35mm", 10.0, (0.1, 0.07)))
+        plate = board.as_plate()
+        assert plate.component_mass == pytest.approx(8.0e-3)
+
+    def test_detail_solve_junctions_above_ambient(self):
+        board = Pcb(0.16, 0.1)
+        board.place(make_component("U1", "bga_23mm", 8.0, (0.08, 0.05)))
+        board.place(make_component("U2", "to_220", 3.0, (0.03, 0.03)))
+        result = board.solve_detail(h_top=20.0, h_bottom=20.0,
+                                    ambient=313.15, nx=20, ny=14)
+        assert result.junction_temperatures["U1"] > 313.15
+        assert result.junction_temperatures["U2"] > 313.15
+
+    def test_hottest_component_identified(self):
+        board = Pcb(0.16, 0.1)
+        board.place(make_component("U1", "bga_23mm", 1.0, (0.08, 0.05)))
+        board.place(make_component("U2", "to_220", 12.0, (0.04, 0.05)))
+        result = board.solve_detail(h_top=20.0, h_bottom=20.0,
+                                    ambient=313.15, nx=20, ny=14)
+        name, t_j = result.hottest_component()
+        assert name == "U2"
+        assert t_j == max(result.junction_temperatures.values())
+
+    def test_better_cooling_lowers_junctions(self):
+        board = Pcb(0.16, 0.1)
+        board.place(make_component("U1", "bga_23mm", 8.0, (0.08, 0.05)))
+        weak = board.solve_detail(10.0, 10.0, 313.15, nx=16, ny=10)
+        strong = board.solve_detail(100.0, 100.0, 313.15, nx=16, ny=10)
+        assert strong.junction_temperatures["U1"] \
+            < weak.junction_temperatures["U1"]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(InputError):
+            Pcb(-0.1, 0.1)
+
+
+class TestDummyPcb:
+    def test_power_split_equally(self):
+        board = dummy_resistive_pcb(0.26, 0.16, 60.0, n_resistors=6)
+        assert board.total_power == pytest.approx(60.0)
+        powers = {c.power for c in board.components}
+        assert len(powers) == 1  # all equal
+
+    def test_resistor_count(self):
+        board = dummy_resistive_pcb(0.26, 0.16, 60.0, n_resistors=7)
+        assert len(board.components) == 7
+
+    def test_all_on_board(self):
+        board = dummy_resistive_pcb(0.26, 0.16, 60.0, n_resistors=9)
+        for comp in board.components:
+            x, y = comp.position
+            assert 0.0 < x < 0.26
+            assert 0.0 < y < 0.16
+
+    def test_zero_power_allowed(self):
+        board = dummy_resistive_pcb(0.26, 0.16, 0.0)
+        assert board.total_power == 0.0
+
+    def test_invalid_resistor_count(self):
+        with pytest.raises(InputError):
+            dummy_resistive_pcb(0.26, 0.16, 60.0, n_resistors=0)
+
+
+class TestCopperOptimizer:
+    def _board(self, coverage, power=3.0):
+        from avipack.packaging.pcb import Pcb
+
+        board = Pcb(0.16, 0.1, n_copper_layers=8,
+                    copper_coverage=coverage)
+        board.place(make_component("u1", "bga_35mm", power,
+                                   (0.08, 0.05)))
+        return board
+
+    def test_already_compliant_returns_current(self):
+        from avipack.packaging.pcb import optimize_copper_coverage
+
+        board = self._board(0.7, power=1.0)
+        coverage = optimize_copper_coverage(
+            board, celsius_to_kelvin(40.0), celsius_to_kelvin(125.0))
+        assert coverage == pytest.approx(0.7)
+
+    def test_finds_intermediate_coverage(self):
+        from avipack.packaging.pcb import Pcb, optimize_copper_coverage
+
+        board = self._board(0.2, power=7.0)
+        coverage = optimize_copper_coverage(
+            board, celsius_to_kelvin(45.0), celsius_to_kelvin(125.0))
+        assert 0.2 < coverage <= 1.0
+        # The found coverage actually works.
+        fixed = Pcb(0.16, 0.1, n_copper_layers=8,
+                    copper_coverage=min(coverage * 1.01, 1.0),
+                    components=list(board.components))
+        result = fixed.solve_detail(15.0, 15.0,
+                                    celsius_to_kelvin(45.0),
+                                    nx=20, ny=14)
+        assert max(result.junction_temperatures.values()) \
+            <= celsius_to_kelvin(125.0) + 0.5
+
+    def test_impossible_case_escalates(self):
+        from avipack.packaging.pcb import optimize_copper_coverage
+        from avipack.errors import InputError
+
+        board = self._board(0.2, power=40.0)
+        with pytest.raises(InputError):
+            optimize_copper_coverage(board, celsius_to_kelvin(70.0),
+                                     celsius_to_kelvin(125.0))
+
+    def test_empty_board_rejected(self):
+        from avipack.packaging.pcb import Pcb, optimize_copper_coverage
+        from avipack.errors import InputError
+
+        with pytest.raises(InputError):
+            optimize_copper_coverage(Pcb(0.1, 0.1),
+                                     celsius_to_kelvin(40.0),
+                                     celsius_to_kelvin(125.0))

@@ -1,0 +1,96 @@
+"""Tests for the IFE fleet model (the paper's fan-drawback arithmetic)."""
+
+import pytest
+
+from avipack.errors import InputError
+from avipack.packaging.ife import (
+    FAN_POWER_W,
+    IfeSystem,
+    compare_cooling_strategies,
+)
+
+
+@pytest.fixture
+def fan_fleet():
+    return IfeSystem(n_seats=300, cooling="fan")
+
+
+@pytest.fixture
+def passive_fleet():
+    return IfeSystem(n_seats=300, cooling="passive")
+
+
+class TestPerBox:
+    def test_fan_degrades_mtbf(self, fan_fleet, passive_fleet):
+        assert fan_fleet.seb_mtbf_hours < passive_fleet.seb_mtbf_hours
+
+    def test_fan_adds_power(self, fan_fleet, passive_fleet):
+        assert fan_fleet.seb_total_power \
+            == passive_fleet.seb_total_power + FAN_POWER_W
+
+    def test_more_fans_worse(self):
+        one = IfeSystem(300, cooling="fan", fans_per_seb=1)
+        two = IfeSystem(300, cooling="fan", fans_per_seb=2)
+        assert two.seb_mtbf_hours < one.seb_mtbf_hours
+
+
+class TestFleet:
+    def test_power_scales_with_seats(self):
+        small = IfeSystem(100, cooling="fan")
+        large = IfeSystem(300, cooling="fan")
+        assert large.system_power == pytest.approx(
+            3.0 * small.system_power)
+
+    def test_cooling_overhead_when_multiplied_by_seat_number(self,
+                                                             fan_fleet):
+        # "energy consumption when multiplied by the seat number".
+        assert fan_fleet.cooling_overhead_power \
+            == pytest.approx(300 * FAN_POWER_W)
+        assert IfeSystem(300, cooling="passive").cooling_overhead_power \
+            == 0.0
+
+    def test_maintenance_dominated_by_filters(self, fan_fleet):
+        # "reliability and maintenance concern (filters, failures...)".
+        failures = fan_fleet.expected_failures_per_year()
+        events = fan_fleet.maintenance_events_per_year()
+        assert events > 5.0 * failures
+
+    def test_passive_maintenance_is_failures_only(self, passive_fleet):
+        assert passive_fleet.maintenance_events_per_year() \
+            == pytest.approx(passive_fleet.expected_failures_per_year())
+
+    def test_passive_hardware_costs_more_up_front(self, fan_fleet,
+                                                  passive_fleet):
+        # The trade the project had to win on operating cost, not
+        # hardware cost.
+        assert passive_fleet.cooling_hardware_cost() \
+            > fan_fleet.cooling_hardware_cost()
+
+
+class TestComparison:
+    def test_comparison_structure(self):
+        comparison = compare_cooling_strategies(300)
+        assert set(comparison) == {"fan", "passive"}
+        for figures in comparison.values():
+            assert figures["system_power_w"] > 0.0
+
+    def test_passive_wins_reliability_and_maintenance(self):
+        comparison = compare_cooling_strategies(300)
+        assert comparison["passive"]["seb_mtbf_h"] \
+            > 2.0 * comparison["fan"]["seb_mtbf_h"]
+        assert comparison["passive"]["maintenance_per_year"] \
+            < 0.1 * comparison["fan"]["maintenance_per_year"]
+
+
+class TestValidation:
+    def test_invalid_seats(self):
+        with pytest.raises(InputError):
+            IfeSystem(0)
+
+    def test_invalid_cooling(self):
+        with pytest.raises(InputError):
+            IfeSystem(300, cooling="peltier")
+
+    def test_invalid_power(self):
+        with pytest.raises(InputError):
+            IfeSystem(300, seb_power=-40.0)

@@ -1,0 +1,145 @@
+"""Tests for the COSEE seat-electronics-box model — the Fig. 10 physics."""
+
+import pytest
+
+from avipack.errors import InputError
+from avipack.packaging.seb import (
+    SeatElectronicsBox,
+    SeatStructure,
+    SebConfiguration,
+    aluminum_seat_structure,
+    carbon_composite_seat_structure,
+)
+
+
+class TestSeatStructure:
+    def test_aluminum_fin_efficiency_high(self):
+        eta = aluminum_seat_structure().fin_efficiency(10.0)
+        assert eta > 0.6
+
+    def test_carbon_fin_efficiency_low(self):
+        alu = aluminum_seat_structure().fin_efficiency(10.0)
+        carbon = carbon_composite_seat_structure().fin_efficiency(10.0)
+        assert carbon < 0.5 * alu
+
+    def test_sink_conductance_positive_and_nonlinear(self):
+        structure = aluminum_seat_structure()
+        g_small = structure.sink_conductance(305.0, 293.0)
+        g_large = structure.sink_conductance(353.0, 293.0)
+        assert 0.0 < g_small < g_large
+
+    def test_invalid_wall(self):
+        with pytest.raises(InputError):
+            SeatStructure(wall_thickness=0.02, rod_diameter=0.03)
+
+
+class TestSolve:
+    def test_natural_cooling_hotter_than_assisted(self, seb, seb_natural,
+                                                  seb_lhp):
+        passive = seb.solve(40.0, seb_natural)
+        assisted = seb.solve(40.0, seb_lhp)
+        assert assisted.delta_t_pcb_air < passive.delta_t_pcb_air
+
+    def test_zero_power_at_ambient(self, seb, seb_natural):
+        solution = seb.solve(0.0, seb_natural)
+        assert solution.delta_t_pcb_air == pytest.approx(0.0, abs=0.2)
+
+    def test_delta_t_monotone_in_power(self, seb, seb_lhp):
+        deltas = [seb.solve(p, seb_lhp).delta_t_pcb_air
+                  for p in (20.0, 50.0, 80.0)]
+        assert deltas == sorted(deltas)
+
+    def test_lhp_carries_most_heat(self, seb, seb_lhp):
+        solution = seb.solve(80.0, seb_lhp)
+        assert solution.lhp_heat > solution.box_heat
+
+    def test_energy_split_sums_to_power(self, seb, seb_lhp):
+        solution = seb.solve(60.0, seb_lhp)
+        assert solution.lhp_heat + solution.box_heat \
+            == pytest.approx(60.0, rel=1e-4)
+
+    def test_tilt_slightly_worse(self, seb, seb_lhp, seb_tilted):
+        horizontal = seb.solve(80.0, seb_lhp).delta_t_pcb_air
+        tilted = seb.solve(80.0, seb_tilted).delta_t_pcb_air
+        assert tilted > horizontal
+        assert tilted - horizontal < 5.0  # small penalty, as in Fig. 10
+
+    def test_carbon_structure_worse_than_aluminum(self, seb, seb_lhp,
+                                                  seb_carbon):
+        alu = seb.solve(60.0, seb_lhp).delta_t_pcb_air
+        carbon = seb.solve(60.0, seb_carbon).delta_t_pcb_air
+        assert carbon > alu
+
+    def test_hot_cabin_shifts_absolute_temperature(self, seb):
+        cold = SebConfiguration(cooling="hp_lhp", ambient=288.15)
+        hot = SebConfiguration(cooling="hp_lhp", ambient=308.15)
+        t_cold = seb.solve(40.0, cold).pcb_temperature
+        t_hot = seb.solve(40.0, hot).pcb_temperature
+        assert t_hot > t_cold
+
+    def test_negative_power_rejected(self, seb, seb_natural):
+        with pytest.raises(InputError):
+            seb.solve(-5.0, seb_natural)
+
+
+class TestPaperNumbers:
+    """The quantitative §IV.A results, at the tolerance of a reproduction."""
+
+    def test_capability_without_lhp_near_40w(self, seb, seb_natural):
+        assert seb.max_power_for_delta_t(60.0, seb_natural) \
+            == pytest.approx(40.0, rel=0.15)
+
+    def test_capability_with_lhp_near_100w(self, seb, seb_lhp):
+        assert seb.max_power_for_delta_t(60.0, seb_lhp) \
+            == pytest.approx(100.0, rel=0.15)
+
+    def test_capability_increase_around_150pct(self, seb, seb_natural,
+                                               seb_lhp):
+        without = seb.max_power_for_delta_t(60.0, seb_natural)
+        with_lhp = seb.max_power_for_delta_t(60.0, seb_lhp)
+        increase = (with_lhp / without - 1.0) * 100.0
+        assert 100.0 < increase < 200.0
+
+    def test_32c_drop_at_40w(self, seb, seb_natural, seb_lhp):
+        drop = (seb.solve(40.0, seb_natural).delta_t_pcb_air
+                - seb.solve(40.0, seb_lhp).delta_t_pcb_air)
+        assert drop == pytest.approx(32.0, abs=8.0)
+
+    def test_lhp_heat_near_58w_at_capability(self, seb, seb_lhp):
+        cap = seb.max_power_for_delta_t(60.0, seb_lhp)
+        solution = seb.solve(cap, seb_lhp)
+        assert solution.lhp_heat == pytest.approx(58.0, rel=0.15)
+
+    def test_composite_capability_near_70w(self, seb, seb_carbon):
+        assert seb.max_power_for_delta_t(60.0, seb_carbon) \
+            == pytest.approx(70.0, rel=0.15)
+
+    def test_composite_increase_around_80pct(self, seb, seb_natural,
+                                             seb_carbon):
+        without = seb.max_power_for_delta_t(60.0, seb_natural)
+        with_composite = seb.max_power_for_delta_t(60.0, seb_carbon)
+        increase = (with_composite / without - 1.0) * 100.0
+        assert 40.0 < increase < 120.0
+
+
+class TestConfiguration:
+    def test_invalid_cooling(self):
+        with pytest.raises(InputError):
+            SebConfiguration(cooling="magic")
+
+    def test_invalid_tilt(self):
+        with pytest.raises(InputError):
+            SebConfiguration(cooling="hp_lhp", tilt_deg=120.0)
+
+    def test_invalid_box(self):
+        with pytest.raises(InputError):
+            SeatElectronicsBox(box_length=-0.3)
+
+    def test_network_nodes_for_lhp_config(self, seb, seb_lhp):
+        net = seb.build_network(40.0, seb_lhp)
+        for node in ("pcb", "wall", "edge", "structure", "ambient"):
+            assert node in net.node_names
+
+    def test_network_nodes_for_natural_config(self, seb, seb_natural):
+        net = seb.build_network(40.0, seb_natural)
+        assert "edge" not in net.node_names

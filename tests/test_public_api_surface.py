@@ -1,0 +1,159 @@
+"""Direct tests of public result types, constants and the error family."""
+
+import math
+
+import pytest
+
+from avipack import errors
+from avipack.mechanical.fatigue import BAND_FRACTIONS, COMPONENT_CONSTANTS
+from avipack.mechanical.plate import PlateMode
+from avipack.reliability.mtbf import (
+    ENVIRONMENT_FACTORS,
+    MAX_AMBIENT,
+    MAX_JUNCTION,
+    QUALITY_FACTORS,
+    REFERENCE_JUNCTION,
+)
+from avipack.tim.models import LEWIS_NIELSEN_SHAPES
+from avipack.units import ATM, R_UNIVERSAL, ZERO_CELSIUS
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for name in ("InputError", "ConvergenceError", "ModelRangeError",
+                     "OperatingLimitError", "SpecificationError",
+                     "MaterialNotFoundError"):
+            assert issubclass(getattr(errors, name), errors.AvipackError)
+
+    def test_input_error_is_value_error(self):
+        # Callers using stdlib idioms still catch our input errors.
+        assert issubclass(errors.InputError, ValueError)
+
+    def test_convergence_error_attributes(self):
+        exc = errors.ConvergenceError("failed", iterations=17,
+                                      residual=0.5)
+        assert exc.iterations == 17
+        assert exc.residual == pytest.approx(0.5)
+
+    def test_convergence_error_defaults(self):
+        exc = errors.ConvergenceError("failed")
+        assert math.isnan(exc.residual)
+
+    def test_operating_limit_attributes(self):
+        exc = errors.OperatingLimitError("over", limit_name="capillary",
+                                         limit_value=42.0)
+        assert exc.limit_name == "capillary"
+        assert exc.limit_value == pytest.approx(42.0)
+
+    def test_specification_error_violations(self):
+        exc = errors.SpecificationError("bad", violations=("a", "b"))
+        assert exc.violations == ("a", "b")
+
+    def test_catch_all_with_base(self):
+        with pytest.raises(errors.AvipackError):
+            raise errors.ModelRangeError("out of range")
+
+
+class TestConstants:
+    def test_atm(self):
+        assert ATM == pytest.approx(101_325.0)
+
+    def test_gas_constant(self):
+        assert R_UNIVERSAL == pytest.approx(8.31446, rel=1e-5)
+
+    def test_zero_celsius(self):
+        assert ZERO_CELSIUS == pytest.approx(273.15)
+
+    def test_band_fractions_cover_three_sigma(self):
+        # 68.3 + 27.1 + 4.33 ~ 99.7 % of a Gaussian.
+        assert sum(BAND_FRACTIONS) == pytest.approx(0.997, abs=0.003)
+
+    def test_component_constants_ordered_by_fragility(self):
+        # Leadless parts are the most deflection-sensitive (largest C).
+        assert COMPONENT_CONSTANTS["smt_leadless"] \
+            > COMPONENT_CONSTANTS["dip_axial"]
+        assert COMPONENT_CONSTANTS["to_can"] \
+            < COMPONENT_CONSTANTS["dip_axial"]
+
+    def test_lewis_nielsen_shapes_physical(self):
+        for shape, (a, phi_max) in LEWIS_NIELSEN_SHAPES.items():
+            assert a > 0.0, shape
+            assert 0.0 < phi_max < 1.0, shape
+        # Elongated fillers have larger shape factors than spheres.
+        assert LEWIS_NIELSEN_SHAPES["long_fibers"][0] \
+            > LEWIS_NIELSEN_SHAPES["spheres"][0]
+
+    def test_reliability_rule_constants(self):
+        assert MAX_JUNCTION == pytest.approx(398.15)   # 125 degC
+        assert MAX_AMBIENT == pytest.approx(358.15)    # 85 degC
+        assert REFERENCE_JUNCTION < MAX_JUNCTION
+
+    def test_environment_factors_ordering(self):
+        # Fighter uninhabited harsher than cargo inhabited; ground
+        # benign mildest of the airborne/ground set.
+        assert ENVIRONMENT_FACTORS["airborne_uninhabited_fighter"] \
+            > ENVIRONMENT_FACTORS["airborne_inhabited_cargo"]
+        assert ENVIRONMENT_FACTORS["ground_benign"] \
+            <= min(v for k, v in ENVIRONMENT_FACTORS.items()
+                   if k != "space_flight")
+
+    def test_quality_factors_cots_worst(self):
+        assert QUALITY_FACTORS["commercial_cots"] \
+            == max(QUALITY_FACTORS.values())
+
+
+class TestResultTypes:
+    def test_plate_mode_omega(self):
+        mode = PlateMode(frequency_hz=100.0, indices=(1, 1))
+        assert mode.omega == pytest.approx(2.0 * math.pi * 100.0)
+
+    def test_network_solution_accessors(self):
+        from avipack.thermal.network import ThermalNetwork
+
+        net = ThermalNetwork()
+        net.add_node("a", heat_load=4.0)
+        net.add_node("s", fixed_temperature=300.0)
+        net.add_resistance("a", "s", 0.5, label="leg")
+        sol = net.solve()
+        assert sol.iterations >= 1
+        assert sol.heat_flows["leg"] == pytest.approx(4.0)
+        assert sol.delta("a", "s") == pytest.approx(2.0)
+
+    def test_d5470_measurement_units(self):
+        from avipack.tim.interface import ThermalInterface
+        from avipack.tim.tester import D5470Tester
+
+        iface = ThermalInterface(10.0, 50e-6, 1e-6, 6.45e-4)
+        reading = D5470Tester(resistance_accuracy_kmm2=0.0,
+                              thickness_accuracy=0.0).measure(iface)
+        assert reading.specific_resistance_kmm2 == pytest.approx(
+            reading.specific_resistance * 1e6)
+
+    def test_solder_assessment_fields(self):
+        from avipack.mechanical.thermomechanical import \
+            solder_joint_assessment
+
+        assessment = solder_joint_assessment(10e-3, 0.2e-3, 7e-6,
+                                             16e-6, 80.0)
+        assert assessment.shear_strain > 0.0
+        assert assessment.life_years_at_daily_cycles == pytest.approx(
+            assessment.cycles_to_failure / (2.0 * 365.0))
+
+    def test_cooling_evaluation_rise(self):
+        from avipack.packaging.cooling import (
+            CoolingTechnique,
+            evaluate_cooling,
+        )
+
+        evaluation = evaluate_cooling(CoolingTechnique.FREE_CONVECTION,
+                                      10.0)
+        assert evaluation.rise == pytest.approx(
+            evaluation.board_temperature
+            - evaluation.ambient_temperature)
+
+    def test_ceiling_structure_builder(self):
+        from avipack.experiments.cosee import ceiling_structure
+
+        structure = ceiling_structure()
+        assert structure.total_area > 0.2
+        assert structure.fin_efficiency(10.0) > 0.5

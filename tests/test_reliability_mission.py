@@ -1,0 +1,133 @@
+"""Tests for mission-profile reliability roll-up."""
+
+import pytest
+
+from avipack.errors import InputError
+from avipack.reliability.mission import (
+    MissionPhase,
+    degraded_cooling_penalty,
+    predict_mission_mtbf,
+    standard_flight_profile,
+)
+from avipack.reliability.mtbf import PartReliability, predict_mtbf
+from avipack.units import celsius_to_kelvin
+
+
+@pytest.fixture
+def parts():
+    return [PartReliability("cpu", 200.0, 0.5, quality="full_mil"),
+            PartReliability("reg", 120.0, quality="full_mil")]
+
+
+def junctions(temp_c):
+    t = celsius_to_kelvin(temp_c)
+    return {"cpu": t, "reg": t}
+
+
+class TestMissionPrediction:
+    def test_single_phase_equals_point_prediction(self, parts):
+        phase = MissionPhase("cruise", 1.0, junctions(70.0))
+        mission = predict_mission_mtbf(parts, [phase])
+        point = predict_mtbf(parts, junctions(70.0))
+        assert mission.mtbf_hours == pytest.approx(point.mtbf_hours)
+
+    def test_weighted_between_extremes(self, parts):
+        cold = MissionPhase("ground", 0.5, junctions(30.0),
+                            environment="ground_fixed")
+        hot = MissionPhase("cruise", 0.5, junctions(90.0))
+        mission = predict_mission_mtbf(parts, [cold, hot])
+        only_cold = predict_mtbf(parts, junctions(30.0),
+                                 environment="ground_fixed")
+        only_hot = predict_mtbf(parts, junctions(90.0))
+        assert only_hot.mtbf_hours < mission.mtbf_hours \
+            < only_cold.mtbf_hours
+
+    def test_worst_phase_identified(self, parts):
+        phases = [MissionPhase("ground", 0.3, junctions(30.0),
+                               environment="ground_fixed"),
+                  MissionPhase("cruise", 0.7, junctions(95.0))]
+        mission = predict_mission_mtbf(parts, phases)
+        assert mission.worst_phase == "cruise"
+
+    def test_fractions_must_sum_to_one(self, parts):
+        phases = [MissionPhase("a", 0.5, junctions(50.0)),
+                  MissionPhase("b", 0.3, junctions(50.0))]
+        with pytest.raises(InputError):
+            predict_mission_mtbf(parts, phases)
+
+    def test_duplicate_phase_names_rejected(self, parts):
+        phases = [MissionPhase("a", 0.5, junctions(50.0)),
+                  MissionPhase("a", 0.5, junctions(60.0))]
+        with pytest.raises(InputError):
+            predict_mission_mtbf(parts, phases)
+
+    def test_empty_profile_rejected(self, parts):
+        with pytest.raises(InputError):
+            predict_mission_mtbf(parts, [])
+
+    def test_invalid_fraction(self):
+        with pytest.raises(InputError):
+            MissionPhase("a", 1.5, junctions(50.0))
+
+
+class TestStandardProfile:
+    def test_builds_three_phases(self, parts):
+        profile = standard_flight_profile(junctions(35.0),
+                                          junctions(60.0),
+                                          junctions(55.0))
+        assert len(profile) == 3
+        mission = predict_mission_mtbf(parts, list(profile))
+        assert mission.mtbf_hours > 0.0
+
+    def test_ground_uses_benign_environment(self):
+        profile = standard_flight_profile(junctions(35.0),
+                                          junctions(60.0),
+                                          junctions(55.0))
+        assert profile[0].environment == "ground_fixed"
+
+
+class TestDegradedCooling:
+    def test_penalty_direction(self, parts):
+        nominal, degraded = degraded_cooling_penalty(
+            parts, junctions(60.0), junctions(110.0),
+            degraded_exposure=0.1)
+        assert degraded < nominal
+
+    def test_small_exposure_small_penalty(self, parts):
+        nominal, barely = degraded_cooling_penalty(
+            parts, junctions(60.0), junctions(110.0),
+            degraded_exposure=0.01)
+        assert barely > 0.8 * nominal
+
+    def test_invalid_exposure(self, parts):
+        with pytest.raises(InputError):
+            degraded_cooling_penalty(parts, junctions(60.0),
+                                     junctions(110.0),
+                                     degraded_exposure=1.5)
+
+
+class TestNetworkConnectivityGuard:
+    """The new floating-node validation (lives here to reuse fixtures)."""
+
+    def test_floating_node_reported_by_name(self):
+        from avipack.thermal.network import ThermalNetwork
+
+        net = ThermalNetwork()
+        net.add_node("hot", heat_load=1.0)
+        net.add_node("sink", fixed_temperature=300.0)
+        net.add_node("island", heat_load=2.0)
+        net.add_resistance("hot", "sink", 1.0)
+        with pytest.raises(InputError) as excinfo:
+            net.solve()
+        assert "island" in str(excinfo.value)
+
+    def test_connected_chain_fine(self):
+        from avipack.thermal.network import ThermalNetwork
+
+        net = ThermalNetwork()
+        net.add_node("a", heat_load=1.0)
+        net.add_node("b")
+        net.add_node("sink", fixed_temperature=300.0)
+        net.add_resistance("a", "b", 1.0)
+        net.add_resistance("b", "sink", 1.0)
+        assert net.solve().residual < 1e-9

@@ -1,0 +1,218 @@
+"""Tests for the finite-volume conduction solver against analytic cases."""
+
+import numpy as np
+import pytest
+
+from avipack.errors import InputError
+from avipack.thermal.conduction import (
+    BoundaryCondition,
+    CartesianGrid,
+    ConductionSolver,
+)
+
+
+class TestGrid:
+    def test_spacing(self):
+        grid = CartesianGrid((10, 5, 2), (0.1, 0.05, 0.002))
+        assert grid.spacing == pytest.approx((0.01, 0.01, 0.001))
+
+    def test_cell_volume(self):
+        grid = CartesianGrid((10, 5, 2), (0.1, 0.05, 0.002))
+        assert grid.cell_volume == pytest.approx(0.01 * 0.01 * 0.001)
+
+    def test_total_power_matches_added(self):
+        grid = CartesianGrid((10, 10, 1), (0.1, 0.1, 0.001))
+        region = grid.region_slices((0.0, 0.05), (0.0, 0.1), (0.0, 0.001))
+        grid.add_power(region, 7.5)
+        assert grid.total_power() == pytest.approx(7.5)
+
+    def test_region_outside_rejected(self):
+        grid = CartesianGrid((10, 10, 1), (0.1, 0.1, 0.001))
+        with pytest.raises(InputError):
+            grid.region_slices((0.2, 0.3), (0.0, 0.1), (0.0, 0.001))
+
+    def test_invalid_shape(self):
+        with pytest.raises(InputError):
+            CartesianGrid((0, 1, 1), (1.0, 1.0, 1.0))
+
+    def test_invalid_material(self):
+        grid = CartesianGrid((4, 4, 1), (0.1, 0.1, 0.001))
+        region = grid.region_slices((0.0, 0.1), (0.0, 0.1), (0.0, 0.001))
+        with pytest.raises(InputError):
+            grid.set_material(region, conductivity=-5.0)
+
+
+class TestSteady1D:
+    def test_slab_with_fixed_faces(self):
+        # 1-D slab, fixed 400 K / 300 K: linear profile, q = k dT/L.
+        grid = CartesianGrid((50, 1, 1), (0.1, 0.01, 0.01),
+                             conductivity=10.0)
+        solver = ConductionSolver(grid, {
+            "x_min": BoundaryCondition("temperature", 400.0),
+            "x_max": BoundaryCondition("temperature", 300.0),
+        })
+        sol = solver.solve_steady()
+        profile = sol.temperatures[:, 0, 0]
+        x = grid.cell_centers(0)
+        expected = 400.0 - 100.0 * x / 0.1
+        assert np.allclose(profile, expected, atol=1e-6)
+
+    def test_flux_boundary_energy_balance(self):
+        # Imposed flux on one face, convection on the other.
+        grid = CartesianGrid((20, 1, 1), (0.02, 0.01, 0.01),
+                             conductivity=100.0)
+        solver = ConductionSolver(grid, {
+            "x_min": BoundaryCondition("flux", 1.0e4),
+            "x_max": BoundaryCondition("convection", 500.0, ambient=300.0),
+        })
+        sol = solver.solve_steady()
+        # Surface cell temperature must satisfy q = h (T_s - T_inf) with
+        # the half-cell correction: check total rise magnitude.
+        t_cold_face = sol.temperatures[-1, 0, 0]
+        assert t_cold_face == pytest.approx(300.0 + 1.0e4 / 500.0, rel=0.02)
+
+    def test_uniform_source_adiabatic_sides(self):
+        # Uniform source, one convective face: T rises towards closed end.
+        grid = CartesianGrid((30, 1, 1), (0.03, 0.01, 0.01),
+                             conductivity=50.0)
+        region = grid.region_slices((0.0, 0.03), (0.0, 0.01), (0.0, 0.01))
+        grid.add_power(region, 5.0)
+        solver = ConductionSolver(grid, {
+            "x_max": BoundaryCondition("convection", 1000.0, ambient=300.0),
+        })
+        sol = solver.solve_steady()
+        profile = sol.temperatures[:, 0, 0]
+        assert profile[0] > profile[-1]
+        assert sol.min_temperature > 300.0
+
+
+class TestSteady2D3D:
+    def test_symmetric_hotspot_peak_centred(self):
+        grid = CartesianGrid((21, 21, 1), (0.1, 0.1, 0.002),
+                             conductivity=20.0)
+        region = grid.region_slices((0.045, 0.055), (0.045, 0.055),
+                                    (0.0, 0.002))
+        grid.add_power(region, 3.0)
+        solver = ConductionSolver(grid, {
+            "z_min": BoundaryCondition("convection", 100.0, ambient=300.0),
+        })
+        sol = solver.solve_steady()
+        assert sol.hotspot_index()[:2] == (10, 10)
+
+    def test_higher_conductivity_flattens_field(self):
+        def peak(k):
+            grid = CartesianGrid((15, 15, 1), (0.1, 0.1, 0.002),
+                                 conductivity=k)
+            region = grid.region_slices((0.045, 0.055), (0.045, 0.055),
+                                        (0.0, 0.002))
+            grid.add_power(region, 3.0)
+            solver = ConductionSolver(grid, {
+                "z_min": BoundaryCondition("convection", 100.0,
+                                           ambient=300.0),
+            })
+            sol = solver.solve_steady()
+            return sol.max_temperature - sol.min_temperature
+
+        assert peak(100.0) < peak(1.0)
+
+    def test_orthotropic_board_spreads_in_plane(self):
+        grid = CartesianGrid((15, 15, 3), (0.1, 0.1, 0.0016),
+                             conductivity=18.0)
+        grid.kz[:, :, :] = 0.35
+        region = grid.region_slices((0.045, 0.055), (0.045, 0.055),
+                                    (0.0, 0.0016))
+        grid.add_power(region, 2.0)
+        solver = ConductionSolver(grid, {
+            "z_min": BoundaryCondition("convection", 20.0, ambient=300.0),
+            "z_max": BoundaryCondition("convection", 20.0, ambient=300.0),
+        })
+        sol = solver.solve_steady()
+        assert sol.max_temperature > 300.0
+        assert sol.hotspot_index()[:2] == (7, 7)
+
+    def test_energy_balance_global(self):
+        # Total heat in = convected out: check via mean surface rise.
+        grid = CartesianGrid((10, 10, 2), (0.05, 0.05, 0.004),
+                             conductivity=150.0)
+        region = grid.region_slices((0.0, 0.05), (0.0, 0.05), (0.0, 0.004))
+        grid.add_power(region, 10.0)
+        h, t_inf = 200.0, 300.0
+        solver = ConductionSolver(grid, {
+            "z_min": BoundaryCondition("convection", h, ambient=t_inf),
+        })
+        sol = solver.solve_steady()
+        # High conductivity -> nearly isothermal; Q = h A (T - Tinf).
+        area = 0.05 * 0.05
+        expected = t_inf + 10.0 / (h * area)
+        assert sol.mean_temperature() == pytest.approx(expected, rel=0.05)
+
+
+class TestTransient:
+    def test_relaxation_to_steady(self):
+        grid = CartesianGrid((10, 1, 1), (0.01, 0.01, 0.01),
+                             conductivity=200.0, density=2700.0,
+                             specific_heat=900.0)
+        region = grid.region_slices((0.0, 0.01), (0.0, 0.01), (0.0, 0.01))
+        grid.add_power(region, 2.0)
+        solver = ConductionSolver(grid, {
+            "x_max": BoundaryCondition("convection", 500.0, ambient=300.0),
+        })
+        steady = solver.solve_steady()
+        transient = solver.solve_transient(initial_temperature=300.0,
+                                           duration=2000.0, time_step=10.0)
+        assert transient.final_field() == pytest.approx(
+            steady.temperatures, rel=0.01)
+
+    def test_monotonic_heating(self):
+        grid = CartesianGrid((5, 1, 1), (0.01, 0.01, 0.01),
+                             conductivity=200.0)
+        region = grid.region_slices((0.0, 0.01), (0.0, 0.01), (0.0, 0.01))
+        grid.add_power(region, 1.0)
+        solver = ConductionSolver(grid, {
+            "x_max": BoundaryCondition("convection", 100.0, ambient=300.0),
+        })
+        result = solver.solve_transient(300.0, 100.0, 1.0)
+        peaks = result.max_temperature_history()
+        assert np.all(np.diff(peaks) >= -1e-9)
+
+    def test_time_to_reach(self):
+        grid = CartesianGrid((5, 1, 1), (0.01, 0.01, 0.01),
+                             conductivity=200.0)
+        region = grid.region_slices((0.0, 0.01), (0.0, 0.01), (0.0, 0.01))
+        grid.add_power(region, 5.0)
+        solver = ConductionSolver(grid, {
+            "x_max": BoundaryCondition("convection", 50.0, ambient=300.0),
+        })
+        result = solver.solve_transient(300.0, 500.0, 5.0)
+        t_400 = result.time_to_reach(400.0)
+        assert 0.0 < t_400 < 500.0
+        assert result.time_to_reach(1.0e6) == float("inf")
+
+    def test_invalid_duration(self):
+        grid = CartesianGrid((5, 1, 1), (0.01, 0.01, 0.01))
+        solver = ConductionSolver(grid, {
+            "x_max": BoundaryCondition("temperature", 300.0)})
+        with pytest.raises(InputError):
+            solver.solve_transient(300.0, -1.0, 0.1)
+
+
+class TestValidation:
+    def test_all_adiabatic_singular(self):
+        grid = CartesianGrid((5, 1, 1), (0.01, 0.01, 0.01))
+        with pytest.raises(InputError):
+            ConductionSolver(grid).solve_steady()
+
+    def test_unknown_face(self):
+        grid = CartesianGrid((5, 1, 1), (0.01, 0.01, 0.01))
+        solver = ConductionSolver(grid)
+        with pytest.raises(InputError):
+            solver.set_boundary("top", BoundaryCondition("temperature",
+                                                         300.0))
+
+    def test_invalid_bc_kind(self):
+        with pytest.raises(InputError):
+            BoundaryCondition("dirichlet", 300.0)
+
+    def test_negative_film(self):
+        with pytest.raises(InputError):
+            BoundaryCondition("convection", -5.0)

@@ -1,0 +1,179 @@
+"""Tests for the transient network solver and schedule builders."""
+
+import math
+
+import numpy as np
+import pytest
+
+from avipack.errors import InputError
+from avipack.thermal.network import ThermalNetwork
+from avipack.thermal.transient import (
+    TransientNetworkSolver,
+    cyclic_profile,
+    ramp_profile,
+)
+
+
+def rc_network(capacitance=100.0, resistance=2.0, sink=300.0, load=0.0):
+    net = ThermalNetwork()
+    net.add_node("mass", heat_load=load, capacitance=capacitance)
+    net.add_node("ambient", fixed_temperature=sink)
+    net.add_resistance("mass", "ambient", resistance)
+    return net
+
+
+class TestRcResponse:
+    def test_exponential_decay(self):
+        # Classic RC: T(t) = T_inf + (T0-T_inf)exp(-t/RC).
+        net = rc_network(capacitance=100.0, resistance=2.0)
+        solver = TransientNetworkSolver(net)
+        tau = 200.0
+        result = solver.integrate(duration=600.0, time_step=1.0,
+                                  initial_temperature=400.0)
+        expected = 300.0 + 100.0 * math.exp(-600.0 / tau)
+        assert result.final("mass") == pytest.approx(expected, rel=0.01)
+
+    def test_steady_state_with_load(self):
+        net = rc_network(load=25.0)
+        solver = TransientNetworkSolver(net)
+        result = solver.integrate(duration=3000.0, time_step=5.0,
+                                  initial_temperature=300.0)
+        assert result.final("mass") == pytest.approx(300.0 + 25.0 * 2.0,
+                                                     rel=0.01)
+
+    def test_monotonic_approach(self):
+        net = rc_network(load=25.0)
+        result = TransientNetworkSolver(net).integrate(
+            duration=500.0, time_step=2.0, initial_temperature=300.0)
+        history = result.node("mass")
+        assert np.all(np.diff(history) >= -1e-9)
+
+    def test_peak_and_trough(self):
+        net = rc_network()
+        result = TransientNetworkSolver(net).integrate(
+            duration=100.0, time_step=1.0, initial_temperature=400.0)
+        assert result.peak("mass") == pytest.approx(400.0)
+        assert result.trough("mass") < 400.0
+
+    def test_max_rate_bounded_by_initial(self):
+        # dT/dt at t=0 is (T_inf - T0)/RC = -100/200 = -0.5 K/s.
+        net = rc_network()
+        result = TransientNetworkSolver(net).integrate(
+            duration=50.0, time_step=0.5, initial_temperature=400.0)
+        assert result.max_rate("mass") <= 0.5 + 1e-6
+
+
+class TestSchedules:
+    def test_boundary_ramp_follows(self):
+        net = rc_network(capacitance=10.0, resistance=0.1)
+        ramp = ramp_profile(300.0, 350.0, ramp_rate=1.0)
+        solver = TransientNetworkSolver(
+            net, boundary_schedules={"ambient": ramp})
+        result = solver.integrate(duration=200.0, time_step=0.5,
+                                  initial_temperature=300.0)
+        # Small RC: the mass tracks the boundary closely.
+        assert result.final("mass") == pytest.approx(350.0, abs=2.0)
+
+    def test_load_schedule(self):
+        net = rc_network(capacitance=10.0, resistance=1.0)
+        solver = TransientNetworkSolver(
+            net, load_schedules={"mass": lambda t: 10.0 if t > 50.0
+                                 else 0.0})
+        result = solver.integrate(duration=300.0, time_step=0.5,
+                                  initial_temperature=300.0)
+        assert result.node("mass")[50] == pytest.approx(300.0, abs=0.5)
+        assert result.final("mass") == pytest.approx(310.0, rel=0.02)
+
+    def test_schedule_on_free_node_rejected(self):
+        net = rc_network()
+        with pytest.raises(InputError):
+            TransientNetworkSolver(net,
+                                   boundary_schedules={"mass":
+                                                       lambda t: 300.0})
+
+    def test_schedule_on_unknown_node_rejected(self):
+        net = rc_network()
+        with pytest.raises(InputError):
+            TransientNetworkSolver(net,
+                                   load_schedules={"ghost": lambda t: 1.0})
+
+    def test_free_node_without_capacitance_rejected(self):
+        net = ThermalNetwork()
+        net.add_node("m")  # no capacitance
+        net.add_node("ambient", fixed_temperature=300.0)
+        net.add_resistance("m", "ambient", 1.0)
+        with pytest.raises(InputError):
+            TransientNetworkSolver(net)
+
+
+class TestRampProfile:
+    def test_endpoints(self):
+        ramp = ramp_profile(250.0, 330.0, ramp_rate=2.0)
+        assert ramp(0.0) == pytest.approx(250.0)
+        assert ramp(40.0) == pytest.approx(330.0)
+        assert ramp(1000.0) == pytest.approx(330.0)
+
+    def test_midpoint(self):
+        ramp = ramp_profile(250.0, 330.0, ramp_rate=2.0)
+        assert ramp(20.0) == pytest.approx(290.0)
+
+    def test_descending(self):
+        ramp = ramp_profile(330.0, 250.0, ramp_rate=2.0)
+        assert ramp(20.0) == pytest.approx(290.0)
+
+    def test_start_delay(self):
+        ramp = ramp_profile(300.0, 310.0, ramp_rate=1.0, start_time=10.0)
+        assert ramp(5.0) == pytest.approx(300.0)
+        assert ramp(20.0) == pytest.approx(310.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(InputError):
+            ramp_profile(300.0, 310.0, ramp_rate=0.0)
+
+
+class TestCyclicProfile:
+    def test_paper_thermal_shock_shape(self):
+        # -45 / +55 degC at 5 K/min: swing 100 K, ramp 20 min.
+        low, high = 228.15, 328.15
+        rate = 5.0 / 60.0
+        cycle = cyclic_profile(low, high, rate, dwell_time=600.0)
+        assert cycle(0.0) == pytest.approx(low)
+        assert cycle(300.0) == pytest.approx(low)          # low dwell
+        ramp_s = 100.0 / rate
+        assert cycle(600.0 + ramp_s / 2.0) == pytest.approx(
+            (low + high) / 2.0)
+        assert cycle(600.0 + ramp_s + 300.0) == pytest.approx(high)
+
+    def test_periodicity(self):
+        cycle = cyclic_profile(250.0, 350.0, 1.0, dwell_time=50.0)
+        period = 2.0 * (50.0 + 100.0)
+        for t in (0.0, 75.0, 130.0, 260.0):
+            assert cycle(t) == pytest.approx(cycle(t + period), abs=1e-9)
+
+    def test_bounds_respected(self):
+        cycle = cyclic_profile(250.0, 350.0, 2.0, dwell_time=20.0)
+        values = [cycle(t * 3.7) for t in range(200)]
+        assert min(values) >= 250.0 - 1e-9
+        assert max(values) <= 350.0 + 1e-9
+
+    def test_invalid_order(self):
+        with pytest.raises(InputError):
+            cyclic_profile(350.0, 250.0, 1.0, 10.0)
+
+
+class TestValidation:
+    def test_invalid_duration(self):
+        solver = TransientNetworkSolver(rc_network())
+        with pytest.raises(InputError):
+            solver.integrate(duration=-1.0, time_step=0.1)
+
+    def test_step_exceeding_duration(self):
+        solver = TransientNetworkSolver(rc_network())
+        with pytest.raises(InputError):
+            solver.integrate(duration=1.0, time_step=2.0)
+
+    def test_unknown_node_in_result(self):
+        result = TransientNetworkSolver(rc_network()).integrate(
+            duration=10.0, time_step=1.0)
+        with pytest.raises(InputError):
+            result.node("ghost")

@@ -1,0 +1,104 @@
+"""Tests for the virtual ASTM D5470 tester and four-wire ohmmeter."""
+
+import pytest
+
+from avipack.errors import InputError
+from avipack.tim.interface import ThermalInterface
+from avipack.tim.tester import D5470Tester, FourWireOhmmeter
+
+
+def sample_series(conductivity=9.5, contact=1e-6,
+                  blts=(15e-6, 30e-6, 60e-6, 120e-6, 200e-6)):
+    return [ThermalInterface(conductivity, blt, contact, 6.45e-4)
+            for blt in blts]
+
+
+class TestMeasurement:
+    def test_measurement_near_truth(self):
+        tester = D5470Tester(seed=1)
+        iface = sample_series()[2]
+        reading = tester.measure(iface)
+        assert reading.specific_resistance == pytest.approx(
+            iface.specific_resistance, abs=4e-6)  # 4 sigma of +/-1 K.mm2/W
+
+    def test_noise_is_repeatable_with_seed(self):
+        r1 = D5470Tester(seed=42).measure(sample_series()[0])
+        r2 = D5470Tester(seed=42).measure(sample_series()[0])
+        assert r1.specific_resistance == r2.specific_resistance
+
+    def test_different_seeds_differ(self):
+        r1 = D5470Tester(seed=1).measure(sample_series()[0])
+        r2 = D5470Tester(seed=2).measure(sample_series()[0])
+        assert r1.specific_resistance != r2.specific_resistance
+
+    def test_hot_face_above_cold(self):
+        reading = D5470Tester().measure(sample_series()[0])
+        assert reading.hot_face_temperature \
+            > reading.cold_face_temperature
+
+    def test_noiseless_tester_exact(self):
+        tester = D5470Tester(resistance_accuracy_kmm2=0.0,
+                             thickness_accuracy=0.0)
+        iface = sample_series()[1]
+        reading = tester.measure(iface)
+        assert reading.specific_resistance == pytest.approx(
+            iface.specific_resistance, rel=1e-12)
+        assert reading.bond_line_thickness == pytest.approx(
+            iface.bond_line_thickness, rel=1e-12)
+
+    def test_invalid_flux(self):
+        with pytest.raises(InputError):
+            D5470Tester().measure(sample_series()[0], heat_flux=-1.0)
+
+
+class TestCharacterization:
+    def test_recovers_conductivity_within_accuracy(self):
+        # NANOPACK tester claims +/-1 K.mm2/W: with 5 thicknesses x 5
+        # repeats, the fitted conductivity should land within ~15%.
+        result = D5470Tester(seed=3).characterize(sample_series(),
+                                                  n_repeats=5)
+        assert result.conductivity == pytest.approx(9.5, rel=0.20)
+
+    def test_recovers_contact_resistance_sign(self):
+        result = D5470Tester(seed=3).characterize(
+            sample_series(contact=5e-6), n_repeats=5)
+        assert result.contact_resistance >= 0.0
+        assert result.contact_resistance_kmm2 < 15.0
+
+    def test_noiseless_fit_exact(self):
+        tester = D5470Tester(resistance_accuracy_kmm2=0.0,
+                             thickness_accuracy=0.0)
+        result = tester.characterize(sample_series(conductivity=20.0,
+                                                   contact=2e-6))
+        assert result.conductivity == pytest.approx(20.0, rel=1e-6)
+        assert result.contact_resistance == pytest.approx(2e-6, rel=1e-6)
+
+    def test_single_thickness_rejected(self):
+        with pytest.raises(InputError):
+            D5470Tester().characterize(sample_series()[:1])
+
+    def test_sample_count_recorded(self):
+        result = D5470Tester().characterize(sample_series(), n_repeats=2)
+        assert result.n_samples == 10
+
+
+class TestFourWire:
+    def test_measures_above_floor(self):
+        meter = FourWireOhmmeter(seed=5)
+        # rho*L/A = 1e-6 * 0.01 / 1e-7 = 1e-1 Ohm >> floor.
+        reading = meter.measure(1e-6, 0.01, 1e-7)
+        assert reading == pytest.approx(0.1, rel=0.01)
+
+    def test_below_floor_rejected(self):
+        meter = FourWireOhmmeter()
+        with pytest.raises(InputError):
+            meter.measure(1e-8, 0.001, 1e-4)
+
+    def test_repeatable(self):
+        r1 = FourWireOhmmeter(seed=9).measure(1e-6, 0.01, 1e-7)
+        r2 = FourWireOhmmeter(seed=9).measure(1e-6, 0.01, 1e-7)
+        assert r1 == r2
+
+    def test_invalid_sample(self):
+        with pytest.raises(InputError):
+            FourWireOhmmeter().measure(-1e-6, 0.01, 1e-7)

@@ -1,0 +1,130 @@
+"""Tests for the heat-pipe model: limits, resistance, design behaviour."""
+
+import pytest
+
+from avipack.errors import InputError, OperatingLimitError
+from avipack.twophase.heatpipe import (
+    HeatPipe,
+    HeatPipeGeometry,
+    standard_copper_water_heatpipe,
+)
+from avipack.twophase.wick import sintered_powder_wick
+from avipack.twophase.workingfluid import WorkingFluid
+
+T_OP = 333.15  # 60 degC vapour
+
+
+class TestGeometry:
+    def test_derived_radii(self):
+        geo = HeatPipeGeometry(3e-3, 0.3e-3, 0.6e-3, 0.05, 0.05, 0.05)
+        assert geo.inner_radius == pytest.approx(2.7e-3)
+        assert geo.vapor_radius == pytest.approx(2.1e-3)
+
+    def test_effective_length(self):
+        geo = HeatPipeGeometry(3e-3, 0.3e-3, 0.6e-3, 0.04, 0.06, 0.04)
+        assert geo.effective_length == pytest.approx(0.06 + 0.04)
+
+    def test_no_vapor_core_rejected(self):
+        with pytest.raises(InputError):
+            HeatPipeGeometry(1e-3, 0.5e-3, 0.6e-3, 0.05, 0.05, 0.05)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(InputError):
+            HeatPipeGeometry(3e-3, 0.3e-3, 0.6e-3, -0.05, 0.05, 0.05)
+
+
+class TestLimits:
+    def test_capillary_binds_at_operating_temperature(self, copper_water_hp):
+        q_max, name = copper_water_hp.max_heat_transport(T_OP)
+        assert name == "capillary"
+        # A 6 mm copper/water pipe carries some tens of watts.
+        assert 20.0 < q_max < 200.0
+
+    def test_all_limits_positive(self, copper_water_hp):
+        for name, value in copper_water_hp.operating_limits(T_OP).items():
+            assert value > 0.0, name
+
+    def test_adverse_tilt_reduces_capillary(self, copper_water_hp):
+        from dataclasses import replace
+
+        tilted = replace(copper_water_hp, tilt_deg=45.0)
+        assert tilted.capillary_limit(T_OP) \
+            < copper_water_hp.capillary_limit(T_OP)
+
+    def test_gravity_assist_increases_capillary(self, copper_water_hp):
+        from dataclasses import replace
+
+        assisted = replace(copper_water_hp, tilt_deg=-45.0)
+        assert assisted.capillary_limit(T_OP) \
+            > copper_water_hp.capillary_limit(T_OP)
+
+    def test_fully_adverse_long_pipe_dries_out(self):
+        pipe = standard_copper_water_heatpipe(length=1.5, tilt_deg=90.0)
+        assert pipe.capillary_limit(T_OP) == 0.0
+
+    def test_viscous_limit_grows_with_temperature(self, copper_water_hp):
+        # Vapour pressure rises steeply: startup limit relaxes when hot.
+        assert copper_water_hp.viscous_limit(350.0) \
+            > copper_water_hp.viscous_limit(300.0)
+
+    def test_sonic_limit_magnitude(self, copper_water_hp):
+        # Sonic limit for a small water pipe at 60 degC: hundreds of watts.
+        assert copper_water_hp.sonic_limit(T_OP) > 100.0
+
+
+class TestResistance:
+    def test_resistance_magnitude(self, copper_water_hp):
+        # COTS 6 mm pipes: 0.1-1.5 K/W class.
+        r = copper_water_hp.thermal_resistance(T_OP)
+        assert 0.05 < r < 2.0
+
+    def test_effective_conductivity_beats_copper(self, copper_water_hp):
+        # The reason heat pipes exist: k_eff >> 398 W/m.K.
+        assert copper_water_hp.effective_conductivity(T_OP) > 2000.0
+
+    def test_temperature_drop_linear_in_power(self, copper_water_hp):
+        dt10 = copper_water_hp.temperature_drop(10.0, T_OP)
+        dt20 = copper_water_hp.temperature_drop(20.0, T_OP)
+        assert dt20 == pytest.approx(2.0 * dt10)
+
+    def test_overload_raises(self, copper_water_hp):
+        q_max, name = copper_water_hp.max_heat_transport(T_OP)
+        with pytest.raises(OperatingLimitError) as excinfo:
+            copper_water_hp.temperature_drop(q_max * 1.1, T_OP)
+        assert excinfo.value.limit_name == name
+
+    def test_negative_power_rejected(self, copper_water_hp):
+        with pytest.raises(InputError):
+            copper_water_hp.check_operation(-1.0, T_OP)
+
+
+class TestDesignBehaviour:
+    def test_longer_pipe_carries_less(self):
+        short = standard_copper_water_heatpipe(length=0.10)
+        long = standard_copper_water_heatpipe(length=0.40)
+        assert long.capillary_limit(T_OP) < short.capillary_limit(T_OP)
+
+    def test_fatter_pipe_carries_more(self):
+        thin = standard_copper_water_heatpipe(diameter=4e-3)
+        fat = standard_copper_water_heatpipe(diameter=10e-3)
+        assert fat.max_heat_transport(T_OP)[0] \
+            > thin.max_heat_transport(T_OP)[0]
+
+    def test_methanol_pipe_operates_cold(self):
+        # Water freezes; methanol remains valid at -20 degC.
+        geo = standard_copper_water_heatpipe().geometry
+        wick = sintered_powder_wick(50e-6, 0.5, 398.0, 0.2)
+        pipe = HeatPipe(geometry=geo, wick=wick,
+                        fluid=WorkingFluid("methanol"))
+        q_max, _name = pipe.max_heat_transport(253.15)
+        assert q_max > 0.0
+
+    def test_invalid_tilt(self):
+        with pytest.raises(InputError):
+            standard_copper_water_heatpipe(tilt_deg=120.0)
+
+    def test_invalid_wall_conductivity(self):
+        pipe = standard_copper_water_heatpipe()
+        with pytest.raises(InputError):
+            HeatPipe(geometry=pipe.geometry, wick=pipe.wick,
+                     fluid=pipe.fluid, wall_conductivity=-1.0)

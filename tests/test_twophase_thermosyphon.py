@@ -1,0 +1,127 @@
+"""Tests for the thermosyphon model and working-fluid selection."""
+
+from dataclasses import replace
+
+import pytest
+
+from avipack.errors import InputError, OperatingLimitError
+from avipack.twophase.thermosyphon import Thermosyphon
+from avipack.twophase.workingfluid import WorkingFluid, select_fluid
+
+T_OP = 333.15
+
+
+@pytest.fixture
+def syphon():
+    return Thermosyphon(
+        inner_diameter=8e-3, evaporator_length=0.1,
+        adiabatic_length=0.1, condenser_length=0.1,
+        fluid=WorkingFluid("water"))
+
+
+class TestLimits:
+    def test_flooding_limit_magnitude(self, syphon):
+        # An 8 mm water thermosyphon floods in the hundreds of watts.
+        q, name = syphon.max_heat_transport(T_OP)
+        assert 100.0 < q < 3000.0
+
+    def test_wider_tube_carries_more(self, syphon):
+        wide = replace(syphon, inner_diameter=16e-3)
+        assert wide.flooding_limit(T_OP) > syphon.flooding_limit(T_OP)
+
+    def test_underfill_dries_first(self, syphon):
+        starved = replace(syphon, fill_ratio=0.1)
+        q, name = starved.max_heat_transport(T_OP)
+        assert name == "dryout"
+        assert q < syphon.flooding_limit(T_OP)
+
+    def test_inclination_reduces_limit(self, syphon):
+        tilted = replace(syphon, inclination_deg=60.0)
+        assert tilted.flooding_limit(T_OP) < syphon.flooding_limit(T_OP)
+
+    def test_inverted_orientation_fails(self, syphon):
+        upside_down = replace(syphon, inclination_deg=85.0)
+        with pytest.raises(OperatingLimitError) as excinfo:
+            upside_down.flooding_limit(T_OP)
+        assert excinfo.value.limit_name == "orientation"
+
+
+class TestResistances:
+    def test_total_resistance_positive(self, syphon):
+        assert syphon.thermal_resistance(50.0, T_OP) > 0.0
+
+    def test_delta_t_reasonable(self, syphon):
+        # 50 W through a small water thermosyphon: a few K to ~15 K.
+        dt = syphon.temperature_drop(50.0, T_OP)
+        assert 1.0 < dt < 25.0
+
+    def test_boiling_resistance_falls_with_power(self, syphon):
+        # Nucleate boiling improves with flux (dT ~ q^1/3 -> R ~ q^-2/3).
+        assert syphon.boiling_resistance(100.0, T_OP) \
+            < syphon.boiling_resistance(10.0, T_OP)
+
+    def test_longer_condenser_helps(self, syphon):
+        long_cond = replace(syphon, condenser_length=0.3)
+        assert long_cond.condensation_resistance(50.0, T_OP) \
+            < syphon.condensation_resistance(50.0, T_OP)
+
+    def test_overload_raises(self, syphon):
+        q_max, _name = syphon.max_heat_transport(T_OP)
+        with pytest.raises(OperatingLimitError):
+            syphon.temperature_drop(q_max * 1.5, T_OP)
+
+    def test_zero_power_boiling_rejected(self, syphon):
+        with pytest.raises(InputError):
+            syphon.boiling_resistance(0.0, T_OP)
+
+
+class TestValidation:
+    def test_invalid_fill(self, syphon):
+        with pytest.raises(InputError):
+            replace(syphon, fill_ratio=0.01)
+
+    def test_invalid_diameter(self, syphon):
+        with pytest.raises(InputError):
+            replace(syphon, inner_diameter=-1.0)
+
+
+class TestWorkingFluidSelection:
+    def test_fluid_wrapper_rejects_unknown(self):
+        with pytest.raises(InputError):
+            WorkingFluid("kerosene")
+
+    def test_operating_range_brackets_validity(self):
+        lo, hi = WorkingFluid("ammonia").operating_range()
+        assert lo == pytest.approx(200.0, abs=2.0)
+        assert hi == pytest.approx(380.0, abs=2.0)
+
+    def test_select_fluid_room_temperature(self):
+        # At cabin temperatures with the -55 degC survival rule, water is
+        # excluded (frozen) and ammonia's merit wins.
+        name, merit = select_fluid(t_operating=320.0)
+        assert name == "ammonia"
+        assert merit > 0.0
+
+    def test_select_fluid_relaxed_survival_prefers_water(self):
+        name, _merit = select_fluid(t_operating=330.0,
+                                    t_min_survival=285.0)
+        assert name == "water"
+
+    def test_pressure_ceiling_excludes_ammonia(self):
+        # Ammonia at 350 K is ~37 bar; capping at 10 bar forces another
+        # fluid even with a cold (-18 degC) survival requirement.
+        name, _merit = select_fluid(t_operating=350.0,
+                                    t_min_survival=255.0,
+                                    max_pressure=1.0e6)
+        assert name != "ammonia"
+
+    def test_impossible_requirement(self):
+        with pytest.raises(InputError):
+            select_fluid(t_operating=320.0, t_min_survival=150.0,
+                         max_pressure=100.0)
+
+    def test_merit_number_consistency(self):
+        fluid = WorkingFluid("water")
+        state = fluid.saturation(350.0)
+        assert fluid.merit_number(350.0) == pytest.approx(
+            state.merit_number())
