@@ -1,0 +1,15 @@
+"""Repo-root pytest bootstrap.
+
+Makes ``import avipack`` work when the package is not installed (CI
+installs it with ``pip install -e '.[test]'``; local checkouts can just
+run ``pytest`` from the repo root).  The ``src`` layout keeps the
+import path explicit: installed copies win only if this insert is
+absent, so tests always exercise the checkout they sit in.
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

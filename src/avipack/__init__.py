@@ -51,6 +51,7 @@ from . import (
     mechanical,
     packaging,
     reliability,
+    sweep,
     thermal,
     tim,
     twophase,
@@ -82,6 +83,13 @@ from .packaging import (
     SeatElectronicsBox,
     SebConfiguration,
 )
+from .sweep import (
+    Candidate,
+    DesignSpace,
+    SolverCache,
+    SweepReport,
+    SweepRunner,
+)
 from .thermal import ThermalNetwork
 from .twophase import HeatPipe, LoopHeatPipe, Thermosyphon
 
@@ -89,7 +97,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AvipackError",
+    "Candidate",
     "ConvergenceError",
+    "DesignSpace",
     "FrequencyAllocation",
     "HeatPipe",
     "InputError",
@@ -103,7 +113,10 @@ __all__ = [
     "Rack",
     "SeatElectronicsBox",
     "SebConfiguration",
+    "SolverCache",
     "SpecificationError",
+    "SweepReport",
+    "SweepRunner",
     "ThermalNetwork",
     "Thermosyphon",
     "core",
@@ -113,6 +126,7 @@ __all__ = [
     "mechanical",
     "packaging",
     "reliability",
+    "sweep",
     "thermal",
     "tim",
     "twophase",

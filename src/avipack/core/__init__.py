@@ -9,27 +9,6 @@
 * :mod:`~avipack.core.report` — design-document rendering.
 """
 
-from .levels import (
-    BOARD_LIMIT,
-    JUNCTION_LIMIT,
-    Level1Result,
-    Level2Result,
-    Level3Result,
-    PyramidResult,
-    run_level1,
-    run_level2,
-    run_level3,
-    run_pyramid,
-)
-from .selector import (
-    Architecture,
-    ArchitectureAssessment,
-    ThermalRequirement,
-    assess,
-    forced_air_no_longer_applicable,
-    select_architecture,
-    select_for_zone,
-)
 from .advisor import (
     DesignMove,
     advise,
@@ -44,6 +23,19 @@ from .design_flow import (
     PackagingSpecification,
     run_design_procedure,
     run_mechanical_branch,
+    run_thermal_branch,
+)
+from .levels import (
+    BOARD_LIMIT,
+    JUNCTION_LIMIT,
+    Level1Result,
+    Level2Result,
+    Level3Result,
+    PyramidResult,
+    run_level1,
+    run_level2,
+    run_level3,
+    run_pyramid,
 )
 from .qualification import (
     EquipmentUnderTest,
@@ -55,22 +47,28 @@ from .qualification import (
     run_thermal_shock_test,
     run_vibration_test,
 )
+from .report import (
+    render_design_document,
+    render_qualification_report,
+    section_header,
+    summarize_margins,
+)
+from .selector import (
+    Architecture,
+    ArchitectureAssessment,
+    ThermalRequirement,
+    assess,
+    forced_air_no_longer_applicable,
+    select_architecture,
+    select_for_zone,
+)
 from .sensitivity import (
     SensitivityEntry,
     SensitivityStudy,
     one_at_a_time,
     tornado_rows,
 )
-from .uncertainty import (
-    Distribution,
-    UncertaintyResult,
-    propagate,
-)
-from .report import (
-    render_design_document,
-    render_qualification_report,
-    summarize_margins,
-)
+from .uncertainty import Distribution, UncertaintyResult, propagate
 
 __all__ = [
     "Architecture",
@@ -114,8 +112,10 @@ __all__ = [
     "run_level3",
     "run_mechanical_branch",
     "run_pyramid",
+    "run_thermal_branch",
     "run_thermal_shock_test",
     "run_vibration_test",
+    "section_header",
     "select_architecture",
     "select_for_zone",
     "summarize_margins",

@@ -24,8 +24,8 @@ content of the "action items" slide of a design review.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..errors import InputError
 from ..mechanical.plate import (
@@ -37,11 +37,7 @@ from ..mechanical.plate import (
 from ..reliability.mtbf import REFERENCE_JUNCTION
 from ..units import BOLTZMANN_EV
 from .design_flow import DesignReview
-from .selector import (
-    Architecture,
-    ThermalRequirement,
-    select_architecture,
-)
+from .selector import Architecture, ThermalRequirement, select_architecture
 
 
 @dataclass(frozen=True)

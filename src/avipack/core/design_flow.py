@@ -17,13 +17,20 @@ The flow object here is deliberately close to the industrial artefact:
 * :func:`run_design_procedure` runs both and emits a
   :class:`DesignReview` with the pass/fail verdict and every margin —
   the "design at a minimum cost and in one shot" objective.
+
+Both branch runners are plain module-level functions (hence picklable
+for process-pool sweeps), accept an optional solver ``cache`` (any
+object with ``get_or_compute(key, compute)``), and can be replaced
+wholesale through :func:`run_design_procedure`'s ``thermal_branch`` /
+``mechanical_branch`` injection points — the hooks
+:mod:`avipack.sweep` uses to batch-evaluate candidate stacks.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..environments.do160 import (
     TemperatureCategory,
@@ -31,6 +38,7 @@ from ..environments.do160 import (
     vibration_curve,
 )
 from ..errors import InputError, SpecificationError
+from ..fingerprint import stable_fingerprint
 from ..mechanical.fatigue import (
     fatigue_life_hours,
     margin_of_safety,
@@ -127,17 +135,28 @@ class MechanicalReview:
 
 def run_mechanical_branch(rack: Rack, spec: PackagingSpecification,
                           critical_component_length: float = 0.02,
-                          critical_component_type: str = "smt_gullwing"
-                          ) -> MechanicalReview:
+                          critical_component_type: str = "smt_gullwing",
+                          cache=None) -> MechanicalReview:
     """Modal placement + random-vibration fatigue for the worst board.
 
     The worst board is the one with the lowest fundamental frequency
-    (softest, hence largest deflections).
+    (softest, hence largest deflections).  ``cache`` memoises the review
+    under a fingerprint of exactly what the branch reads: the structural
+    plates and the specification's vibration requirements.
     """
     boards = [module.pcb.as_plate() for module in rack.modules
               if module.pcb is not None]
     if not boards:
         raise InputError("mechanical branch needs at least one real PCB")
+    if cache is not None:
+        key = stable_fingerprint(
+            "mechanical", tuple(boards), spec.vibration_curve_name,
+            spec.frequency_allocation, spec.mission_vibration_hours,
+            critical_component_length, critical_component_type)
+        return cache.get_or_compute(
+            key, lambda: run_mechanical_branch(
+                rack, spec, critical_component_length,
+                critical_component_type))
     plate = min(boards, key=fundamental_frequency)
     f_1 = fundamental_frequency(plate)
     allocation_ok = (spec.frequency_allocation is None
@@ -165,6 +184,24 @@ def run_mechanical_branch(rack: Rack, spec: PackagingSpecification,
     )
 
 
+def run_thermal_branch(rack: Rack, spec: PackagingSpecification,
+                       cache=None) -> PyramidResult:
+    """Thermal branch of Fig. 1: the level-1/2/3 pyramid for a spec.
+
+    Runs the pyramid at the specification's worst-case operating
+    ambient, using the first module's cooling envelope for the level-1
+    technique scan (every rack the library builds is homogeneous; the
+    standard envelope is used for bare racks).
+    """
+    envelope = rack.modules[0].envelope if rack.modules else None
+    return run_pyramid(rack, ambient=spec.category.operating_high,
+                       cache=cache, envelope=envelope)
+
+
+#: Signature shared by injectable Fig. 1 branch runners.
+BranchRunner = Callable[..., object]
+
+
 @dataclass(frozen=True)
 class DesignReview:
     """The packaging design document's verdict block."""
@@ -183,15 +220,29 @@ class DesignReview:
 
 def run_design_procedure(rack: Rack, spec: PackagingSpecification,
                          parts: Optional[List[PartReliability]] = None,
-                         strict: bool = False) -> DesignReview:
+                         strict: bool = False,
+                         cache=None,
+                         thermal_branch: Optional[BranchRunner] = None,
+                         mechanical_branch: Optional[BranchRunner] = None
+                         ) -> DesignReview:
     """Run the full Fig. 1 procedure on a rack against a specification.
 
     ``parts`` (optional) enables the reliability roll-up using the
     level-3 junction temperatures.  With ``strict=True`` a non-compliant
     design raises :class:`SpecificationError` instead of returning.
+
+    ``cache`` memoises solver sub-results across calls (see
+    :mod:`avipack.sweep.cache`); ``thermal_branch`` and
+    ``mechanical_branch`` replace the default branch runners
+    (:func:`run_thermal_branch`, :func:`run_mechanical_branch`) — both
+    are called as ``branch(rack, spec, cache=cache)``.
     """
-    thermal = run_pyramid(rack, ambient=spec.category.operating_high)
-    mechanical = run_mechanical_branch(rack, spec)
+    thermal_runner = (thermal_branch if thermal_branch is not None
+                      else run_thermal_branch)
+    mechanical_runner = (mechanical_branch if mechanical_branch is not None
+                         else run_mechanical_branch)
+    thermal = thermal_runner(rack, spec, cache=cache)
+    mechanical = mechanical_runner(rack, spec, cache=cache)
     violations: List[str] = []
     if not thermal.level1.is_feasible:
         violations.append("level1: no feasible cooling technique")

@@ -15,17 +15,28 @@ to the three phases of the design":
 
 Each level consumes the previous level's boundary result, exactly as the
 industrial flow hands temperatures down the pyramid.
+
+Every runner optionally accepts a ``cache`` — any object exposing
+``get_or_compute(key, compute)``, typically an
+:class:`avipack.sweep.cache.SolverCache` — keyed on a stable content
+fingerprint of the inputs, so a design-space sweep reaching the same
+sub-problem from different candidates computes it once.  ``run_level3``
+additionally accepts an injected detail solver, keeping the branch
+runners picklable and testable with instrumented solvers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import InputError
-from ..packaging.cooling import CoolingTechnique, compare_techniques, \
-    ModuleEnvelope
-from ..packaging.module import Module
+from ..fingerprint import stable_fingerprint
+from ..packaging.cooling import (
+    CoolingTechnique,
+    ModuleEnvelope,
+    compare_techniques,
+)
 from ..packaging.pcb import Pcb
 from ..packaging.rack import Rack, SlotResult
 from ..units import celsius_to_kelvin
@@ -54,15 +65,21 @@ class Level1Result:
 
 def run_level1(total_power: float,
                envelope: ModuleEnvelope = ModuleEnvelope(),
-               ambient: float = celsius_to_kelvin(40.0)) -> Level1Result:
+               ambient: float = celsius_to_kelvin(40.0),
+               cache=None) -> Level1Result:
     """Level-1: volumetric-source feasibility scan over cooling options.
 
     Ranks the Fig. 5 techniques by simplicity (free convection first) and
     recommends the simplest feasible one — the "select the most
     appropriate cooling technology given a level of power" decision.
+    ``cache`` memoises the full scan under a content key.
     """
     if total_power <= 0.0:
         raise InputError("total power must be positive")
+    if cache is not None:
+        key = stable_fingerprint("level1", total_power, envelope, ambient)
+        return cache.get_or_compute(
+            key, lambda: run_level1(total_power, envelope, ambient))
     evaluations = compare_techniques(total_power, envelope, ambient)
     rises = {tech: ev.rise for tech, ev in evaluations.items()}
     simplicity_order = [
@@ -101,8 +118,24 @@ class Level2Result:
 
 
 def run_level2(rack: Rack,
-               board_limit: float = BOARD_LIMIT) -> Level2Result:
-    """Level-2: boards as dissipative surfaces in the rack airflow."""
+               board_limit: float = BOARD_LIMIT,
+               cache=None) -> Level2Result:
+    """Level-2: boards as dissipative surfaces in the rack airflow.
+
+    ``cache`` memoises the result under a fingerprint of exactly the
+    state the airflow solve reads (slot names and powers, channel
+    geometry, supply temperature, plenum layout), so sweep candidates
+    differing only in non-airflow choices (TIM, declared cooling mode)
+    share one solve.
+    """
+    if cache is not None:
+        key = stable_fingerprint(
+            "level2",
+            tuple((module.name, module.power) for module in rack.modules),
+            rack.channel, rack.supply_temperature, rack.series_fraction,
+            board_limit)
+        return cache.get_or_compute(key, lambda: run_level2(rack,
+                                                            board_limit))
     slots = tuple(rack.solve())
     worst = max(slot.board_temperature for slot in slots)
     return Level2Result(slots=slots, worst_board_temperature=worst,
@@ -125,20 +158,39 @@ class Level3Result:
 
 def run_level3(pcb: Pcb, board_boundary_temperature: float,
                h_film: float = 15.0,
-               junction_limit: float = JUNCTION_LIMIT) -> Level3Result:
+               junction_limit: float = JUNCTION_LIMIT,
+               cache=None,
+               detail_solver: Optional[Callable[..., "object"]] = None
+               ) -> Level3Result:
     """Level-3: detailed board solve with discrete component footprints.
 
     ``board_boundary_temperature`` is the level-2 air/wall boundary handed
     down the pyramid; the board is solved with film cooling on both faces
     against it, and each junction follows from the local board temperature
     through the package model.
+
+    ``detail_solver`` overrides the board solver (default
+    :meth:`~avipack.packaging.pcb.Pcb.solve_detail`); it must accept the
+    same keyword arguments and return an object with
+    ``junction_temperatures``.  ``cache`` memoises the level result under
+    a content key of the board and boundary, so identical boards at the
+    same boundary (e.g. replicated modules in a parallel-fed rack, or
+    the same stack reached from different sweep candidates) solve once.
     """
     if board_boundary_temperature <= 0.0:
         raise InputError("boundary temperature must be positive kelvin")
     if not pcb.components:
         raise InputError("level-3 needs a populated board")
-    detail = pcb.solve_detail(h_top=h_film, h_bottom=h_film,
-                              ambient=board_boundary_temperature)
+    if cache is not None:
+        key = stable_fingerprint("level3", pcb, board_boundary_temperature,
+                                 h_film, junction_limit, detail_solver)
+        return cache.get_or_compute(
+            key, lambda: run_level3(pcb, board_boundary_temperature,
+                                    h_film, junction_limit,
+                                    detail_solver=detail_solver))
+    solve = detail_solver if detail_solver is not None else pcb.solve_detail
+    detail = solve(h_top=h_film, h_bottom=h_film,
+                   ambient=board_boundary_temperature)
     junctions = detail.junction_temperatures
     violations = tuple(
         name for name, t_j in sorted(junctions.items())
@@ -167,19 +219,28 @@ class PyramidResult:
 
 
 def run_pyramid(rack: Rack,
-                ambient: float = celsius_to_kelvin(40.0)) -> PyramidResult:
+                ambient: float = celsius_to_kelvin(40.0),
+                cache=None,
+                envelope: Optional[ModuleEnvelope] = None) -> PyramidResult:
     """Run the full Fig. 4 pyramid on a rack.
 
     Level 1 checks the rack total power; level 2 resolves per-slot board
     temperatures; level 3 runs on every module that has a populated PCB,
-    using its slot's mean air temperature as the boundary.
+    using its slot's mean air temperature as the boundary.  ``cache`` is
+    threaded through every level's runner.  ``envelope`` overrides the
+    level-1 cooling envelope (default: the standard module envelope, as
+    the preliminary-design scan has always assumed).
     """
-    level1 = run_level1(max(rack.total_power, 1e-9), ambient=ambient)
-    level2 = run_level2(rack)
+    if envelope is None:
+        envelope = ModuleEnvelope()
+    level1 = run_level1(max(rack.total_power, 1e-9), envelope=envelope,
+                        ambient=ambient, cache=cache)
+    level2 = run_level2(rack, cache=cache)
     level3: Dict[str, Level3Result] = {}
     for module, slot in zip(rack.modules, level2.slots):
         if module.pcb is not None and module.pcb.components:
             boundary = 0.5 * (slot.inlet_temperature
                               + slot.outlet_temperature)
-            level3[module.name] = run_level3(module.pcb, boundary)
+            level3[module.name] = run_level3(module.pcb, boundary,
+                                             cache=cache)
     return PyramidResult(level1=level1, level2=level2, level3=level3)

@@ -20,11 +20,11 @@ explicit margins so a design report can quote them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
 
-from ..errors import InputError
 from ..environments.profiles import QualificationCampaign
+from ..errors import InputError
 from ..mechanical.fatigue import (
     fatigue_life_hours,
     margin_of_safety,

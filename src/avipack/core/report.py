@@ -17,9 +17,18 @@ from .design_flow import DesignReview
 from .qualification import QualificationReport
 
 
-def _header(title: str) -> List[str]:
+def section_header(title: str) -> List[str]:
+    """Title banner lines shared by every rendered document.
+
+    Public so sibling report renderers (qualification, design-space
+    sweeps) emit documents in one consistent style.
+    """
     bar = "=" * max(len(title), 8)
     return [bar, title, bar]
+
+
+#: Backward-compatible alias for the pre-1.1 private name.
+_header = section_header
 
 
 def render_design_document(review: DesignReview) -> str:

@@ -11,7 +11,7 @@ the paper's central message.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..errors import InputError

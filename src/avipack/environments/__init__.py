@@ -8,6 +8,16 @@
   (the COSEE campaign).
 """
 
+from .arinc600 import (
+    STANDARD_FLOW_KG_H_PER_KW,
+    STANDARD_INLET_TEMPERATURE,
+    CardChannel,
+    ForcedAirPerformance,
+    allocated_mass_flow,
+    hotspot_surface_rise,
+    module_performance,
+    required_flow_multiplier,
+)
 from .do160 import (
     TEMPERATURE_CATEGORIES,
     TemperatureCategory,
@@ -16,20 +26,10 @@ from .do160 import (
     temperature_category,
     vibration_curve,
 )
-from .arinc600 import (
-    CardChannel,
-    ForcedAirPerformance,
-    STANDARD_FLOW_KG_H_PER_KW,
-    STANDARD_INLET_TEMPERATURE,
-    allocated_mass_flow,
-    hotspot_surface_rise,
-    module_performance,
-    required_flow_multiplier,
-)
 from .ingress import (
+    ZONE_SEALING,
     SealingAssessment,
     SealingLevel,
-    ZONE_SEALING,
     assess_sealing,
     compatible_techniques,
     required_sealing,

@@ -2,8 +2,8 @@
 
 from .cosee import (
     CAPABILITY_DELTA_T,
-    CoseeClaims,
     DEFAULT_POWER_SWEEP,
+    CoseeClaims,
     altitude_derating_study,
     ceiling_installation_study,
     ceiling_structure,
@@ -14,9 +14,9 @@ from .cosee import (
     seb_under_test,
 )
 from .nanopack import (
+    TARGETS,
     AdhesiveDesign,
     InterfaceStudy,
-    TARGETS,
     characterize_material,
     design_nanopack_adhesives,
     electrical_campaign,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
+from ..core.qualification import EquipmentUnderTest
 from ..errors import InputError
 from ..mechanical.plate import PlateSpec
 from ..packaging.seb import (
@@ -20,7 +21,6 @@ from ..packaging.seb import (
     aluminum_seat_structure,
     carbon_composite_seat_structure,
 )
-from ..core.qualification import EquipmentUnderTest
 from ..thermal.network import ThermalNetwork
 from ..units import celsius_to_kelvin
 

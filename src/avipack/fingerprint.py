@@ -1,0 +1,113 @@
+"""Stable structural fingerprints for solver memoisation.
+
+The design-space sweep engine (:mod:`avipack.sweep`) avoids recomputing
+identical sub-problems — the same rack solve, the same finite-volume
+board solve, the same cooling-technique scan — reached from different
+candidates.  That requires a *stable, content-based* key for arbitrary
+model objects: two objects that would produce the same solver result
+must hash identically, within a process and across worker processes.
+
+:func:`stable_fingerprint` walks a value structurally and feeds a
+canonical byte encoding into SHA-1:
+
+* scalars (``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``)
+  are encoded by type tag and ``repr`` (exact for floats);
+* enums encode as class + value;
+* numpy arrays encode dtype, shape and raw bytes;
+* dataclasses encode class qualname + every field, recursively;
+* mappings encode sorted items; sequences encode element order;
+* objects exposing a ``fingerprint()`` method delegate to it;
+* callables encode module + qualname only — *by identity of the code
+  location, not behaviour* — so closures over changing state must not be
+  fingerprinted (the nonlinear-network caveat documented in
+  :meth:`avipack.thermal.network.ThermalNetwork.fingerprint`).
+
+Python's built-in ``hash`` is unsuitable: it is salted per process for
+strings, which would defeat cross-process cache accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any
+
+import numpy as np
+
+__all__ = ["stable_fingerprint"]
+
+
+def _feed(digest: "hashlib._Hash", value: Any) -> None:
+    """Feed one value into ``digest`` using a canonical type-tagged form."""
+    if value is None:
+        digest.update(b"N;")
+    elif isinstance(value, bool):
+        digest.update(b"b1;" if value else b"b0;")
+    elif isinstance(value, int):
+        digest.update(b"i" + repr(value).encode() + b";")
+    elif isinstance(value, float):
+        digest.update(b"f" + repr(value).encode() + b";")
+    elif isinstance(value, str):
+        digest.update(b"s" + value.encode("utf-8") + b";")
+    elif isinstance(value, bytes):
+        digest.update(b"y" + value + b";")
+    elif isinstance(value, enum.Enum):
+        digest.update(b"e" + type(value).__qualname__.encode() + b":")
+        _feed(digest, value.value)
+    elif isinstance(value, np.ndarray):
+        digest.update(b"a" + str(value.dtype).encode() + b":"
+                      + repr(value.shape).encode() + b":")
+        digest.update(np.ascontiguousarray(value).tobytes())
+        digest.update(b";")
+    elif isinstance(value, np.generic):
+        _feed(digest, value.item())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        digest.update(b"d" + type(value).__qualname__.encode() + b"{")
+        for field in dataclasses.fields(value):
+            digest.update(field.name.encode() + b"=")
+            _feed(digest, getattr(value, field.name))
+        digest.update(b"};")
+    elif isinstance(value, dict):
+        digest.update(b"m{")
+        for key in sorted(value, key=repr):
+            _feed(digest, key)
+            digest.update(b":")
+            _feed(digest, value[key])
+        digest.update(b"};")
+    elif isinstance(value, (list, tuple)):
+        digest.update(b"l[" if isinstance(value, list) else b"t[")
+        for item in value:
+            _feed(digest, item)
+        digest.update(b"];")
+    elif isinstance(value, (set, frozenset)):
+        digest.update(b"S{")
+        for item in sorted(value, key=repr):
+            _feed(digest, item)
+        digest.update(b"};")
+    elif hasattr(value, "fingerprint") and callable(value.fingerprint):
+        digest.update(b"F" + value.fingerprint().encode() + b";")
+    elif callable(value):
+        module = getattr(value, "__module__", "") or ""
+        qualname = getattr(value, "__qualname__", repr(value))
+        digest.update(b"c" + module.encode() + b":"
+                      + qualname.encode() + b";")
+    else:
+        # Last resort: type + repr.  Adequate for simple value objects;
+        # objects with unstable reprs should grow a fingerprint() method.
+        digest.update(b"r" + type(value).__qualname__.encode() + b":"
+                      + repr(value).encode() + b";")
+
+
+def stable_fingerprint(*values: Any) -> str:
+    """Hex digest identifying ``values`` structurally and stably.
+
+    Equal content gives equal digests in every process and session;
+    structurally different content gives (overwhelmingly likely)
+    different digests.  Accepts multiple values so call sites can key on
+    ``stable_fingerprint("level2", rack, board_limit)`` directly.
+    """
+    digest = hashlib.sha1()
+    for value in values:
+        _feed(digest, value)
+    return digest.hexdigest()

@@ -6,6 +6,15 @@
   saturation-line properties of two-phase working fluids.
 """
 
+from .fluids import (
+    FluidState,
+    SaturationState,
+    air_properties,
+    list_working_fluids,
+    rank_working_fluids,
+    saturation_properties,
+    water_properties,
+)
 from .library import (
     CARBON_COMPOSITE,
     DEFAULT_LIBRARY,
@@ -15,15 +24,6 @@ from .library import (
     OrthotropicMaterial,
     get_material,
     pcb_effective_conductivity,
-)
-from .fluids import (
-    FluidState,
-    SaturationState,
-    air_properties,
-    list_working_fluids,
-    rank_working_fluids,
-    saturation_properties,
-    water_properties,
 )
 
 __all__ = [

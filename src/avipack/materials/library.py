@@ -16,7 +16,7 @@ alumina, solders, steels, thermal-drain graphite).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, Optional
 
 from ..errors import InputError, MaterialNotFoundError

@@ -12,28 +12,7 @@
 * :mod:`~avipack.mechanical.shock` — SRS and quasi-static acceleration.
 """
 
-from .plate import (
-    PlateMode,
-    PlateSpec,
-    fundamental_frequency,
-    mode_shape,
-    plate_modes,
-    stiffener_rigidity_for_frequency,
-    thickness_for_frequency,
-)
-from .beam import (
-    BeamModel,
-    BeamSection,
-    simply_supported_beam_frequency,
-)
-from .random_vibration import (
-    PowerSpectralDensity,
-    default_q_factor,
-    miles_rms_acceleration,
-    positive_crossings_per_second,
-    rms_displacement_from_acceleration,
-    three_sigma,
-)
+from .beam import BeamModel, BeamSection, simply_supported_beam_frequency
 from .fatigue import (
     BAND_FRACTIONS,
     COMPONENT_CONSTANTS,
@@ -52,6 +31,32 @@ from .isolation import (
     static_sag,
     stiffness_for_frequency,
 )
+from .plate import (
+    PlateMode,
+    PlateSpec,
+    fundamental_frequency,
+    mode_shape,
+    plate_modes,
+    stiffener_rigidity_for_frequency,
+    thickness_for_frequency,
+)
+from .random_vibration import (
+    PowerSpectralDensity,
+    default_q_factor,
+    miles_rms_acceleration,
+    positive_crossings_per_second,
+    rms_displacement_from_acceleration,
+    three_sigma,
+)
+from .shock import (
+    QuasiStaticLoadCase,
+    bracket_stress,
+    fastener_shear_stress,
+    half_sine_pulse,
+    sdof_peak_response,
+    shock_response_spectrum,
+    terminal_sawtooth_pulse,
+)
 from .sine import (
     SineSpec,
     do160_propeller_sine,
@@ -69,15 +74,6 @@ from .thermomechanical import (
     qualification_shock_joint_life,
     solder_joint_assessment,
     underfill_benefit_factor,
-)
-from .shock import (
-    QuasiStaticLoadCase,
-    bracket_stress,
-    fastener_shear_stress,
-    half_sine_pulse,
-    sdof_peak_response,
-    shock_response_spectrum,
-    terminal_sawtooth_pulse,
 )
 
 __all__ = [

@@ -17,7 +17,6 @@ method for electronics is Steinberg's:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict
 
 from ..errors import InputError

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from ..errors import InputError
-from .random_vibration import PowerSpectralDensity, miles_rms_acceleration
+from .random_vibration import PowerSpectralDensity
 
 
 @dataclass(frozen=True)

@@ -17,10 +17,8 @@ for populated boards; stiffeners add smeared bending stiffness.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from ..errors import InputError
 

@@ -17,7 +17,6 @@ models are implemented here:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..errors import InputError

@@ -1,14 +1,12 @@
 """Equipment models: components, PCBs, modules, racks and the COSEE SEB."""
 
 from .component import (
-    Component,
     PACKAGE_FAMILIES,
+    Component,
     PackageFamily,
     get_package,
     make_component,
 )
-from .pcb import Pcb, PcbDetailResult, dummy_resistive_pcb, \
-    optimize_copper_coverage
 from .cooling import (
     CoolingEvaluation,
     CoolingTechnique,
@@ -17,11 +15,16 @@ from .cooling import (
     evaluate_cooling,
     max_power_for_limit,
 )
-from .module import Module, module_generation
-from .rack import Rack, SlotResult, computer_rack
+from .formfactors import ATR_WIDTHS, AtrCase, generation_power_density
 from .ife import IfeSystem, compare_cooling_strategies
-from .wedgelock import WedgeLock, torque_study
-from .formfactors import AtrCase, ATR_WIDTHS, generation_power_density
+from .module import Module, module_generation
+from .pcb import (
+    Pcb,
+    PcbDetailResult,
+    dummy_resistive_pcb,
+    optimize_copper_coverage,
+)
+from .rack import Rack, SlotResult, computer_rack
 from .seb import (
     SeatElectronicsBox,
     SeatStructure,
@@ -30,6 +33,7 @@ from .seb import (
     aluminum_seat_structure,
     carbon_composite_seat_structure,
 )
+from .wedgelock import WedgeLock, torque_study
 
 __all__ = [
     "Component",

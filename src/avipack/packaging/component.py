@@ -9,7 +9,7 @@ database" role in the paper's design flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..errors import InputError

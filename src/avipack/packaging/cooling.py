@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
+from ..environments.arinc600 import allocated_mass_flow
 from ..errors import InputError
 from ..materials.fluids import air_properties, water_properties
 from ..thermal.convection import (
@@ -24,7 +25,6 @@ from ..thermal.convection import (
     natural_convection_vertical_plate,
 )
 from ..thermal.radiation import linearized_radiation_coefficient
-from ..environments.arinc600 import allocated_mass_flow
 from ..units import celsius_to_kelvin
 
 

@@ -9,13 +9,16 @@ as discrete footprint sources on a finite-volume grid (detailed design).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..errors import InputError
 from ..materials.library import pcb_effective_conductivity
 from ..mechanical.plate import PlateSpec
-from ..thermal.conduction import BoundaryCondition, CartesianGrid, \
-    ConductionSolver
+from ..thermal.conduction import (
+    BoundaryCondition,
+    CartesianGrid,
+    ConductionSolver,
+)
 from .component import Component
 
 

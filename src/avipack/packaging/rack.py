@@ -13,13 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from ..errors import InputError
-from ..materials.fluids import air_properties
 from ..environments.arinc600 import (
-    CardChannel,
     STANDARD_INLET_TEMPERATURE,
+    CardChannel,
     allocated_mass_flow,
 )
+from ..errors import InputError
+from ..materials.fluids import air_properties
 from ..thermal.convection import duct_velocity, forced_convection_duct
 from ..units import celsius_to_kelvin
 from .module import Module

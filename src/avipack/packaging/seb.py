@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..errors import InputError, OperatingLimitError
 from ..materials.fluids import air_properties

@@ -11,9 +11,9 @@ from .mtbf import (
     ENVIRONMENT_FACTORS,
     MAX_AMBIENT,
     MAX_JUNCTION,
-    PartReliability,
     QUALITY_FACTORS,
     REFERENCE_JUNCTION,
+    PartReliability,
     ReliabilityPrediction,
     fan_reliability_penalty,
     mtbf_improvement_factor,

@@ -1,0 +1,41 @@
+"""Parallel design-space sweep engine with solver caching.
+
+The batch counterpart of the single-candidate Fig. 1 procedure: sweep
+hundreds of candidate packaging stacks (cooling mode × TIM × form
+factor × power budget × plenum layout) through the level-1/2/3 pyramid
+and the mechanical branch, in parallel, with cross-candidate reuse of
+identical solver sub-problems.
+
+* :mod:`~avipack.sweep.space` — :class:`DesignSpace` / :class:`Candidate`
+  grid-and-sampler API;
+* :mod:`~avipack.sweep.runner` — :class:`SweepRunner` process-pool
+  fan-out with serial fallback and per-candidate failure isolation;
+* :mod:`~avipack.sweep.cache` — :class:`SolverCache` keyed memoisation
+  with hit/miss accounting;
+* :mod:`~avipack.sweep.report` — :class:`SweepReport` observability and
+  the ranked compliant-candidate document.
+"""
+
+from .cache import CacheStats, SolverCache, worker_cache
+from .report import SweepReport, render_sweep_document
+from .runner import (
+    CandidateFailure,
+    CandidateResult,
+    SweepRunner,
+    evaluate_candidate,
+)
+from .space import Candidate, DesignSpace
+
+__all__ = [
+    "CacheStats",
+    "Candidate",
+    "CandidateFailure",
+    "CandidateResult",
+    "DesignSpace",
+    "SolverCache",
+    "SweepReport",
+    "SweepRunner",
+    "evaluate_candidate",
+    "render_sweep_document",
+    "worker_cache",
+]

@@ -1,0 +1,166 @@
+"""Sweep observability: timings, cache statistics, ranked candidates.
+
+:class:`SweepReport` is the terminal artefact of a design-space sweep,
+mirroring the role the packaging design document plays for a single
+design (:mod:`avipack.core.report`): per-candidate timings, cache
+effectiveness, worker utilisation, the failure ledger, and the ranked
+table of compliant candidates ("design at a minimum cost" over the
+whole space).  :func:`render_sweep_document` renders it in the same
+plain-text style as the single-design documents, reusing the header
+furniture from :mod:`avipack.core.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..core.report import section_header
+from .cache import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .runner import CandidateFailure, CandidateOutcome, CandidateResult
+
+__all__ = ["SweepReport", "render_sweep_document"]
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """Everything a sweep produced, in candidate order.
+
+    Attributes
+    ----------
+    outcomes:
+        One :class:`~avipack.sweep.runner.CandidateResult` or
+        :class:`~avipack.sweep.runner.CandidateFailure` per candidate,
+        in enumeration order (identical for serial and parallel runs).
+    wall_time_s:
+        End-to-end sweep wall-clock [s].
+    mode:
+        ``"serial"``, ``"parallel"`` or a serial-fallback description.
+    workers:
+        Worker processes used (1 for serial).
+    cache:
+        Aggregated solver-cache counters across all workers.
+    """
+
+    outcomes: Tuple["CandidateOutcome", ...]
+    wall_time_s: float
+    mode: str
+    workers: int
+    cache: CacheStats
+
+    # -- outcome views -------------------------------------------------------
+
+    @property
+    def results(self) -> Tuple["CandidateResult", ...]:
+        """Successfully evaluated candidates, in candidate order."""
+        return tuple(o for o in self.outcomes if hasattr(o, "margins"))
+
+    @property
+    def failures(self) -> Tuple["CandidateFailure", ...]:
+        """Candidates that raised, converted to structured records."""
+        return tuple(o for o in self.outcomes if hasattr(o, "error_type"))
+
+    @property
+    def n_candidates(self) -> int:
+        """Total candidates swept."""
+        return len(self.outcomes)
+
+    @property
+    def n_compliant(self) -> int:
+        """Candidates whose design review closed with no violation."""
+        return sum(1 for o in self.results if o.compliant)
+
+    def ranked(self) -> List["CandidateResult"]:
+        """Compliant candidates, cheapest first.
+
+        Ordering is fully deterministic: ascending installation-cost
+        rank, then descending thermal headroom, then candidate index.
+        """
+        compliant = [o for o in self.results if o.compliant]
+        return sorted(compliant,
+                      key=lambda o: (o.cost_rank, -o.thermal_headroom_c,
+                                     o.index))
+
+    def best(self) -> Optional["CandidateResult"]:
+        """The minimum-cost compliant candidate, if any."""
+        ranked = self.ranked()
+        return ranked[0] if ranked else None
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def total_evaluation_s(self) -> float:
+        """Sum of per-candidate evaluation times (busy time) [s]."""
+        return sum(o.elapsed_s for o in self.outcomes)
+
+    def worker_busy_s(self) -> Dict[int, float]:
+        """Busy seconds per worker PID (one entry for serial runs)."""
+        busy: Dict[int, float] = {}
+        for outcome in self.outcomes:
+            busy[outcome.worker_pid] = (busy.get(outcome.worker_pid, 0.0)
+                                        + outcome.elapsed_s)
+        return busy
+
+    @property
+    def worker_utilisation(self) -> float:
+        """Mean fraction of the wall-clock each worker spent evaluating.
+
+        1.0 means every worker was busy for the whole sweep; low values
+        reveal load imbalance or dispatch overhead.
+        """
+        if self.wall_time_s <= 0.0 or self.workers < 1:
+            return 0.0
+        return min(self.total_evaluation_s
+                   / (self.wall_time_s * self.workers), 1.0)
+
+    def timings(self) -> List[Tuple[int, float]]:
+        """Per-candidate ``(index, elapsed_s)`` pairs, candidate order."""
+        return [(o.index, o.elapsed_s) for o in self.outcomes]
+
+
+def render_sweep_document(report: SweepReport, top: int = 10) -> str:
+    """Render a sweep report as a plain-text review document.
+
+    Matches the style of
+    :func:`avipack.core.report.render_design_document`; ``top`` bounds
+    the ranked-candidate table length.
+    """
+    lines: List[str] = []
+    lines += section_header(
+        f"DESIGN-SPACE SWEEP REPORT - {report.n_candidates} candidates")
+    lines.append("")
+    lines.append("1. EXECUTION")
+    lines.append(f"   mode                 : {report.mode} "
+                 f"({report.workers} worker"
+                 f"{'s' if report.workers != 1 else ''})")
+    lines.append(f"   wall clock           : {report.wall_time_s:.2f} s "
+                 f"({report.total_evaluation_s:.2f} s busy, "
+                 f"utilisation {report.worker_utilisation:.0%})")
+    lines.append(f"   cache                : {report.cache.hits} hits / "
+                 f"{report.cache.misses} misses "
+                 f"(hit rate {report.cache.hit_rate:.0%})")
+    lines.append("")
+    lines.append("2. OUTCOMES")
+    lines.append(f"   evaluated            : {len(report.results)}")
+    lines.append(f"   compliant            : {report.n_compliant}")
+    lines.append(f"   failed               : {len(report.failures)}")
+    for failure in report.failures[:5]:
+        lines.append(f"   - #{failure.index} [{failure.stage}] "
+                     f"{failure.error_type}: {failure.message}")
+    if len(report.failures) > 5:
+        lines.append(f"   ... and {len(report.failures) - 5} more")
+    lines.append("")
+    lines.append("3. RANKED COMPLIANT CANDIDATES (cheapest first)")
+    ranked = report.ranked()
+    if not ranked:
+        lines.append("   NONE - no candidate met the specification")
+    for position, result in enumerate(ranked[:top], start=1):
+        lines.append(
+            f"   {position:>2}. {result.candidate.label:<48} "
+            f"board {result.worst_board_c:5.1f} degC  "
+            f"cost {result.cost_rank:g}")
+    if len(ranked) > top:
+        lines.append(f"   ... and {len(ranked) - top} more compliant")
+    return "\n".join(lines)

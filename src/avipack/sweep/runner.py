@@ -1,0 +1,275 @@
+"""Batch evaluation of design-space candidates, serial or process-parallel.
+
+:class:`SweepRunner` fans candidates out over a
+:class:`concurrent.futures.ProcessPoolExecutor` (with a serial fallback
+that produces bit-identical results) and is robust to individual
+candidate failures: a raised :class:`~avipack.errors.InputError`,
+:class:`~avipack.errors.SpecificationError` or solver non-convergence
+becomes a structured :class:`CandidateFailure` record — never an aborted
+sweep.
+
+Each worker process keeps a persistent
+:class:`~avipack.sweep.cache.SolverCache`, so the repeated
+sub-evaluations a grid generates (the same rack airflow solve reached
+from every TIM choice, the same level-1 technique scan reached from
+every cooling mode, ...) are computed once per worker; per-candidate
+hit/miss deltas are carried back with each result and aggregated into
+the sweep report.
+
+Results preserve candidate order regardless of completion order, so a
+serial and a parallel run of the same space rank identically.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.design_flow import run_design_procedure
+from ..core.report import summarize_margins
+from ..errors import InputError
+from ..packaging.cooling import CoolingTechnique
+from .cache import CacheStats, SolverCache, worker_cache
+from .report import SweepReport
+from .space import Candidate, DesignSpace
+
+__all__ = ["CandidateFailure", "CandidateResult", "SweepRunner",
+           "evaluate_candidate"]
+
+#: Cooling techniques by increasing installation cost/complexity — the
+#: ranking behind "design at a minimum cost" (Fig. 5 simplicity order).
+_TECHNIQUE_COST_RANK: Dict[CoolingTechnique, int] = {
+    CoolingTechnique.FREE_CONVECTION: 0,
+    CoolingTechnique.DIRECT_AIR_FLOW: 1,
+    CoolingTechnique.AIR_FLOW_AROUND: 2,
+    CoolingTechnique.CONDUCTION_COOLED: 3,
+    CoolingTechnique.AIR_FLOW_THROUGH: 4,
+    CoolingTechnique.LIQUID_FLOW_THROUGH: 5,
+}
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One successfully evaluated candidate, flattened for transport.
+
+    Carries the margin summary rather than the full
+    :class:`~avipack.core.design_flow.DesignReview` so results stay
+    small crossing process boundaries; every field pickles cleanly.
+    """
+
+    index: int
+    candidate: Candidate
+    fingerprint: str
+    compliant: bool
+    violations: Tuple[str, ...]
+    margins: Dict[str, float]
+    worst_board_c: float
+    recommended_cooling: Optional[str]
+    declared_cooling_feasible: bool
+    cost_rank: float
+    elapsed_s: float
+    worker_pid: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def thermal_headroom_c(self) -> float:
+        """Board-limit margin [°C]; larger is cooler."""
+        return 85.0 - self.worst_board_c
+
+
+@dataclass(frozen=True)
+class CandidateFailure:
+    """A candidate that could not be evaluated — isolated, not fatal."""
+
+    index: int
+    candidate: Candidate
+    fingerprint: str
+    stage: str
+    error_type: str
+    message: str
+    elapsed_s: float
+    worker_pid: int
+
+    #: Failures never comply; mirrors :class:`CandidateResult` so report
+    #: code can treat outcomes uniformly.
+    compliant: bool = False
+
+
+CandidateOutcome = Union[CandidateResult, CandidateFailure]
+
+
+def _cost_rank(candidate: Candidate) -> float:
+    """Installation-cost proxy: cooling complexity, then TIM exoticism."""
+    technique = candidate.cooling
+    if not isinstance(technique, CoolingTechnique):
+        try:
+            technique = CoolingTechnique(technique)
+        except ValueError:
+            return float("inf")
+    rank = float(_TECHNIQUE_COST_RANK[technique]) * 10.0
+    if candidate.tim_name.startswith("nanopack"):
+        rank += 1.0
+    return rank
+
+
+def evaluate_candidate(task: Tuple[int, Candidate, bool],
+                       cache: Optional[SolverCache] = None
+                       ) -> CandidateOutcome:
+    """Evaluate one ``(index, candidate, use_cache)`` task.
+
+    Module-level (hence picklable) worker entry point shared by the
+    serial and process-pool paths.  ``cache`` overrides the per-process
+    default; when ``None`` and the task requests caching, the process's
+    :func:`~avipack.sweep.cache.worker_cache` singleton is used.  Every
+    expected failure mode — bad input, specification violations, solver
+    non-convergence, out-of-range models — is converted into a
+    :class:`CandidateFailure` carrying the stage and message.
+    """
+    index, candidate, use_cache = task
+    if cache is None and use_cache:
+        cache = worker_cache()
+    if not use_cache:
+        cache = None
+    hits0 = cache.hits if cache else 0
+    misses0 = cache.misses if cache else 0
+    start = time.perf_counter()
+    stage = "build"
+    try:
+        rack, spec = candidate.build()
+        stage = "evaluate"
+        review = run_design_procedure(rack, spec, cache=cache)
+    except Exception as exc:
+        return CandidateFailure(
+            index=index,
+            candidate=candidate,
+            fingerprint=candidate.fingerprint,
+            stage=stage,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            elapsed_s=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+    level1 = review.thermal.level1
+    declared = candidate.cooling
+    if not isinstance(declared, CoolingTechnique):
+        declared = CoolingTechnique(declared)
+    return CandidateResult(
+        index=index,
+        candidate=candidate,
+        fingerprint=candidate.fingerprint,
+        compliant=review.compliant,
+        violations=review.violations,
+        margins=summarize_margins(review),
+        worst_board_c=review.thermal.level2.worst_board_temperature - 273.15,
+        recommended_cooling=(level1.recommended.value
+                             if level1.recommended else None),
+        declared_cooling_feasible=declared in level1.feasible_techniques,
+        cost_rank=_cost_rank(candidate),
+        elapsed_s=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+        cache_hits=(cache.hits - hits0) if cache else 0,
+        cache_misses=(cache.misses - misses0) if cache else 0,
+    )
+
+
+class SweepRunner:
+    """Run a design space (or explicit candidate list) to a report.
+
+    Parameters
+    ----------
+    max_workers:
+        Process-pool size.  ``0`` or ``1`` selects the serial path;
+        ``None`` uses ``os.cpu_count()`` capped at 8.
+    parallel:
+        Master switch; ``False`` forces the serial path regardless of
+        ``max_workers``.
+    use_cache:
+        Enable solver memoisation (per worker in parallel mode, one
+        shared cache in serial mode).  Disable for cold baselines.
+    chunksize:
+        Tasks handed to a worker per dispatch; ``None`` picks
+        ``ceil(n / (4 * workers))`` to balance load against IPC count.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 parallel: bool = True, use_cache: bool = True,
+                 chunksize: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise InputError("max_workers must be >= 0")
+        if chunksize is not None and chunksize < 1:
+            raise InputError("chunksize must be >= 1")
+        self.max_workers = max_workers
+        self.parallel = parallel
+        self.use_cache = use_cache
+        self.chunksize = chunksize
+
+    def _resolve_workers(self) -> int:
+        if self.max_workers is not None:
+            return self.max_workers
+        return min(os.cpu_count() or 1, 8)
+
+    # -- execution paths -----------------------------------------------------
+
+    def _run_serial(self, tasks: List[Tuple[int, Candidate, bool]]
+                    ) -> List[CandidateOutcome]:
+        cache = SolverCache() if self.use_cache else None
+        return [evaluate_candidate(task, cache) for task in tasks]
+
+    def _run_parallel(self, tasks: List[Tuple[int, Candidate, bool]],
+                      workers: int) -> List[CandidateOutcome]:
+        chunksize = self.chunksize
+        if chunksize is None:
+            chunksize = max(1, -(-len(tasks) // (4 * workers)))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(evaluate_candidate, tasks,
+                                 chunksize=chunksize))
+
+    def run(self, space: Union[DesignSpace, Iterable[Candidate]]
+            ) -> SweepReport:
+        """Evaluate every candidate and assemble a :class:`SweepReport`.
+
+        Candidate order is preserved in the outcome list whichever
+        execution path runs.  If the process pool cannot be used (no
+        ``fork``/``spawn`` support, broken workers, unpicklable
+        candidates), the sweep transparently falls back to the serial
+        path rather than failing.
+        """
+        candidates = (list(space.grid()) if isinstance(space, DesignSpace)
+                      else list(space))
+        if not candidates:
+            raise InputError("sweep needs at least one candidate")
+        tasks = [(index, candidate, self.use_cache)
+                 for index, candidate in enumerate(candidates)]
+        workers = self._resolve_workers()
+        mode = "parallel" if (self.parallel and workers > 1
+                              and len(tasks) > 1) else "serial"
+        start = time.perf_counter()
+        if mode == "parallel":
+            try:
+                outcomes = self._run_parallel(tasks, workers)
+            except (BrokenProcessPool, OSError,
+                    pickle.PicklingError) as exc:
+                mode = f"serial (pool fallback: {type(exc).__name__})"
+                outcomes = self._run_serial(tasks)
+        else:
+            outcomes = self._run_serial(tasks)
+        wall = time.perf_counter() - start
+
+        hits = sum(o.cache_hits for o in outcomes
+                   if isinstance(o, CandidateResult))
+        misses = sum(o.cache_misses for o in outcomes
+                     if isinstance(o, CandidateResult))
+        cache_stats = CacheStats(hits=hits, misses=misses, entries=misses)
+        return SweepReport(
+            outcomes=tuple(outcomes),
+            wall_time_s=wall,
+            mode=mode,
+            workers=workers if mode == "parallel" else 1,
+            cache=cache_stats,
+        )

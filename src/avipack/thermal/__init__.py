@@ -13,21 +13,13 @@ the paper with from-scratch solvers of the same abstraction level:
   and climatic cycling.
 """
 
-from .network import (
-    NetworkSolution,
-    ThermalNetwork,
-    parallel_resistance,
-    series_resistance,
-    slab_resistance,
-    spreading_resistance,
-)
 from .conduction import (
     ADIABATIC,
+    FACES,
     BoundaryCondition,
     CartesianGrid,
     ConductionSolution,
     ConductionSolver,
-    FACES,
     TransientConductionResult,
 )
 from .convection import (
@@ -48,6 +40,14 @@ from .convection import (
     reynolds_number,
 )
 from .enclosure import BOX_FACES, BoxEnclosure
+from .network import (
+    NetworkSolution,
+    ThermalNetwork,
+    parallel_resistance,
+    series_resistance,
+    slab_resistance,
+    spreading_resistance,
+)
 from .radiation import (
     enclosure_exchange_factor,
     linearized_radiation_coefficient,

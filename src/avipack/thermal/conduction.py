@@ -22,6 +22,7 @@ from scipy.sparse import coo_matrix, csr_matrix, identity
 from scipy.sparse.linalg import spsolve
 
 from ..errors import InputError
+from ..fingerprint import stable_fingerprint
 
 #: The six faces of the domain, by outward axis direction.
 FACES = ("x_min", "x_max", "y_min", "y_max", "z_min", "z_max")
@@ -177,6 +178,18 @@ class CartesianGrid:
         """Total volumetric source power over the grid [W]."""
         return float(self.source.sum() * self.cell_volume)
 
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the grid's full state.
+
+        Covers the geometry and every material/source field byte-for-
+        byte, so two grids built through different call sequences but
+        holding identical fields hash identically.  Used by the sweep
+        cache to memoise solves across process boundaries.
+        """
+        return stable_fingerprint(
+            "cartesian_grid", self.shape, self.size,
+            self.kx, self.ky, self.kz, self.source, self.rho_cp)
+
 
 @dataclass(frozen=True)
 class ConductionSolution:
@@ -318,10 +331,29 @@ class ConductionSolver:
                 "problem is singular: at least one face needs a temperature "
                 "or convection boundary condition")
 
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the bound problem.
+
+        Combines the grid state with the boundary-condition set — the
+        key the sweep cache memoises :meth:`solve_steady` under.
+        """
+        return stable_fingerprint(
+            "conduction_solver", self.grid.fingerprint(),
+            tuple((face, self.boundaries[face]) for face in FACES))
+
     # -- solving ------------------------------------------------------------------
 
-    def solve_steady(self) -> ConductionSolution:
-        """Solve the steady conduction problem."""
+    def solve_steady(self, cache=None) -> ConductionSolution:
+        """Solve the steady conduction problem.
+
+        ``cache`` (optional, ``get_or_compute(key, compute)``) memoises
+        the solution under :meth:`fingerprint`, so sweeps that rebuild
+        an identical board model factorise the operator once per
+        process.
+        """
+        if cache is not None:
+            return cache.get_or_compute(self.fingerprint(),
+                                        self.solve_steady)
         self._check_well_posed()
         matrix, rhs = self._assemble()
         temps = spsolve(matrix, rhs)

@@ -17,11 +17,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..errors import InputError
-from .radiation import (
-    solve_radiosity,
-    view_factor_parallel_plates,
-    view_factor_perpendicular_plates,
-)
+from .radiation import solve_radiosity, view_factor_parallel_plates
 
 #: Surface ordering: the six interior faces of the box.
 BOX_FACES = ("x_min", "x_max", "y_min", "y_max", "z_min", "z_max")

@@ -23,7 +23,7 @@ for every free node *i*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -31,6 +31,7 @@ from scipy.sparse import lil_matrix
 from scipy.sparse.linalg import spsolve
 
 from ..errors import ConvergenceError, InputError
+from ..fingerprint import stable_fingerprint
 
 #: Conductance type: constant [W/K] or callable ``g(t_a, t_b) -> W/K``.
 Conductance = Union[float, Callable[[float, float], float]]
@@ -197,6 +198,25 @@ class ThermalNetwork:
         for link in self._links:
             yield link.node_a, link.node_b, link.conductance, link.label
 
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the network's definition.
+
+        Two networks with the same nodes (loads, sinks, capacitances)
+        and the same links in the same order fingerprint identically in
+        every process — the key the sweep cache memoises
+        :meth:`solve` under.
+
+        Callable conductances are fingerprinted *by code location*
+        (module + qualname), not by captured state: closures over
+        mutable values defeat memoisation and should not be cached.
+        """
+        return stable_fingerprint(
+            "thermal_network",
+            tuple((node.name, node.heat_load, node.fixed_temperature,
+                   node.capacitance) for node in self._nodes.values()),
+            tuple((link.node_a, link.node_b, link.conductance, link.label)
+                  for link in self._links))
+
     def _require(self, name: str) -> _Node:
         try:
             return self._nodes[name]
@@ -234,8 +254,8 @@ class ThermalNetwork:
     # -- solving -------------------------------------------------------------
 
     def solve(self, initial_guess: float = 320.0, max_iterations: int = 200,
-              tolerance: float = 1e-8, relaxation: float = 0.7
-              ) -> NetworkSolution:
+              tolerance: float = 1e-8, relaxation: float = 0.7,
+              cache=None) -> NetworkSolution:
         """Solve the steady-state energy balance.
 
         Linear networks are solved exactly in one sparse factorisation.
@@ -253,6 +273,11 @@ class ThermalNetwork:
             Convergence threshold on the max temperature update [K].
         relaxation:
             Under-relaxation factor in (0, 1].
+        cache:
+            Optional memo store (``get_or_compute(key, compute)``): the
+            solution is keyed on :meth:`fingerprint` plus the solver
+            settings, so identical networks reached from different
+            sweep candidates solve once per process.
 
         Raises
         ------
@@ -262,6 +287,13 @@ class ThermalNetwork:
         ConvergenceError
             If fixed-point iteration fails to converge.
         """
+        if cache is not None:
+            key = stable_fingerprint("network_solve", self.fingerprint(),
+                                     initial_guess, max_iterations,
+                                     tolerance, relaxation)
+            return cache.get_or_compute(
+                key, lambda: self.solve(initial_guess, max_iterations,
+                                        tolerance, relaxation))
         if not self._nodes:
             raise InputError("network has no nodes")
         if all(n.fixed_temperature is None for n in self._nodes.values()):

@@ -10,6 +10,14 @@
   NANOPACK developments (6 / 9.5 / 20 W/m·K).
 """
 
+from .catalog import TimMaterial, best_tim_for_target, get_tim, list_tims
+from .interface import (
+    ThermalInterface,
+    bond_line_thickness,
+    contact_resistance_mikic,
+    meets_nanopack_target,
+    series_interface_resistance,
+)
 from .models import (
     LEWIS_NIELSEN_SHAPES,
     bruggeman,
@@ -20,24 +28,11 @@ from .models import (
     maxwell_garnett,
     percolation_conductivity,
 )
-from .interface import (
-    ThermalInterface,
-    bond_line_thickness,
-    contact_resistance_mikic,
-    meets_nanopack_target,
-    series_interface_resistance,
-)
 from .tester import (
     D5470Measurement,
     D5470Tester,
     FourWireOhmmeter,
     TimCharacterization,
-)
-from .catalog import (
-    TimMaterial,
-    best_tim_for_target,
-    get_tim,
-    list_tims,
 )
 
 __all__ = [

@@ -19,7 +19,6 @@ two boundary contact resistances.  The project's levers are modelled here:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
 
 from ..errors import InputError

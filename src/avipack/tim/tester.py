@@ -19,8 +19,8 @@ is a hardware gate, this module *simulates* it faithfully:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 

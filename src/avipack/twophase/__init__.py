@@ -5,7 +5,15 @@ project: heat pipes, loop heat pipes and thermosyphons, plus the wick
 structures and working-fluid models they share.
 """
 
-from .workingfluid import WorkingFluid, select_fluid
+from .heatpipe import (
+    NUCLEATION_RADIUS,
+    HeatPipe,
+    HeatPipeGeometry,
+    standard_copper_water_heatpipe,
+)
+from .loopheatpipe import LoopHeatPipe, TransportLine, cosee_ammonia_lhp
+from .thermosyphon import Thermosyphon
+from .vaporchamber import VaporChamber, electronics_vapor_chamber
 from .wick import (
     Wick,
     axial_groove_wick,
@@ -13,15 +21,7 @@ from .wick import (
     sintered_necked_wick,
     sintered_powder_wick,
 )
-from .vaporchamber import VaporChamber, electronics_vapor_chamber
-from .heatpipe import (
-    HeatPipe,
-    HeatPipeGeometry,
-    NUCLEATION_RADIUS,
-    standard_copper_water_heatpipe,
-)
-from .loopheatpipe import LoopHeatPipe, TransportLine, cosee_ammonia_lhp
-from .thermosyphon import Thermosyphon
+from .workingfluid import WorkingFluid, select_fluid
 
 __all__ = [
     "HeatPipe",

@@ -16,7 +16,7 @@ and their power ceiling.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..errors import InputError, OperatingLimitError

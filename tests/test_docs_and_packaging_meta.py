@@ -72,7 +72,7 @@ class TestExamplesDocumented:
 class TestNamespaces:
     SUBPACKAGES = ("materials", "thermal", "twophase", "mechanical",
                    "tim", "environments", "reliability", "packaging",
-                   "core", "experiments")
+                   "core", "experiments", "sweep")
 
     @pytest.mark.parametrize("subpackage", SUBPACKAGES)
     def test_all_exports_resolve(self, subpackage):
