@@ -51,6 +51,7 @@ from . import (
     mechanical,
     packaging,
     reliability,
+    resilience,
     sweep,
     thermal,
     tim,
@@ -59,12 +60,15 @@ from . import (
 )
 from .errors import (
     AvipackError,
+    CacheCorruptionError,
     ConvergenceError,
     InputError,
     MaterialNotFoundError,
     ModelRangeError,
     OperatingLimitError,
     SpecificationError,
+    WatchdogTimeout,
+    WorkerCrashError,
 )
 
 # The most-used entry points, re-exported flat.
@@ -83,6 +87,13 @@ from .packaging import (
     SeatElectronicsBox,
     SebConfiguration,
 )
+from .resilience import (
+    FaultPlan,
+    FaultSpec,
+    RecoveryTrail,
+    SupervisionPolicy,
+    Supervisor,
+)
 from .sweep import (
     Candidate,
     DesignSpace,
@@ -97,9 +108,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AvipackError",
+    "CacheCorruptionError",
     "Candidate",
     "ConvergenceError",
     "DesignSpace",
+    "FaultPlan",
+    "FaultSpec",
     "FrequencyAllocation",
     "HeatPipe",
     "InputError",
@@ -111,14 +125,19 @@ __all__ = [
     "PackagingSpecification",
     "Pcb",
     "Rack",
+    "RecoveryTrail",
     "SeatElectronicsBox",
     "SebConfiguration",
     "SolverCache",
     "SpecificationError",
+    "Supervisor",
+    "SupervisionPolicy",
     "SweepReport",
     "SweepRunner",
     "ThermalNetwork",
     "Thermosyphon",
+    "WatchdogTimeout",
+    "WorkerCrashError",
     "core",
     "environments",
     "experiments",
@@ -126,6 +145,7 @@ __all__ = [
     "mechanical",
     "packaging",
     "reliability",
+    "resilience",
     "sweep",
     "thermal",
     "tim",

@@ -185,17 +185,20 @@ def run_mechanical_branch(rack: Rack, spec: PackagingSpecification,
 
 
 def run_thermal_branch(rack: Rack, spec: PackagingSpecification,
-                       cache=None) -> PyramidResult:
+                       cache=None, supervisor=None) -> PyramidResult:
     """Thermal branch of Fig. 1: the level-1/2/3 pyramid for a spec.
 
     Runs the pyramid at the specification's worst-case operating
     ambient, using the first module's cooling envelope for the level-1
     technique scan (every rack the library builds is homogeneous; the
-    standard envelope is used for bare racks).
+    standard envelope is used for bare racks).  ``supervisor`` (an
+    :class:`avipack.resilience.Supervisor`, optional) applies the
+    campaign's retry/degradation policy to the iterative levels.
     """
     envelope = rack.modules[0].envelope if rack.modules else None
     return run_pyramid(rack, ambient=spec.category.operating_high,
-                       cache=cache, envelope=envelope)
+                       cache=cache, envelope=envelope,
+                       supervisor=supervisor)
 
 
 #: Signature shared by injectable Fig. 1 branch runners.
@@ -223,8 +226,8 @@ def run_design_procedure(rack: Rack, spec: PackagingSpecification,
                          strict: bool = False,
                          cache=None,
                          thermal_branch: Optional[BranchRunner] = None,
-                         mechanical_branch: Optional[BranchRunner] = None
-                         ) -> DesignReview:
+                         mechanical_branch: Optional[BranchRunner] = None,
+                         supervisor=None) -> DesignReview:
     """Run the full Fig. 1 procedure on a rack against a specification.
 
     ``parts`` (optional) enables the reliability roll-up using the
@@ -236,12 +239,20 @@ def run_design_procedure(rack: Rack, spec: PackagingSpecification,
     ``mechanical_branch`` replace the default branch runners
     (:func:`run_thermal_branch`, :func:`run_mechanical_branch`) — both
     are called as ``branch(rack, spec, cache=cache)``.
+
+    ``supervisor`` (an :class:`avipack.resilience.Supervisor`, optional)
+    applies the campaign's retry/escalation/degradation policy to the
+    default thermal branch — the paper's iterate-until-compliant loop
+    made survivable.  Custom branch runners keep their historical
+    two-argument call shape and are not supervised here.
     """
-    thermal_runner = (thermal_branch if thermal_branch is not None
-                      else run_thermal_branch)
     mechanical_runner = (mechanical_branch if mechanical_branch is not None
                          else run_mechanical_branch)
-    thermal = thermal_runner(rack, spec, cache=cache)
+    if thermal_branch is not None:
+        thermal = thermal_branch(rack, spec, cache=cache)
+    else:
+        thermal = run_thermal_branch(rack, spec, cache=cache,
+                                     supervisor=supervisor)
     mechanical = mechanical_runner(rack, spec, cache=cache)
     violations: List[str] = []
     if not thermal.level1.is_feasible:

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
-from ..errors import InputError
+from ..errors import ConvergenceError, InputError
 from ..fingerprint import stable_fingerprint
 from ..packaging.cooling import (
     CoolingTechnique,
@@ -39,6 +39,7 @@ from ..packaging.cooling import (
 )
 from ..packaging.pcb import Pcb
 from ..packaging.rack import Rack, SlotResult
+from ..resilience.faults import fire as _fire_fault
 from ..units import celsius_to_kelvin
 
 #: The paper's component environment ceiling (85 degC ambient rule).
@@ -128,6 +129,7 @@ def run_level2(rack: Rack,
     differing only in non-airflow choices (TIM, declared cooling mode)
     share one solve.
     """
+    _fire_fault("levels.level2")
     if cache is not None:
         key = stable_fingerprint(
             "level2",
@@ -144,11 +146,19 @@ def run_level2(rack: Rack,
 
 @dataclass(frozen=True)
 class Level3Result:
-    """Component-level outcome: junction temperatures."""
+    """Component-level outcome: junction temperatures.
+
+    ``degraded`` is True when the result was produced at level-2
+    fidelity (junctions estimated from the board boundary through the
+    package R_jb, without the detailed board spreading solve) because
+    the level-3 solve failed and the supervision policy chose graceful
+    degradation over losing the candidate.
+    """
 
     junction_temperatures: Dict[str, float]
     max_junction: float
     violations: Tuple[str, ...]
+    degraded: bool = False
 
     @property
     def compliant(self) -> bool:
@@ -177,6 +187,7 @@ def run_level3(pcb: Pcb, board_boundary_temperature: float,
     same boundary (e.g. replicated modules in a parallel-fed rack, or
     the same stack reached from different sweep candidates) solve once.
     """
+    _fire_fault("levels.level3")
     if board_boundary_temperature <= 0.0:
         raise InputError("boundary temperature must be positive kelvin")
     if not pcb.components:
@@ -202,6 +213,34 @@ def run_level3(pcb: Pcb, board_boundary_temperature: float,
     )
 
 
+def degraded_level3(pcb: Pcb, board_boundary_temperature: float,
+                    junction_limit: float = JUNCTION_LIMIT) -> Level3Result:
+    """Level-2-fidelity fallback for a failed level-3 solve.
+
+    Estimates every junction as the board boundary temperature plus the
+    package's junction-to-board rise (P·R_jb) — the same data level 2
+    already owns, with no board spreading solve.  The result is flagged
+    ``degraded=True`` so reports and sweeps can surface that the
+    candidate survived at reduced fidelity.
+    """
+    if board_boundary_temperature <= 0.0:
+        raise InputError("boundary temperature must be positive kelvin")
+    if not pcb.components:
+        raise InputError("level-3 needs a populated board")
+    junctions = {
+        component.name:
+        component.junction_temperature_from_board(board_boundary_temperature)
+        for component in pcb.components}
+    violations = tuple(name for name, t_j in sorted(junctions.items())
+                       if t_j > junction_limit)
+    return Level3Result(
+        junction_temperatures=junctions,
+        max_junction=max(junctions.values()),
+        violations=violations,
+        degraded=True,
+    )
+
+
 @dataclass(frozen=True)
 class PyramidResult:
     """Full three-level run, level by level."""
@@ -217,11 +256,17 @@ class PyramidResult:
                 and all(result.compliant
                         for result in self.level3.values()))
 
+    @property
+    def degraded(self) -> bool:
+        """True when any level-3 result ran at reduced fidelity."""
+        return any(result.degraded for result in self.level3.values())
+
 
 def run_pyramid(rack: Rack,
                 ambient: float = celsius_to_kelvin(40.0),
                 cache=None,
-                envelope: Optional[ModuleEnvelope] = None) -> PyramidResult:
+                envelope: Optional[ModuleEnvelope] = None,
+                supervisor=None) -> PyramidResult:
     """Run the full Fig. 4 pyramid on a rack.
 
     Level 1 checks the rack total power; level 2 resolves per-slot board
@@ -230,17 +275,45 @@ def run_pyramid(rack: Rack,
     threaded through every level's runner.  ``envelope`` overrides the
     level-1 cooling envelope (default: the standard module envelope, as
     the preliminary-design scan has always assumed).
+
+    ``supervisor`` (an :class:`avipack.resilience.Supervisor`, optional)
+    wraps the iterative levels with the campaign's recovery policy:
+    transient :class:`~avipack.errors.ConvergenceError` at level 2/3 is
+    retried, and a level-3 component solve that stays broken degrades
+    to :func:`degraded_level3` when the policy allows — each attempt
+    recorded on the supervisor's recovery trails.
     """
     if envelope is None:
         envelope = ModuleEnvelope()
     level1 = run_level1(max(rack.total_power, 1e-9), envelope=envelope,
                         ambient=ambient, cache=cache)
-    level2 = run_level2(rack, cache=cache)
+    if supervisor is None:
+        level2 = run_level2(rack, cache=cache)
+    else:
+        level2 = supervisor.call(
+            "levels.level2", lambda: run_level2(rack, cache=cache),
+            retry_on=(ConvergenceError,))
     level3: Dict[str, Level3Result] = {}
     for module, slot in zip(rack.modules, level2.slots):
-        if module.pcb is not None and module.pcb.components:
-            boundary = 0.5 * (slot.inlet_temperature
-                              + slot.outlet_temperature)
+        if module.pcb is None or not module.pcb.components:
+            continue
+        boundary = 0.5 * (slot.inlet_temperature
+                          + slot.outlet_temperature)
+        if supervisor is None:
             level3[module.name] = run_level3(module.pcb, boundary,
                                              cache=cache)
+            continue
+
+        def compute(pcb=module.pcb, b=boundary):
+            return run_level3(pcb, b, cache=cache)
+
+        fallback = None
+        if supervisor.policy.degrade_level3:
+            def fallback(_exc, pcb=module.pcb, b=boundary):
+                return degraded_level3(pcb, b)
+
+        level3[module.name] = supervisor.call(
+            f"levels.level3[{module.name}]", compute,
+            retry_on=(ConvergenceError,), fallback=fallback,
+            fallback_label="degrade-to-level2")
     return PyramidResult(level1=level1, level2=level2, level3=level3)

@@ -6,9 +6,17 @@ subclasses mirror the major failure categories encountered in a packaging
 design flow: bad user input, a solver that failed to converge, a physical
 model driven outside its validity envelope, and a design that violates its
 specification.
+
+Exceptions that carry extra constructor arguments define ``__reduce__``
+so they survive pickling intact: sweep worker processes raise them, and
+the parent re-materialises them with every diagnostic attribute (not
+just the message, which is all the default ``Exception`` reduction
+preserves).
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 
 class AvipackError(Exception):
@@ -32,13 +40,24 @@ class ConvergenceError(AvipackError, RuntimeError):
         Number of iterations performed before giving up.
     residual:
         Last residual norm observed (``float('nan')`` if unknown).
+    last_iterate:
+        Optional snapshot of the solver state at the moment it gave up
+        (for the network solver: node name → temperature [K]).  Retry
+        policies use it to warm-start the next, better-damped attempt.
     """
 
     def __init__(self, message: str, iterations: int = 0,
-                 residual: float = float("nan")) -> None:
+                 residual: float = float("nan"),
+                 last_iterate: Optional[Dict[str, float]] = None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.last_iterate = last_iterate
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0] if self.args else "",
+                                 self.iterations, self.residual,
+                                 self.last_iterate))
 
 
 class ModelRangeError(AvipackError, ValueError):
@@ -64,6 +83,10 @@ class OperatingLimitError(AvipackError, RuntimeError):
         self.limit_name = limit_name
         self.limit_value = limit_value
 
+    def __reduce__(self):
+        return (self.__class__, (self.args[0] if self.args else "",
+                                 self.limit_name, self.limit_value))
+
 
 class SpecificationError(AvipackError):
     """A design violates its specification (used by the core design flow).
@@ -76,6 +99,39 @@ class SpecificationError(AvipackError):
         super().__init__(message)
         self.violations = tuple(violations)
 
+    def __reduce__(self):
+        return (self.__class__, (self.args[0] if self.args else "",
+                                 self.violations))
+
 
 class MaterialNotFoundError(AvipackError, KeyError):
     """A material or fluid name is absent from the library database."""
+
+
+class WatchdogTimeout(AvipackError, TimeoutError):
+    """A supervised evaluation exceeded its watchdog time budget.
+
+    Raised directly by the fault injector's simulated hangs, and used as
+    the failure classification when :class:`avipack.sweep.SweepRunner`'s
+    per-candidate watchdog abandons a worker that stopped responding.
+    """
+
+
+class WorkerCrashError(AvipackError, RuntimeError):
+    """A sweep worker process died (or was made to die) mid-evaluation.
+
+    In a real parallel sweep the pool surfaces this as
+    ``BrokenProcessPool``; the runner retries the unfinished candidates
+    serially, where an injected crash raises this exception instead of
+    killing the (only) interpreter, keeping serial and parallel failure
+    classifications identical.
+    """
+
+
+class CacheCorruptionError(AvipackError, RuntimeError):
+    """A solver-cache entry could not be read back.
+
+    :class:`avipack.sweep.SolverCache` treats it — and any other error
+    raised while loading a stored entry — as a cache miss: the entry is
+    evicted, counted in the ``corrupt`` statistic, and recomputed.
+    """

@@ -1,0 +1,61 @@
+"""Solver supervision: retry/escalation policies and fault injection.
+
+The paper's Fig. 1 design procedure is explicitly iterative — analyses
+loop against the specification until the design converges — and an
+industrial campaign must survive individual analyses failing without
+losing the batch.  This package is that survival layer:
+
+* :mod:`~avipack.resilience.policy` — escalation ladders,
+  :class:`SupervisionPolicy`, and the :class:`RecoveryTrail` diagnostic
+  attached to recovered/degraded results;
+* :mod:`~avipack.resilience.supervisor` — :class:`Supervisor` (generic
+  retry-then-degrade around solver call sites) and
+  :func:`solve_network` (the relaxation/iteration/warm-start escalation
+  ladder for the thermal network solver);
+* :mod:`~avipack.resilience.faults` — deterministic, seeded fault
+  injection at named production sites (convergence failures,
+  model-range errors, worker crashes, hangs, corrupted cache entries),
+  so the sweep engine's failure isolation is tested rather than
+  assumed.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active,
+    configure,
+    fire,
+    install,
+    uninstall,
+)
+from .policy import (
+    DEFAULT_NETWORK_ESCALATION,
+    NO_SUPERVISION,
+    AttemptRecord,
+    EscalationStep,
+    RecoveryTrail,
+    SupervisionPolicy,
+)
+from .supervisor import Supervisor, solve_network
+
+__all__ = [
+    "AttemptRecord",
+    "DEFAULT_NETWORK_ESCALATION",
+    "EscalationStep",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NO_SUPERVISION",
+    "RecoveryTrail",
+    "Supervisor",
+    "SupervisionPolicy",
+    "active",
+    "configure",
+    "fire",
+    "install",
+    "solve_network",
+    "uninstall",
+]

@@ -9,7 +9,9 @@ identical solver sub-problems.
 * :mod:`~avipack.sweep.space` — :class:`DesignSpace` / :class:`Candidate`
   grid-and-sampler API;
 * :mod:`~avipack.sweep.runner` — :class:`SweepRunner` process-pool
-  fan-out with serial fallback and per-candidate failure isolation;
+  fan-out with serial fallback, per-candidate failure isolation,
+  watchdog timeouts and supervised recovery
+  (see :mod:`avipack.resilience`);
 * :mod:`~avipack.sweep.cache` — :class:`SolverCache` keyed memoisation
   with hit/miss accounting;
 * :mod:`~avipack.sweep.report` — :class:`SweepReport` observability and

@@ -16,24 +16,38 @@ In a parallel sweep each worker process holds its own
 :func:`worker_cache` singleton that persists across the tasks the worker
 executes; per-task hit/miss deltas travel back with each result and are
 aggregated by the runner into sweep-level statistics.
+
+A stored entry that cannot be read back — a pickled entry whose bytes
+were corrupted, or a fault injected at the ``"sweep.cache"`` site — is
+never allowed to poison a campaign: the entry is evicted, counted in
+the ``corrupt`` statistic, and the lookup falls through to a recompute,
+exactly like a miss.
 """
 
 from __future__ import annotations
 
+import pickle
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
+
+from ..resilience.faults import fire as _fire_fault
 
 __all__ = ["CacheStats", "SolverCache", "worker_cache"]
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Aggregate hit/miss counters of one cache (or one sweep)."""
+    """Aggregate hit/miss counters of one cache (or one sweep).
+
+    ``corrupt`` counts entries that were present but unreadable and
+    were therefore evicted and recomputed.
+    """
 
     hits: int
     misses: int
     entries: int
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -51,7 +65,8 @@ class CacheStats:
         """Combine counters from another cache (e.g. another worker)."""
         return CacheStats(hits=self.hits + other.hits,
                           misses=self.misses + other.misses,
-                          entries=self.entries + other.entries)
+                          entries=self.entries + other.entries,
+                          corrupt=self.corrupt + other.corrupt)
 
 
 class SolverCache:
@@ -69,14 +84,24 @@ class SolverCache:
         Optional bound on stored results.  When full, new results are
         still returned but not retained (sweeps favour predictability
         over eviction churn).
+    pickle_entries:
+        Store entries as pickled bytes and deserialize on every hit.
+        Costs a serialisation round-trip but makes the cache robust to
+        (and testable against) entry corruption: unreadable bytes are
+        treated as a counted miss, never an aborted sweep.  The default
+        in-memory mode applies the same treat-as-miss rule to any error
+        raised while loading an entry.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(self, max_entries: Optional[int] = None,
+                 pickle_entries: bool = False) -> None:
         self._store: Dict[Any, Any] = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._corrupt = 0
         self.max_entries = max_entries
+        self.pickle_entries = pickle_entries
 
     @property
     def hits(self) -> int:
@@ -88,30 +113,61 @@ class SolverCache:
         """Lookups that had to compute so far."""
         return self._misses
 
+    @property
+    def corrupt(self) -> int:
+        """Entries found unreadable (evicted and recomputed) so far."""
+        return self._corrupt
+
     def __len__(self) -> int:
         return len(self._store)
 
     def __contains__(self, key: Any) -> bool:
         return key in self._store
 
+    def _dump(self, value: Any) -> Any:
+        if self.pickle_entries:
+            return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return value
+
+    def _load(self, raw: Any) -> Any:
+        _fire_fault("sweep.cache")
+        if self.pickle_entries:
+            return pickle.loads(raw)
+        return raw
+
     def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing it on a miss."""
+        """Return the cached value for ``key``, computing it on a miss.
+
+        An entry that cannot be loaded (corrupt pickled bytes, injected
+        corruption, any error from the load path) is evicted, counted
+        in :attr:`corrupt`, and treated as a miss.
+        """
         with self._lock:
             if key in self._store:
-                self._hits += 1
-                return self._store[key]
-            self._misses += 1
+                raw = self._store[key]
+                try:
+                    value = self._load(raw)
+                except Exception:
+                    self._corrupt += 1
+                    self._misses += 1
+                    del self._store[key]
+                else:
+                    self._hits += 1
+                    return value
+            else:
+                self._misses += 1
         value = compute()
         with self._lock:
             if self.max_entries is None or len(self._store) < self.max_entries:
-                self._store[key] = value
+                self._store[key] = self._dump(value)
         return value
 
     def stats(self) -> CacheStats:
         """Snapshot of the counters."""
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses,
-                              entries=len(self._store))
+                              entries=len(self._store),
+                              corrupt=self._corrupt)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -119,6 +175,7 @@ class SolverCache:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._corrupt = 0
 
 
 #: Per-process cache used by sweep worker processes.  Living at module

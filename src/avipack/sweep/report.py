@@ -88,6 +88,39 @@ class SweepReport:
         ranked = self.ranked()
         return ranked[0] if ranked else None
 
+    # -- recovery ------------------------------------------------------------
+
+    @property
+    def n_recovered(self) -> int:
+        """Candidates that hit a solver fault but recovered at full
+        fidelity (retry or escalation succeeded)."""
+        return sum(1 for o in self.results
+                   if getattr(o, "recovered", False))
+
+    @property
+    def n_degraded(self) -> int:
+        """Candidates evaluated at reduced fidelity (level-3 degraded
+        to the level-2 boundary estimate)."""
+        return sum(1 for o in self.outcomes
+                   if getattr(o, "degraded", False))
+
+    @property
+    def n_timeouts(self) -> int:
+        """Candidates abandoned by the per-candidate watchdog (plus
+        injected hangs classified in-process)."""
+        return sum(1 for o in self.failures
+                   if o.error_type == "WatchdogTimeout")
+
+    def recovery_trails(self) -> List[Tuple[int, "object"]]:
+        """Every recorded recovery trail as ``(candidate_index, trail)``
+        pairs, in candidate order — the audit log of what the
+        supervision layer had to do to keep the sweep alive."""
+        trails: List[Tuple[int, "object"]] = []
+        for outcome in self.outcomes:
+            for trail in getattr(outcome, "recovery", ()):
+                trails.append((outcome.index, trail))
+        return trails
+
     # -- observability -------------------------------------------------------
 
     @property
@@ -138,9 +171,12 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
     lines.append(f"   wall clock           : {report.wall_time_s:.2f} s "
                  f"({report.total_evaluation_s:.2f} s busy, "
                  f"utilisation {report.worker_utilisation:.0%})")
-    lines.append(f"   cache                : {report.cache.hits} hits / "
-                 f"{report.cache.misses} misses "
-                 f"(hit rate {report.cache.hit_rate:.0%})")
+    cache_line = (f"   cache                : {report.cache.hits} hits / "
+                  f"{report.cache.misses} misses "
+                  f"(hit rate {report.cache.hit_rate:.0%})")
+    if report.cache.corrupt:
+        cache_line += f", {report.cache.corrupt} corrupt evicted"
+    lines.append(cache_line)
     lines.append("")
     lines.append("2. OUTCOMES")
     lines.append(f"   evaluated            : {len(report.results)}")
@@ -163,4 +199,15 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
             f"cost {result.cost_rank:g}")
     if len(ranked) > top:
         lines.append(f"   ... and {len(ranked) - top} more compliant")
+    trails = report.recovery_trails()
+    if trails or report.n_degraded or report.n_timeouts:
+        lines.append("")
+        lines.append("4. RECOVERY")
+        lines.append(f"   recovered            : {report.n_recovered}")
+        lines.append(f"   degraded             : {report.n_degraded}")
+        lines.append(f"   watchdog timeouts    : {report.n_timeouts}")
+        for index, trail in trails[:2 * top]:
+            lines.append(f"   - #{index} {trail.summary()}")
+        if len(trails) > 2 * top:
+            lines.append(f"   ... and {len(trails) - 2 * top} more trails")
     return "\n".join(lines)

@@ -8,6 +8,16 @@ candidate failures: a raised :class:`~avipack.errors.InputError`,
 becomes a structured :class:`CandidateFailure` record — never an aborted
 sweep.
 
+Beyond failure *isolation*, the runner carries the campaign's failure
+*recovery*: every candidate is evaluated under an
+:class:`avipack.resilience.Supervisor` (transient convergence failures
+retried, level-3 breakdowns degraded to level-2 fidelity per the
+:class:`~avipack.resilience.SupervisionPolicy`), a per-candidate
+watchdog abandons workers that stop responding, a broken pool triggers
+an automatic serial retry of the unfinished candidates, and a seeded
+:class:`~avipack.resilience.FaultPlan` can be threaded through the
+workers so all of the above is testable on demand.
+
 Each worker process keeps a persistent
 :class:`~avipack.sweep.cache.SolverCache`, so the repeated
 sub-evaluations a grid generates (the same rack airflow solve reached
@@ -22,18 +32,24 @@ serial and a parallel run of the same space rank identically.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.design_flow import run_design_procedure
 from ..core.report import summarize_margins
 from ..errors import InputError
 from ..packaging.cooling import CoolingTechnique
+from ..resilience import faults as _faults
+from ..resilience.faults import FaultPlan
+from ..resilience.policy import RecoveryTrail, SupervisionPolicy
+from ..resilience.supervisor import Supervisor
 from .cache import CacheStats, SolverCache, worker_cache
 from .report import SweepReport
 from .space import Candidate, DesignSpace
@@ -51,6 +67,10 @@ _TECHNIQUE_COST_RANK: Dict[CoolingTechnique, int] = {
     CoolingTechnique.AIR_FLOW_THROUGH: 4,
     CoolingTechnique.LIQUID_FLOW_THROUGH: 5,
 }
+
+#: Exception attributes lifted into :attr:`CandidateFailure.details`.
+_DETAIL_ATTRS = ("iterations", "residual", "limit_name", "limit_value",
+                 "violations")
 
 
 @dataclass(frozen=True)
@@ -76,11 +96,23 @@ class CandidateResult:
     worker_pid: int
     cache_hits: int
     cache_misses: int
+    #: Any level ran at reduced fidelity (see
+    #: :func:`avipack.core.levels.degraded_level3`).
+    degraded: bool = False
+    #: Recovery trails of every supervised site that misbehaved.
+    recovery: Tuple[RecoveryTrail, ...] = ()
+    #: Unreadable cache entries encountered (evicted and recomputed).
+    cache_corrupt: int = 0
 
     @property
     def thermal_headroom_c(self) -> float:
         """Board-limit margin [°C]; larger is cooler."""
         return 85.0 - self.worst_board_c
+
+    @property
+    def recovered(self) -> bool:
+        """True when a supervised site recovered at full fidelity."""
+        return any(trail.recovered for trail in self.recovery)
 
 
 @dataclass(frozen=True)
@@ -100,6 +132,21 @@ class CandidateFailure:
     #: code can treat outcomes uniformly.
     compliant: bool = False
 
+    #: Formatted traceback of the original exception (empty for
+    #: synthesised failures such as watchdog timeouts).
+    traceback: str = ""
+
+    #: Structured exception attributes (iterations, residual,
+    #: limit_name, violations, ...) that survive process boundaries.
+    details: Dict[str, object] = field(default_factory=dict)
+
+    #: Recovery trails recorded before the evaluation finally failed.
+    recovery: Tuple[RecoveryTrail, ...] = ()
+
+    #: Mirrors :class:`CandidateResult` so report code can treat
+    #: outcomes uniformly.
+    degraded: bool = False
+
 
 CandidateOutcome = Union[CandidateResult, CandidateFailure]
 
@@ -118,43 +165,83 @@ def _cost_rank(candidate: Candidate) -> float:
     return rank
 
 
-def evaluate_candidate(task: Tuple[int, Candidate, bool],
-                       cache: Optional[SolverCache] = None
+def _exception_details(exc: BaseException) -> Dict[str, object]:
+    """Lift the library's structured exception attributes into a dict."""
+    details: Dict[str, object] = {}
+    for name in _DETAIL_ATTRS:
+        value = getattr(exc, name, None)
+        if value is not None:
+            details[name] = value
+    return details
+
+
+def _unpack_task(task) -> Tuple[int, Candidate, bool,
+                                Optional[SupervisionPolicy],
+                                Optional[FaultPlan]]:
+    """Accept both the historical 3-tuple and the supervised 5-tuple."""
+    if len(task) == 3:
+        index, candidate, use_cache = task
+        return index, candidate, use_cache, None, None
+    index, candidate, use_cache, policy, plan = task
+    return index, candidate, use_cache, policy, plan
+
+
+def evaluate_candidate(task, cache: Optional[SolverCache] = None
                        ) -> CandidateOutcome:
-    """Evaluate one ``(index, candidate, use_cache)`` task.
+    """Evaluate one ``(index, candidate, use_cache[, policy, faults])`` task.
 
     Module-level (hence picklable) worker entry point shared by the
     serial and process-pool paths.  ``cache`` overrides the per-process
     default; when ``None`` and the task requests caching, the process's
     :func:`~avipack.sweep.cache.worker_cache` singleton is used.  Every
     expected failure mode — bad input, specification violations, solver
-    non-convergence, out-of-range models — is converted into a
-    :class:`CandidateFailure` carrying the stage and message.
+    non-convergence, out-of-range models, injected faults — is converted
+    into a :class:`CandidateFailure` carrying the stage, message,
+    formatted traceback and structured exception attributes.
+
+    The evaluation runs under an :class:`avipack.resilience.Supervisor`
+    built from ``policy`` (default :class:`SupervisionPolicy`), and an
+    optional :class:`~avipack.resilience.FaultPlan` is installed
+    process-wide before anything else runs, scoped to the candidate
+    index so injection decisions are identical in serial and parallel
+    executions.
     """
-    index, candidate, use_cache = task
+    index, candidate, use_cache, policy, plan = _unpack_task(task)
+    injector = _faults.configure(plan)
     if cache is None and use_cache:
         cache = worker_cache()
     if not use_cache:
         cache = None
     hits0 = cache.hits if cache else 0
     misses0 = cache.misses if cache else 0
+    corrupt0 = cache.corrupt if cache else 0
+    supervisor = Supervisor(policy)
+    scope = (injector.scoped(index) if injector is not None
+             else contextlib.nullcontext())
     start = time.perf_counter()
-    stage = "build"
-    try:
-        rack, spec = candidate.build()
-        stage = "evaluate"
-        review = run_design_procedure(rack, spec, cache=cache)
-    except Exception as exc:
-        return CandidateFailure(
-            index=index,
-            candidate=candidate,
-            fingerprint=candidate.fingerprint,
-            stage=stage,
-            error_type=type(exc).__name__,
-            message=str(exc),
-            elapsed_s=time.perf_counter() - start,
-            worker_pid=os.getpid(),
-        )
+    stage = "worker"
+    with scope:
+        try:
+            _faults.fire("sweep.worker")
+            stage = "build"
+            rack, spec = candidate.build()
+            stage = "evaluate"
+            review = run_design_procedure(rack, spec, cache=cache,
+                                          supervisor=supervisor)
+        except Exception as exc:
+            return CandidateFailure(
+                index=index,
+                candidate=candidate,
+                fingerprint=candidate.fingerprint,
+                stage=stage,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                elapsed_s=time.perf_counter() - start,
+                worker_pid=os.getpid(),
+                traceback=traceback.format_exc(),
+                details=_exception_details(exc),
+                recovery=supervisor.trails,
+            )
     level1 = review.thermal.level1
     declared = candidate.cooling
     if not isinstance(declared, CoolingTechnique):
@@ -175,6 +262,26 @@ def evaluate_candidate(task: Tuple[int, Candidate, bool],
         worker_pid=os.getpid(),
         cache_hits=(cache.hits - hits0) if cache else 0,
         cache_misses=(cache.misses - misses0) if cache else 0,
+        degraded=(review.thermal.degraded
+                  if hasattr(review.thermal, "degraded") else False),
+        recovery=supervisor.trails,
+        cache_corrupt=(cache.corrupt - corrupt0) if cache else 0,
+    )
+
+
+def _watchdog_failure(index: int, candidate: Candidate,
+                      timeout_s: float) -> CandidateFailure:
+    """Synthesised failure for a candidate whose worker stopped responding."""
+    return CandidateFailure(
+        index=index,
+        candidate=candidate,
+        fingerprint=candidate.fingerprint,
+        stage="watchdog",
+        error_type="WatchdogTimeout",
+        message=(f"candidate exceeded the {timeout_s:g} s per-candidate "
+                 "watchdog; worker abandoned"),
+        elapsed_s=timeout_s,
+        worker_pid=0,
     )
 
 
@@ -193,21 +300,57 @@ class SweepRunner:
         Enable solver memoisation (per worker in parallel mode, one
         shared cache in serial mode).  Disable for cold baselines.
     chunksize:
-        Tasks handed to a worker per dispatch; ``None`` picks
-        ``ceil(n / (4 * workers))`` to balance load against IPC count.
+        Tasks handed to a worker per dispatch on the (watchdog-free)
+        bulk path; ``None`` picks ``ceil(n / (4 * workers))`` to
+        balance load against IPC count.
+    timeout_s:
+        Per-candidate watchdog [s] for the parallel path.  When set,
+        candidates are dispatched one at a time (a sliding window the
+        size of the pool) and a candidate whose worker produces nothing
+        within the budget is recorded as a ``WatchdogTimeout``
+        :class:`CandidateFailure`; the stuck worker is abandoned (the
+        pool keeps running at reduced width until it comes back).
+        ``None`` (default) keeps the chunked bulk path.
+    policy:
+        :class:`~avipack.resilience.SupervisionPolicy` applied to every
+        candidate evaluation; ``None`` uses the default policy.  Pass
+        :data:`~avipack.resilience.NO_SUPERVISION` to disable retries
+        and degradation.
+    faults:
+        Optional seeded :class:`~avipack.resilience.FaultPlan` threaded
+        into every worker — the chaos hook the fault-injection suite
+        drives.  Injection decisions are scoped per candidate index, so
+        a serial and a parallel run of the same plan fault identically.
+    evaluator:
+        Picklable replacement for :func:`evaluate_candidate` (custom
+        workloads on the sweep infrastructure — e.g. supervised raw
+        network solves).  It is called with the 5-field task tuple and
+        must return a :class:`CandidateResult` or
+        :class:`CandidateFailure`.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
                  parallel: bool = True, use_cache: bool = True,
-                 chunksize: Optional[int] = None) -> None:
+                 chunksize: Optional[int] = None,
+                 timeout_s: Optional[float] = None,
+                 policy: Optional[SupervisionPolicy] = None,
+                 faults: Optional[FaultPlan] = None,
+                 evaluator=None) -> None:
         if max_workers is not None and max_workers < 0:
             raise InputError("max_workers must be >= 0")
         if chunksize is not None and chunksize < 1:
             raise InputError("chunksize must be >= 1")
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise InputError("timeout_s must be positive")
         self.max_workers = max_workers
         self.parallel = parallel
         self.use_cache = use_cache
         self.chunksize = chunksize
+        self.timeout_s = timeout_s
+        self.policy = policy
+        self.faults = faults
+        self.evaluator = evaluator if evaluator is not None \
+            else evaluate_candidate
 
     def _resolve_workers(self) -> int:
         if self.max_workers is not None:
@@ -216,19 +359,122 @@ class SweepRunner:
 
     # -- execution paths -----------------------------------------------------
 
-    def _run_serial(self, tasks: List[Tuple[int, Candidate, bool]]
-                    ) -> List[CandidateOutcome]:
+    def _run_serial(self, tasks: List[tuple]) -> List[CandidateOutcome]:
         cache = SolverCache() if self.use_cache else None
-        return [evaluate_candidate(task, cache) for task in tasks]
+        return [self.evaluator(task, cache) if
+                self.evaluator is evaluate_candidate else self.evaluator(task)
+                for task in tasks]
 
-    def _run_parallel(self, tasks: List[Tuple[int, Candidate, bool]],
+    def _run_parallel(self, tasks: List[tuple],
                       workers: int) -> List[CandidateOutcome]:
+        """Bulk chunked dispatch — fastest path, no per-candidate watchdog."""
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, -(-len(tasks) // (4 * workers)))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(evaluate_candidate, tasks,
+            return list(pool.map(self.evaluator, tasks,
                                  chunksize=chunksize))
+
+    def _run_watchdog(self, tasks: List[tuple], workers: int
+                      ) -> Tuple[Dict[int, CandidateOutcome], List[str]]:
+        """Sliding-window dispatch with a per-candidate watchdog.
+
+        Keeps at most ``capacity`` tasks in flight (initially the pool
+        width), so a submitted task starts on an idle worker at once
+        and ``timeout_s`` after submission is an honest per-candidate
+        deadline.  A future that misses its deadline is recorded as a
+        watchdog failure and abandoned — capacity shrinks while its
+        worker is stuck and is restored if the worker ever completes.
+        A broken pool stops parallel dispatch; the caller retries the
+        unfinished candidates serially.
+        """
+        timeout_s = float(self.timeout_s or 0.0)
+        outcomes: Dict[int, CandidateOutcome] = {}
+        incidents: List[str] = []
+        queue = list(tasks)
+        in_flight: Dict[object, Tuple[int, Candidate, float]] = {}
+        abandoned: Dict[object, int] = {}
+        capacity = workers
+        broken = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while queue or in_flight:
+                while queue and len(in_flight) < capacity and not broken:
+                    task = queue.pop(0)
+                    try:
+                        future = pool.submit(self.evaluator, task)
+                    except (BrokenProcessPool, RuntimeError):
+                        broken = True
+                        queue.insert(0, task)
+                        break
+                    in_flight[future] = (task[0], task[1],
+                                         time.monotonic() + timeout_s)
+                if broken and not in_flight:
+                    break
+                if not in_flight:
+                    if queue:
+                        # Every worker is stuck: no parallel capacity
+                        # left; the caller finishes the queue serially.
+                        incidents.append(
+                            f"pool exhausted by {len(abandoned)} hung "
+                            "workers")
+                        broken = True
+                    break
+                next_deadline = min(deadline for _, _, deadline
+                                    in in_flight.values())
+                done, _ = wait(list(in_flight), timeout=max(
+                    0.0, next_deadline - time.monotonic()),
+                    return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, _, _ = in_flight.pop(future)
+                    try:
+                        outcomes[index] = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                    except Exception as exc:  # pool infrastructure error
+                        broken = True
+                        incidents.append(
+                            f"pool error on #{index}: "
+                            f"{type(exc).__name__}")
+                now = time.monotonic()
+                for future, (index, candidate, deadline) in \
+                        list(in_flight.items()):
+                    if deadline > now or future.done():
+                        continue
+                    if future.cancel():
+                        # Never started (queued behind a stall): give it
+                        # back to the queue with a fresh deadline.
+                        in_flight.pop(future)
+                        queue.insert(0, (index, candidate) + tuple(
+                            t for t in tasks[0][2:]))
+                        continue
+                    in_flight.pop(future)
+                    outcomes[index] = _watchdog_failure(
+                        index, candidate, timeout_s)
+                    abandoned[future] = index
+                    capacity -= 1
+                    incidents.append(f"watchdog abandoned #{index}")
+                for future, index in list(abandoned.items()):
+                    if future.done():
+                        # The stuck worker came back; its (late) result
+                        # is discarded but its slot is usable again.
+                        del abandoned[future]
+                        capacity += 1
+                if broken:
+                    for future in list(in_flight):
+                        index, _, _ = in_flight.pop(future)
+                        if future.done():
+                            try:
+                                outcomes[index] = future.result()
+                            except Exception:
+                                pass
+                    break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if broken:
+            incidents.append("broken pool: serial retry of unfinished "
+                             "candidates")
+        return outcomes, incidents
 
     def run(self, space: Union[DesignSpace, Iterable[Candidate]]
             ) -> SweepReport:
@@ -238,38 +484,64 @@ class SweepRunner:
         execution path runs.  If the process pool cannot be used (no
         ``fork``/``spawn`` support, broken workers, unpicklable
         candidates), the sweep transparently falls back to the serial
-        path rather than failing.
+        path rather than failing; a pool broken *mid-flight* (worker
+        crash) triggers a serial retry of only the unfinished
+        candidates, so one bad worker never costs the campaign.
         """
         candidates = (list(space.grid()) if isinstance(space, DesignSpace)
                       else list(space))
         if not candidates:
             raise InputError("sweep needs at least one candidate")
-        tasks = [(index, candidate, self.use_cache)
+        tasks = [(index, candidate, self.use_cache, self.policy, self.faults)
                  for index, candidate in enumerate(candidates)]
         workers = self._resolve_workers()
         mode = "parallel" if (self.parallel and workers > 1
                               and len(tasks) > 1) else "serial"
         start = time.perf_counter()
-        if mode == "parallel":
-            try:
-                outcomes = self._run_parallel(tasks, workers)
-            except (BrokenProcessPool, OSError,
-                    pickle.PicklingError) as exc:
-                mode = f"serial (pool fallback: {type(exc).__name__})"
+        try:
+            if mode == "parallel" and self.timeout_s is not None:
+                outcome_map, incidents = self._run_watchdog(tasks, workers)
+                missing = [task for task in tasks
+                           if task[0] not in outcome_map]
+                if missing:
+                    cache = SolverCache() if self.use_cache else None
+                    for task in missing:
+                        outcome_map[task[0]] = (
+                            self.evaluator(task, cache)
+                            if self.evaluator is evaluate_candidate
+                            else self.evaluator(task))
+                outcomes = [outcome_map[index]
+                            for index in range(len(tasks))]
+                if incidents:
+                    mode = f"parallel ({'; '.join(sorted(set(incidents)))})"
+            elif mode == "parallel":
+                try:
+                    outcomes = self._run_parallel(tasks, workers)
+                except (BrokenProcessPool, OSError,
+                        pickle.PicklingError) as exc:
+                    mode = f"serial (pool fallback: {type(exc).__name__})"
+                    outcomes = self._run_serial(tasks)
+            else:
                 outcomes = self._run_serial(tasks)
-        else:
-            outcomes = self._run_serial(tasks)
+        finally:
+            # A serial (re-)run in this process may have installed the
+            # fault plan here; never leak it into subsequent user code.
+            if self.faults is not None:
+                _faults.uninstall()
         wall = time.perf_counter() - start
 
         hits = sum(o.cache_hits for o in outcomes
                    if isinstance(o, CandidateResult))
         misses = sum(o.cache_misses for o in outcomes
                      if isinstance(o, CandidateResult))
-        cache_stats = CacheStats(hits=hits, misses=misses, entries=misses)
+        corrupt = sum(o.cache_corrupt for o in outcomes
+                      if isinstance(o, CandidateResult))
+        cache_stats = CacheStats(hits=hits, misses=misses, entries=misses,
+                                 corrupt=corrupt)
         return SweepReport(
             outcomes=tuple(outcomes),
             wall_time_s=wall,
             mode=mode,
-            workers=workers if mode == "parallel" else 1,
+            workers=workers if mode.startswith("parallel") else 1,
             cache=cache_stats,
         )

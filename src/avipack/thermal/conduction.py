@@ -361,20 +361,36 @@ class ConductionSolver:
                                   np.asarray(temps).reshape(self.grid.shape))
 
     def solve_transient(self, initial_temperature: float, duration: float,
-                        time_step: float) -> "TransientConductionResult":
+                        time_step: float,
+                        max_steps: int = 200_000
+                        ) -> "TransientConductionResult":
         """Backward-Euler transient solve from a uniform initial field.
 
         Returns the sampled temperature history.  Unconditionally stable;
         accuracy is first order in ``time_step``.
+
+        ``max_steps`` guards against a mistyped ``time_step`` turning
+        the solve into an unbounded loop (each step stores a full field,
+        so runaway step counts also exhaust memory): a request needing
+        more steps is rejected eagerly with :class:`InputError` instead
+        of hanging the campaign.
         """
         if duration <= 0.0 or time_step <= 0.0:
             raise InputError("duration and time step must be positive")
         if initial_temperature <= 0.0:
             raise InputError("initial temperature must be positive kelvin")
+        if max_steps < 1:
+            raise InputError("max_steps must be >= 1")
+        n_steps = max(1, int(round(duration / time_step)))
+        if n_steps > max_steps:
+            raise InputError(
+                f"transient solve needs {n_steps} steps for duration "
+                f"{duration:g} s at time_step {time_step:g} s, exceeding "
+                f"max_steps={max_steps}; increase time_step or raise "
+                "max_steps explicitly")
         self._check_well_posed()
         matrix, rhs = self._assemble()
         capacity = (self.grid.rho_cp * self.grid.cell_volume).ravel()
-        n_steps = max(1, int(round(duration / time_step)))
         system = identity(self.grid.n_cells, format="csr").multiply(
             capacity[:, None] / time_step) + matrix
         system = csr_matrix(system)

@@ -32,6 +32,7 @@ from scipy.sparse.linalg import spsolve
 
 from ..errors import ConvergenceError, InputError
 from ..fingerprint import stable_fingerprint
+from ..resilience.faults import fire as _fire_fault
 
 #: Conductance type: constant [W/K] or callable ``g(t_a, t_b) -> W/K``.
 Conductance = Union[float, Callable[[float, float], float]]
@@ -255,7 +256,9 @@ class ThermalNetwork:
 
     def solve(self, initial_guess: float = 320.0, max_iterations: int = 200,
               tolerance: float = 1e-8, relaxation: float = 0.7,
-              cache=None) -> NetworkSolution:
+              cache=None,
+              initial_temperatures: Optional[Dict[str, float]] = None
+              ) -> NetworkSolution:
         """Solve the steady-state energy balance.
 
         Linear networks are solved exactly in one sparse factorisation.
@@ -278,6 +281,12 @@ class ThermalNetwork:
             solution is keyed on :meth:`fingerprint` plus the solver
             settings, so identical networks reached from different
             sweep candidates solve once per process.
+        initial_temperatures:
+            Optional per-node warm start (node name → K) overriding
+            ``initial_guess``; names absent from the network are
+            ignored, so a last iterate from a similar network can seed
+            the solve.  Retry policies use the ``last_iterate``
+            attribute of a raised :class:`ConvergenceError` here.
 
         Raises
         ------
@@ -285,15 +294,21 @@ class ThermalNetwork:
             If the network has no fixed-temperature node (the problem is
             singular) or no nodes at all.
         ConvergenceError
-            If fixed-point iteration fails to converge.
+            If fixed-point iteration fails to converge.  The exception
+            carries the iteration count, the last update norm, and the
+            last iterate for warm-started retries.
         """
+        _fire_fault("thermal.network.solve")
         if cache is not None:
-            key = stable_fingerprint("network_solve", self.fingerprint(),
-                                     initial_guess, max_iterations,
-                                     tolerance, relaxation)
+            key = stable_fingerprint(
+                "network_solve", self.fingerprint(), initial_guess,
+                max_iterations, tolerance, relaxation,
+                tuple(sorted(initial_temperatures.items()))
+                if initial_temperatures else None)
             return cache.get_or_compute(
-                key, lambda: self.solve(initial_guess, max_iterations,
-                                        tolerance, relaxation))
+                key, lambda: self.solve(
+                    initial_guess, max_iterations, tolerance, relaxation,
+                    initial_temperatures=initial_temperatures))
         if not self._nodes:
             raise InputError("network has no nodes")
         if all(n.fixed_temperature is None for n in self._nodes.values()):
@@ -310,6 +325,10 @@ class ThermalNetwork:
         free_index = {i: j for j, i in enumerate(free)}
 
         temps = np.full(len(names), float(initial_guess))
+        if initial_temperatures:
+            for name, value in initial_temperatures.items():
+                if name in index:
+                    temps[index[name]] = float(value)
         for i, name in enumerate(names):
             fixed = self._nodes[name].fixed_temperature
             if fixed is not None:
@@ -332,12 +351,9 @@ class ThermalNetwork:
             raise ConvergenceError(
                 f"network solve did not converge in {max_iterations} "
                 f"iterations (last update {delta:.3e} K)",
-                iterations=max_iterations, residual=float(delta))
-
-        if nonlinear and delta >= tolerance and iterations >= max_iterations:
-            raise ConvergenceError(
-                "network solve did not converge", iterations=iterations,
-                residual=float(delta))
+                iterations=max_iterations, residual=float(delta),
+                last_iterate={name: float(temps[index[name]])
+                              for name in names})
 
         solution_temps = {name: float(temps[index[name]]) for name in names}
         flows = self._heat_flows(solution_temps)

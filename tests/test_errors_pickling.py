@@ -1,0 +1,89 @@
+"""Exceptions must cross process boundaries with every attribute intact."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from avipack.errors import (
+    AvipackError,
+    CacheCorruptionError,
+    ConvergenceError,
+    InputError,
+    MaterialNotFoundError,
+    ModelRangeError,
+    OperatingLimitError,
+    SpecificationError,
+    WatchdogTimeout,
+    WorkerCrashError,
+)
+
+
+def _roundtrip(exc):
+    return pickle.loads(pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class TestRoundTrip:
+    def test_convergence_error_keeps_solver_state(self):
+        exc = ConvergenceError("no convergence", iterations=137,
+                              residual=4.2e-3,
+                              last_iterate={"chip": 355.0, "ambient": 300.0})
+        back = _roundtrip(exc)
+        assert isinstance(back, ConvergenceError)
+        assert str(back) == "no convergence"
+        assert back.iterations == 137
+        assert back.residual == pytest.approx(4.2e-3)
+        assert back.last_iterate == {"chip": 355.0, "ambient": 300.0}
+
+    def test_convergence_error_defaults_survive(self):
+        back = _roundtrip(ConvergenceError("bare"))
+        assert back.iterations == 0
+        assert back.residual != back.residual  # NaN
+        assert back.last_iterate is None
+
+    def test_operating_limit_error_keeps_limit(self):
+        exc = OperatingLimitError("capillary limit", limit_name="capillary",
+                                  limit_value=87.5)
+        back = _roundtrip(exc)
+        assert back.limit_name == "capillary"
+        assert back.limit_value == pytest.approx(87.5)
+
+    def test_specification_error_keeps_violations(self):
+        exc = SpecificationError("spec violated",
+                                 violations=("level2: too hot",
+                                             "mechanical: fatigue"))
+        back = _roundtrip(exc)
+        assert back.violations == ("level2: too hot", "mechanical: fatigue")
+
+    @pytest.mark.parametrize("cls", [
+        AvipackError, InputError, ModelRangeError, MaterialNotFoundError,
+        WatchdogTimeout, WorkerCrashError, CacheCorruptionError,
+    ])
+    def test_plain_errors_roundtrip(self, cls):
+        back = _roundtrip(cls("boom"))
+        assert isinstance(back, cls)
+        assert "boom" in str(back)
+
+    def test_resilience_exceptions_keep_stdlib_bases(self):
+        # except TimeoutError / RuntimeError must keep working for
+        # callers that do not know about the avipack hierarchy.
+        assert issubclass(WatchdogTimeout, TimeoutError)
+        assert issubclass(WorkerCrashError, RuntimeError)
+        assert issubclass(CacheCorruptionError, RuntimeError)
+
+
+def _raise_convergence():
+    raise ConvergenceError("worker-side failure", iterations=12,
+                           residual=0.5, last_iterate={"n1": 310.0})
+
+
+class TestAcrossProcessPool:
+    def test_worker_raised_error_keeps_attributes(self):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_raise_convergence)
+            with pytest.raises(ConvergenceError) as excinfo:
+                future.result(timeout=60)
+        exc = excinfo.value
+        assert exc.iterations == 12
+        assert exc.residual == pytest.approx(0.5)
+        assert exc.last_iterate == {"n1": 310.0}
