@@ -1,0 +1,208 @@
+"""Committed solver-benchmark baseline: write and regression-compare.
+
+``BENCH_solver.json`` at the repository root pins median timings and
+factorization-reuse counters for the solver kernels.  CI re-measures
+and compares with a generous tolerance (timings are allowed to grow by
+the ``--tolerance`` factor, default 3x, so shared-runner noise never
+fails a build), while the *counters* are compared exactly — a lost
+factorization cache is a real regression no matter how fast the box.
+
+Usage::
+
+    python benchmarks/bench_baseline.py write     # refresh the baseline
+    python benchmarks/bench_baseline.py compare   # exit 1 on regression
+
+Run from the repository root (or pass ``--baseline`` explicitly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+from avipack import perf
+from avipack.thermal.network import ThermalNetwork
+from avipack.thermal.transient import TransientNetworkSolver
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_solver.json"
+
+#: Counters whose baseline values must be reproduced exactly.
+EXACT_COUNTERS = ("compilations", "assemblies", "factorizations",
+                  "factorization_reuses", "solves", "iterations")
+
+
+def build_linear_network(n_chains=30, chain_length=6):
+    """The 180-node linear network from test_perf_network_solve."""
+    net = ThermalNetwork()
+    net.add_node("sink", fixed_temperature=300.0)
+    for c in range(n_chains):
+        previous = "sink"
+        for i in range(chain_length):
+            name = f"n{c}_{i}"
+            net.add_node(name, heat_load=1.0)
+            net.add_resistance(name, previous, 0.5)
+            previous = name
+    return net
+
+
+def build_nonlinear_network(n_nodes=20):
+    """The radiation-like star from test_perf_nonlinear_network."""
+    net = ThermalNetwork()
+    net.add_node("sink", fixed_temperature=300.0)
+    for i in range(n_nodes):
+        net.add_node(f"n{i}", heat_load=5.0)
+        net.add_conductance(
+            f"n{i}", "sink",
+            lambda a, b: 1e-9 * (a * a + b * b) * (a + b))
+    return net
+
+
+def build_radiation_chain(n_stages=15):
+    """The ~200-iteration chain from test_perf_nonlinear_fixed_point_200."""
+    net = ThermalNetwork()
+    net.add_node("amb", fixed_temperature=260.0)
+    previous = "amb"
+    for i in range(n_stages):
+        name = f"stage{i}"
+        net.add_node(name, heat_load=3.0)
+        net.add_conductance(name, previous,
+                            lambda a, b: 5.67e-10 * (a * a + b * b)
+                            * (a + b))
+        previous = name
+    return net
+
+
+def build_transient_chain(n_nodes=30):
+    """The ladder from test_perf_transient_constant_500_steps."""
+    net = ThermalNetwork()
+    net.add_node("amb", fixed_temperature=300.0)
+    previous = "amb"
+    for i in range(n_nodes):
+        name = f"m{i}"
+        net.add_node(name, heat_load=0.5, capacitance=20.0)
+        net.add_conductance(name, previous, 2.0)
+        previous = name
+    return net
+
+
+def _measure(kernel, call, rounds):
+    """Median wall time [ms] of ``call`` plus one instrumented pass.
+
+    The instrumented pass runs first on a reset registry so the counter
+    record reflects exactly one call against a cold compile; the timing
+    rounds then run warm (compiled structure and LU cache populated),
+    which is the steady-state the benchmarks guard.
+    """
+    call()  # warm: compile + factorize
+    perf.reset(kernel)
+    call()
+    counters = perf.stats(kernel)
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        call()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "median_ms": round(statistics.median(samples) * 1e3, 4),
+        "counters": {name: getattr(counters, name)
+                     for name in EXACT_COUNTERS},
+    }
+
+
+def run_benches(rounds=25):
+    """Measure every pinned scenario; returns the baseline document."""
+    benches = {}
+
+    linear = build_linear_network()
+    benches["network_solve_linear"] = _measure(
+        "network.steady", linear.solve, rounds)
+
+    nonlinear = build_nonlinear_network()
+    benches["network_solve_nonlinear"] = _measure(
+        "network.steady", nonlinear.solve, rounds)
+
+    chain = build_radiation_chain()
+    benches["nonlinear_fixed_point_200"] = _measure(
+        "network.steady",
+        lambda: chain.solve(max_iterations=500, tolerance=1e-10,
+                            relaxation=0.12),
+        rounds)
+
+    solver = TransientNetworkSolver(build_transient_chain())
+    benches["transient_constant_500_steps"] = _measure(
+        "network.transient",
+        lambda: solver.integrate(duration=500.0, time_step=1.0),
+        rounds)
+
+    return {
+        "schema": 1,
+        "unit": "median wall milliseconds over warm rounds",
+        "rounds": rounds,
+        "benches": benches,
+    }
+
+
+def write_baseline(path, rounds):
+    document = run_benches(rounds)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} ({len(document['benches'])} benches)")
+    return 0
+
+
+def compare_baseline(path, rounds, tolerance):
+    if not path.exists():
+        print(f"ERROR: baseline {path} not found; run "
+              "`python benchmarks/bench_baseline.py write` and commit it")
+        return 2
+    baseline = json.loads(path.read_text())
+    current = run_benches(rounds)
+    failures = []
+    for name, pinned in sorted(baseline["benches"].items()):
+        measured = current["benches"].get(name)
+        if measured is None:
+            failures.append(f"{name}: bench disappeared")
+            continue
+        limit = pinned["median_ms"] * tolerance
+        verdict = "ok"
+        if measured["median_ms"] > limit:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {measured['median_ms']:.3f} ms exceeds "
+                f"{tolerance:g}x baseline {pinned['median_ms']:.3f} ms")
+        for counter, expected in pinned["counters"].items():
+            got = measured["counters"].get(counter)
+            if got != expected:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: counter {counter} = {got}, baseline "
+                    f"pins {expected} (caching discipline broken)")
+        print(f"{name:<32} {measured['median_ms']:>9.3f} ms "
+              f"(baseline {pinned['median_ms']:.3f}, "
+              f"limit {limit:.3f})  {verdict}")
+    if failures:
+        print("\n" + "\n".join(f"FAIL: {line}" for line in failures))
+        return 1
+    print("\nall benches within tolerance, counters exact")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", choices=("write", "compare"))
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    parser.add_argument("--rounds", type=int, default=25)
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed slow-down factor (default 3x)")
+    args = parser.parse_args(argv)
+    if args.mode == "write":
+        return write_baseline(args.baseline, args.rounds)
+    return compare_baseline(args.baseline, args.rounds, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ kernels thousands of times during a design study.
 
 import pytest
 
+from avipack import perf
 from avipack.materials.fluids import saturation_properties
 from avipack.mechanical.beam import BeamModel, BeamSection
 from avipack.mechanical.plate import PlateSpec, plate_modes
@@ -18,6 +19,7 @@ from avipack.thermal.conduction import (
     ConductionSolver,
 )
 from avipack.thermal.network import ThermalNetwork
+from avipack.thermal.transient import TransientNetworkSolver
 from avipack.twophase.heatpipe import standard_copper_water_heatpipe
 
 
@@ -74,6 +76,74 @@ def test_perf_nonlinear_network(benchmark):
             lambda a, b: 1e-9 * (a * a + b * b) * (a + b))
     solution = benchmark(net.solve)
     assert solution.residual < 1e-4
+
+
+def build_radiation_chain(n_stages=15):
+    """Serial radiation-like chain whose fixed point needs ~200 passes."""
+    net = ThermalNetwork()
+    net.add_node("amb", fixed_temperature=260.0)
+    previous = "amb"
+    for i in range(n_stages):
+        name = f"stage{i}"
+        net.add_node(name, heat_load=3.0)
+        net.add_conductance(name, previous,
+                            lambda a, b: 5.67e-10 * (a * a + b * b)
+                            * (a + b))
+        previous = name
+    return net
+
+
+def build_transient_chain(n_nodes=30):
+    """Constant-conductance ladder for LU-reuse transient stepping."""
+    net = ThermalNetwork()
+    net.add_node("amb", fixed_temperature=300.0)
+    previous = "amb"
+    for i in range(n_nodes):
+        name = f"m{i}"
+        net.add_node(name, heat_load=0.5, capacitance=20.0)
+        net.add_conductance(name, previous, 2.0)
+        previous = name
+    return net
+
+
+def test_perf_nonlinear_fixed_point_200(benchmark):
+    """~200-iteration nonlinear fixed point: the per-iteration path.
+
+    Every iteration must re-assemble (callable conductances) but never
+    rebuild sparse structure; counters prove the discipline.
+    """
+    net = build_radiation_chain()
+    solve = lambda: net.solve(max_iterations=500, tolerance=1e-10,  # noqa: E731
+                              relaxation=0.12)
+    perf.reset("network.steady")
+    solution = solve()
+    stats = perf.stats("network.steady")
+    assert solution.iterations >= 150
+    assert stats.assemblies == solution.iterations >= 1
+    assert stats.factorizations == solution.iterations
+    solution = benchmark(solve)
+    assert solution.residual < 1e-8
+
+
+def test_perf_transient_constant_500_steps(benchmark):
+    """500-step constant-conductance transient: one LU for the run.
+
+    The backward-Euler operator never changes, so the whole history —
+    including every benchmark round after the first — must be served by
+    a single factorization.
+    """
+    net = build_transient_chain()
+    solver = TransientNetworkSolver(net)
+    perf.reset("network.transient")
+    result = solver.integrate(duration=500.0, time_step=1.0)
+    stats = perf.stats("network.transient")
+    assert len(result.times) == 501
+    assert stats.assemblies >= 1
+    assert stats.factorizations == 1
+    assert stats.factorization_reuses == 499
+    result = benchmark(solver.integrate, 500.0, 1.0)
+    assert result.final("m29") > 300.0
+    assert perf.stats("network.transient").factorizations == 1
 
 
 def test_perf_plate_modes(benchmark):

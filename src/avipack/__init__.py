@@ -33,6 +33,9 @@ Subpackages
     Thermal-interface-material models, catalogue and virtual testers.
 ``environments``
     DO-160, ARINC 600 and qualification profiles.
+``perf``
+    Solver instrumentation: per-kernel :class:`~avipack.perf.SolveStats`
+    counters (assemblies, factorizations, reuses, wall time).
 ``reliability``
     Arrhenius/MIL-HDBK-217 style MTBF prediction.
 ``packaging``
@@ -50,6 +53,7 @@ from . import (
     materials,
     mechanical,
     packaging,
+    perf,
     reliability,
     resilience,
     sweep,
@@ -144,6 +148,7 @@ __all__ = [
     "materials",
     "mechanical",
     "packaging",
+    "perf",
     "reliability",
     "resilience",
     "sweep",

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..core.report import section_header
+from ..perf import SolveStats, format_stats
 from .cache import CacheStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -42,6 +43,9 @@ class SweepReport:
         Worker processes used (1 for serial).
     cache:
         Aggregated solver-cache counters across all workers.
+    perf:
+        Per-kernel :class:`~avipack.perf.SolveStats` aggregated across
+        every candidate and worker (empty when no solver kernel ran).
     """
 
     outcomes: Tuple["CandidateOutcome", ...]
@@ -49,6 +53,7 @@ class SweepReport:
     mode: str
     workers: int
     cache: CacheStats
+    perf: Tuple[SolveStats, ...] = ()
 
     # -- outcome views -------------------------------------------------------
 
@@ -200,9 +205,11 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
     if len(ranked) > top:
         lines.append(f"   ... and {len(ranked) - top} more compliant")
     trails = report.recovery_trails()
+    section = 4
     if trails or report.n_degraded or report.n_timeouts:
         lines.append("")
         lines.append("4. RECOVERY")
+        section = 5
         lines.append(f"   recovered            : {report.n_recovered}")
         lines.append(f"   degraded             : {report.n_degraded}")
         lines.append(f"   watchdog timeouts    : {report.n_timeouts}")
@@ -210,4 +217,15 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
             lines.append(f"   - #{index} {trail.summary()}")
         if len(trails) > 2 * top:
             lines.append(f"   ... and {len(trails) - 2 * top} more trails")
+    if report.perf:
+        lines.append("")
+        lines.append(f"{section}. PERFORMANCE")
+        for stat_line in format_stats(report.perf):
+            lines.append(f"   {stat_line}")
+        reusable = [s for s in report.perf
+                    if s.factorizations or s.factorization_reuses]
+        if reusable:
+            overall = sum(s.factorization_reuses for s in reusable) / sum(
+                s.factorizations + s.factorization_reuses for s in reusable)
+            lines.append(f"   factorization reuse  : {overall:.0%}")
     return "\n".join(lines)

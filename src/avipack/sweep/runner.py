@@ -42,9 +42,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from .. import perf as _perf
 from ..core.design_flow import run_design_procedure
 from ..core.report import summarize_margins
 from ..errors import InputError
+from ..perf import SolveStats
 from ..packaging.cooling import CoolingTechnique
 from ..resilience import faults as _faults
 from ..resilience.faults import FaultPlan
@@ -103,6 +105,10 @@ class CandidateResult:
     recovery: Tuple[RecoveryTrail, ...] = ()
     #: Unreadable cache entries encountered (evicted and recomputed).
     cache_corrupt: int = 0
+    #: Per-kernel solver counters this evaluation accumulated (the
+    #: :mod:`avipack.perf` registry delta, shipped across the process
+    #: boundary and aggregated into the sweep report).
+    perf: Tuple[SolveStats, ...] = ()
 
     @property
     def thermal_headroom_c(self) -> float:
@@ -146,6 +152,9 @@ class CandidateFailure:
     #: Mirrors :class:`CandidateResult` so report code can treat
     #: outcomes uniformly.
     degraded: bool = False
+
+    #: Solver counters accumulated before the evaluation failed.
+    perf: Tuple[SolveStats, ...] = ()
 
 
 CandidateOutcome = Union[CandidateResult, CandidateFailure]
@@ -215,6 +224,7 @@ def evaluate_candidate(task, cache: Optional[SolverCache] = None
     hits0 = cache.hits if cache else 0
     misses0 = cache.misses if cache else 0
     corrupt0 = cache.corrupt if cache else 0
+    perf_before = _perf.snapshot()
     supervisor = Supervisor(policy)
     scope = (injector.scoped(index) if injector is not None
              else contextlib.nullcontext())
@@ -241,6 +251,7 @@ def evaluate_candidate(task, cache: Optional[SolverCache] = None
                 traceback=traceback.format_exc(),
                 details=_exception_details(exc),
                 recovery=supervisor.trails,
+                perf=_perf.delta_since(perf_before),
             )
     level1 = review.thermal.level1
     declared = candidate.cooling
@@ -266,6 +277,7 @@ def evaluate_candidate(task, cache: Optional[SolverCache] = None
                   if hasattr(review.thermal, "degraded") else False),
         recovery=supervisor.trails,
         cache_corrupt=(cache.corrupt - corrupt0) if cache else 0,
+        perf=_perf.delta_since(perf_before),
     )
 
 
@@ -538,10 +550,13 @@ class SweepRunner:
                       if isinstance(o, CandidateResult))
         cache_stats = CacheStats(hits=hits, misses=misses, entries=misses,
                                  corrupt=corrupt)
+        perf_records = _perf.aggregate(
+            getattr(o, "perf", ()) for o in outcomes)
         return SweepReport(
             outcomes=tuple(outcomes),
             wall_time_s=wall,
             mode=mode,
             workers=workers if mode.startswith("parallel") else 1,
             cache=cache_stats,
+            perf=perf_records,
         )

@@ -14,13 +14,15 @@ stepping on the same operator.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix, identity
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import factorized, spsolve
 
+from .. import perf
 from ..errors import InputError
 from ..fingerprint import stable_fingerprint
 
@@ -149,20 +151,30 @@ class CartesianGrid:
 
         ``conductivity_z`` allows orthotropic boards (in-plane value in
         ``conductivity``, through-thickness value in ``conductivity_z``).
+
+        Every argument is validated *before* any field is written, so a
+        rejected call never leaves the grid partially mutated; an
+        explicit ``conductivity_z`` is honoured even when it equals a
+        falsy-looking value (only ``None`` means "use the isotropic
+        value", and non-positive values are rejected).
         """
         if conductivity <= 0.0:
             raise InputError("conductivity must be positive")
-        self.kx[region] = conductivity
-        self.ky[region] = conductivity
-        self.kz[region] = conductivity_z if conductivity_z else conductivity
         if conductivity_z is not None and conductivity_z <= 0.0:
             raise InputError("conductivity_z must be positive")
+        rho_cp = None
         if density is not None or specific_heat is not None:
             rho = density if density is not None else 1000.0
             cp = specific_heat if specific_heat is not None else 1000.0
             if rho <= 0.0 or cp <= 0.0:
                 raise InputError("density and cp must be positive")
-            self.rho_cp[region] = rho * cp
+            rho_cp = rho * cp
+        self.kx[region] = conductivity
+        self.ky[region] = conductivity
+        self.kz[region] = (conductivity_z if conductivity_z is not None
+                           else conductivity)
+        if rho_cp is not None:
+            self.rho_cp[region] = rho_cp
 
     def add_power(self, region: Tuple[slice, slice, slice],
                   power: float) -> None:
@@ -355,8 +367,11 @@ class ConductionSolver:
             return cache.get_or_compute(self.fingerprint(),
                                         self.solve_steady)
         self._check_well_posed()
+        start = time.perf_counter()
         matrix, rhs = self._assemble()
         temps = spsolve(matrix, rhs)
+        perf.record("conduction.steady", assemblies=1, factorizations=1,
+                    solves=1, wall_s=time.perf_counter() - start)
         return ConductionSolution(self.grid,
                                   np.asarray(temps).reshape(self.grid.shape))
 
@@ -389,19 +404,29 @@ class ConductionSolver:
                 f"max_steps={max_steps}; increase time_step or raise "
                 "max_steps explicitly")
         self._check_well_posed()
+        start = time.perf_counter()
         matrix, rhs = self._assemble()
         capacity = (self.grid.rho_cp * self.grid.cell_volume).ravel()
         system = identity(self.grid.n_cells, format="csr").multiply(
             capacity[:, None] / time_step) + matrix
         system = csr_matrix(system)
+        # The operator is constant across the whole march (backward
+        # Euler with fixed material fields and step size): factorize
+        # once and back-substitute every step instead of refactorizing
+        # O(n_steps) times inside spsolve.
+        solve = factorized(system.tocsc())
+        perf.record("conduction.transient", assemblies=1, factorizations=1)
         temps = np.full(self.grid.n_cells, float(initial_temperature))
         times = [0.0]
         history = [temps.reshape(self.grid.shape).copy()]
         for step in range(1, n_steps + 1):
             b = rhs + capacity / time_step * temps
-            temps = np.asarray(spsolve(system, b))
+            temps = np.asarray(solve(b))
             times.append(step * time_step)
             history.append(temps.reshape(self.grid.shape).copy())
+        perf.record("conduction.transient", solves=1, iterations=n_steps,
+                    factorization_reuses=n_steps - 1,
+                    wall_s=time.perf_counter() - start)
         return TransientConductionResult(np.asarray(times),
                                          np.asarray(history), self.grid)
 

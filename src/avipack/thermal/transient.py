@@ -11,17 +11,27 @@ given capacitances.  Supports
   start-of-step temperatures, then the linear system is solved implicitly,
   which is unconditionally stable for the stiff networks that arise when
   interface resistances are small.
+
+The stepper runs on the network's compiled structure
+(:class:`~avipack.thermal.network._CompiledNetwork`): link endpoints are
+integer index arrays, the constant-conductance operator is assembled
+once, and — when every conductance is constant — one LU factorization of
+``diag(C/Δt) + K`` is reused across *all* steps (and across repeated
+:meth:`TransientNetworkSolver.integrate` calls with the same step size),
+because schedules only ever move the right-hand side.  Only a callable
+conductance forces a per-step refactorization.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np
-from scipy.sparse import lil_matrix
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import factorized
 
+from .. import perf
 from ..errors import InputError
 from .network import ThermalNetwork
 
@@ -106,27 +116,52 @@ class TransientNetworkSolver:
                 raise InputError(
                     f"free node {name!r} needs a positive capacitance "
                     "for transient analysis")
+        #: Cached backward-Euler LU: ``(compiled_structure, dt, solve)``.
+        #: Valid while the network's compiled structure is unchanged and
+        #: the step size matches — i.e. for every step of every
+        #: constant-conductance integrate() call at that ``dt``.
+        self._lu_cache = None
+
+    def __getstate__(self):
+        # The LU cache holds SciPy factorization objects that do not
+        # pickle; it is derived state, rebuilt on the next step.
+        state = self.__dict__.copy()
+        state["_lu_cache"] = None
+        return state
 
     def integrate(self, duration: float, time_step: float,
-                  initial_temperature: float = 293.15
+                  initial_temperature: float = 293.15,
+                  max_steps: int = 200_000
                   ) -> TransientNetworkResult:
         """Integrate for ``duration`` seconds with fixed ``time_step``.
 
         Free nodes start at ``initial_temperature``; boundary nodes start
         at their fixed value (or schedule value at t=0).
+
+        ``max_steps`` guards against a mistyped ``time_step`` turning
+        the integration into an unbounded loop (each step stores a full
+        temperature vector, so runaway step counts also exhaust
+        memory): a request needing more steps is rejected eagerly with
+        :class:`InputError` instead of hanging the campaign.
         """
         if duration <= 0.0 or time_step <= 0.0:
             raise InputError("duration and time step must be positive")
         if time_step > duration:
             raise InputError("time step exceeds duration")
+        if max_steps < 1:
+            raise InputError("max_steps must be >= 1")
+        n_steps = max(1, int(round(duration / time_step)))
+        if n_steps > max_steps:
+            raise InputError(
+                f"transient solve needs {n_steps} steps for duration "
+                f"{duration:g} s at time_step {time_step:g} s, exceeding "
+                f"max_steps={max_steps}; increase time_step or raise "
+                "max_steps explicitly")
+        start = time.perf_counter()
         net = self.network
-        names = list(net.node_names)
-        index = {name: i for i, name in enumerate(names)}
-        free = [name for name in names
-                if net.node_fixed_temperature(name) is None]
-        free_idx = {name: j for j, name in enumerate(free)}
-        n_free = len(free)
-        capacity = np.array([net.node_capacitance(name) for name in free])
+        comp = net._compiled("network.transient")
+        names = comp.names
+        index = comp.index
 
         temps = np.full(len(names), float(initial_temperature))
         for name in names:
@@ -134,27 +169,40 @@ class TransientNetworkSolver:
             if fixed is not None:
                 temps[index[name]] = self._boundary_value(name, 0.0, fixed)
 
-        n_steps = max(1, int(round(duration / time_step)))
+        # Scheduled loads resolved to free-system rows once.
+        load_rows = {}
+        for name, schedule in self.load_schedules.items():
+            row = comp.free_of[index[name]]
+            if row >= 0:
+                load_rows[int(row)] = schedule
+
+        # Boundary nodes with schedules; unscheduled boundaries keep the
+        # value set above for the whole run.
+        scheduled_boundaries = []
+        for name in names:
+            fixed = net.node_fixed_temperature(name)
+            if fixed is not None and name in self.boundary_schedules:
+                scheduled_boundaries.append((index[name], name, fixed))
+
         times = [0.0]
         history = [temps.copy()]
+        counters = {"assemblies": 0, "factorizations": 0,
+                    "factorization_reuses": 0}
 
         for step in range(1, n_steps + 1):
             t_now = step * time_step
-            # Update boundary temperatures for this step.
-            for name in names:
-                fixed = net.node_fixed_temperature(name)
-                if fixed is not None:
-                    temps[index[name]] = self._boundary_value(
-                        name, t_now, fixed)
-            if n_free:
-                temps = self._implicit_step(temps, names, index, free,
-                                            free_idx, capacity, time_step,
-                                            t_now)
+            for idx, name, fixed in scheduled_boundaries:
+                temps[idx] = self._boundary_value(name, t_now, fixed)
+            if comp.n_free:
+                temps = self._implicit_step(comp, temps, load_rows,
+                                            time_step, t_now, counters)
             times.append(t_now)
             history.append(temps.copy())
 
         history_arr = np.asarray(history)
         per_node = {name: history_arr[:, index[name]] for name in names}
+        perf.record("network.transient", solves=1, iterations=n_steps,
+                    wall_s=time.perf_counter() - start, **counters)
         return TransientNetworkResult(np.asarray(times), per_node)
 
     # -- internals ------------------------------------------------------------
@@ -176,42 +224,45 @@ class TransientNetworkSolver:
             return float(schedule(time))
         return self.network.node_heat_load(name)
 
-    def _implicit_step(self, temps, names, index, free, free_idx, capacity,
-                       dt, t_now):
+    def _operator_solver(self, comp, capacity_dt: np.ndarray, dt: float,
+                         temps: np.ndarray, counters: Dict[str, int]):
+        """Factorized ``diag(C/Δt) + K`` for this step, reused when constant.
+
+        Constant-conductance networks factorize once per ``(structure,
+        Δt)`` — schedules only change the right-hand side, so every
+        subsequent step (and every later ``integrate`` call at the same
+        step size) reuses the handle.  Callable conductances change the
+        operator each step and force a fresh assembly + factorization.
+        """
+        if comp.nonlinear:
+            g_var = comp.eval_callables(temps, strict=False)
+            matrix = comp.operator(g_var, diagonal=capacity_dt)
+            counters["assemblies"] += 1
+            counters["factorizations"] += 1
+            return factorized(matrix.tocsc()), g_var
+        cached = self._lu_cache
+        if cached is not None and cached[0] is comp and cached[1] == dt:
+            counters["factorization_reuses"] += 1
+            return cached[2], None
+        matrix = comp.operator(diagonal=capacity_dt)
+        solve = factorized(matrix.tocsc())
+        self._lu_cache = (comp, dt, solve)
+        counters["assemblies"] += 1
+        counters["factorizations"] += 1
+        return solve, None
+
+    def _implicit_step(self, comp, temps, load_rows, dt, t_now, counters):
         """One backward-Euler step with start-of-step conductances."""
-        n_free = len(free)
-        matrix = lil_matrix((n_free, n_free))
-        rhs = np.zeros(n_free)
-        for j, name in enumerate(free):
-            matrix[j, j] += capacity[j] / dt
-            rhs[j] += capacity[j] / dt * temps[index[name]]
-            rhs[j] += self._load_value(name, t_now)
-        for node_a, node_b, conductance, _label in self.network.iter_links():
-            ia, ib = index[node_a], index[node_b]
-            if callable(conductance):
-                g = max(float(conductance(temps[ia], temps[ib])), 1e-12)
-            else:
-                g = float(conductance)
-            a_free = node_a in free_idx
-            b_free = node_b in free_idx
-            if a_free:
-                ja = free_idx[node_a]
-                matrix[ja, ja] += g
-                if b_free:
-                    matrix[ja, free_idx[node_b]] -= g
-                else:
-                    rhs[ja] += g * temps[ib]
-            if b_free:
-                jb = free_idx[node_b]
-                matrix[jb, jb] += g
-                if a_free:
-                    matrix[jb, free_idx[node_a]] -= g
-                else:
-                    rhs[jb] += g * temps[ia]
-        solution = np.atleast_1d(spsolve(matrix.tocsr(), rhs))
+        capacity_dt = comp.capacitances / dt
+        solve, g_var = self._operator_solver(comp, capacity_dt, dt, temps,
+                                             counters)
+        rhs = capacity_dt * temps[comp.free] + comp.heat_loads \
+            + comp.coupling_rhs(temps, g_var)
+        for row, schedule in load_rows.items():
+            rhs[row] += float(schedule(t_now)) - comp.heat_loads[row]
+        solution = np.atleast_1d(solve(rhs))
         new_temps = temps.copy()
-        for name in free:
-            new_temps[index[name]] = solution[free_idx[name]]
+        new_temps[comp.free] = solution
         return new_temps
 
 

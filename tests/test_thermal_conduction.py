@@ -42,6 +42,49 @@ class TestGrid:
             grid.set_material(region, conductivity=-5.0)
 
 
+class TestSetMaterial:
+    def grid_and_region(self):
+        grid = CartesianGrid((4, 4, 2), (0.1, 0.1, 0.002),
+                             conductivity=10.0)
+        region = grid.region_slices((0.0, 0.1), (0.0, 0.1), (0.0, 0.002))
+        return grid, region
+
+    def test_explicit_zero_conductivity_z_rejected(self):
+        # Regression: 0.0 used to be truthiness-tested and silently
+        # treated as "use the isotropic value".
+        grid, region = self.grid_and_region()
+        with pytest.raises(InputError, match="conductivity_z"):
+            grid.set_material(region, conductivity=5.0, conductivity_z=0.0)
+
+    def test_rejected_call_leaves_grid_unchanged(self):
+        # Regression: kz used to be written before conductivity_z was
+        # validated, leaving the grid partially mutated.
+        grid, region = self.grid_and_region()
+        kx0, ky0, kz0 = grid.kx.copy(), grid.ky.copy(), grid.kz.copy()
+        rho_cp0 = grid.rho_cp.copy()
+        with pytest.raises(InputError):
+            grid.set_material(region, conductivity=5.0,
+                              conductivity_z=-1.0)
+        with pytest.raises(InputError):
+            grid.set_material(region, conductivity=5.0, density=-1.0)
+        assert np.array_equal(grid.kx, kx0)
+        assert np.array_equal(grid.ky, ky0)
+        assert np.array_equal(grid.kz, kz0)
+        assert np.array_equal(grid.rho_cp, rho_cp0)
+
+    def test_orthotropic_assignment(self):
+        grid, region = self.grid_and_region()
+        grid.set_material(region, conductivity=18.0, conductivity_z=0.35)
+        assert np.all(grid.kx[region] == 18.0)
+        assert np.all(grid.ky[region] == 18.0)
+        assert np.all(grid.kz[region] == 0.35)
+
+    def test_isotropic_when_z_omitted(self):
+        grid, region = self.grid_and_region()
+        grid.set_material(region, conductivity=7.0)
+        assert np.all(grid.kz[region] == 7.0)
+
+
 class TestSteady1D:
     def test_slab_with_fixed_faces(self):
         # 1-D slab, fixed 400 K / 300 K: linear profile, q = k dT/L.

@@ -174,6 +174,76 @@ class TestValidation:
         with pytest.raises(InputError):
             sol.temperature("ghost")
 
+    def test_floating_island_rejected_by_name(self):
+        net = two_node_network()
+        net.add_node("adrift", heat_load=1.0)
+        with pytest.raises(InputError, match="adrift"):
+            net.solve()
+
+
+class TestCompiledCore:
+    """The compiled structure must be invisible except for speed."""
+
+    def test_nonlinear_reference_solution(self):
+        # Hard-coded values captured from the pre-compiled per-link-loop
+        # implementation; the compiled path must reproduce them.
+        net = ThermalNetwork()
+        net.add_node("sink", fixed_temperature=300.0)
+        for i in range(20):
+            net.add_node(f"n{i}", heat_load=5.0)
+            net.add_conductance(
+                f"n{i}", "sink",
+                lambda a, b: 1e-9 * (a * a + b * b) * (a + b))
+        sol = net.solve()
+        assert sol.iterations == 14
+        assert sol.temperature("n0") == pytest.approx(338.31232821523025,
+                                                      rel=1e-13)
+        assert sol.residual < 1e-8
+
+    def test_mutation_after_solve_recompiles(self):
+        net = two_node_network(load=10.0, resistance=2.0)
+        assert net.solve().temperature("hot") == pytest.approx(320.0)
+        net.add_node("extra", heat_load=5.0)
+        net.add_resistance("extra", "sink", 4.0)
+        sol = net.solve()
+        assert sol.temperature("hot") == pytest.approx(320.0)
+        assert sol.temperature("extra") == pytest.approx(320.0)
+        net.add_heat_load("hot", 10.0)
+        assert net.solve().temperature("hot") == pytest.approx(340.0)
+
+    def test_duplicate_flow_labels_disambiguated(self):
+        net = ThermalNetwork()
+        net.add_node("hot", heat_load=6.0)
+        net.add_node("sink", fixed_temperature=300.0)
+        net.add_resistance("hot", "sink", 1.0, label="tim")
+        net.add_resistance("hot", "sink", 1.0, label="tim")
+        net.add_resistance("hot", "sink", 1.0)
+        flows = net.solve().heat_flows
+        assert set(flows) == {"tim", "tim#1", "hot->sink"}
+        assert sum(flows.values()) == pytest.approx(6.0)
+
+    def test_warm_start_and_convergence_error_iterate(self):
+        from avipack.errors import ConvergenceError
+        net = ThermalNetwork()
+        net.add_node("sink", fixed_temperature=300.0)
+        net.add_node("hot", heat_load=50.0)
+        net.add_conductance("hot", "sink",
+                            lambda a, b: 1e-8 * (a * a + b * b) * (a + b))
+        with pytest.raises(ConvergenceError) as excinfo:
+            net.solve(max_iterations=3)
+        iterate = excinfo.value.last_iterate
+        assert set(iterate) == {"sink", "hot"}
+        # The carried iterate warm-starts a successful retry.
+        sol = net.solve(initial_temperatures=iterate)
+        assert sol.residual < 1e-4
+
+    def test_solution_identical_before_and_after_pickle_roundtrip(self):
+        import pickle
+        net = two_node_network()
+        before = net.solve().temperatures
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone.solve().temperatures == before
+
 
 class TestResistanceHelpers:
     def test_series(self):

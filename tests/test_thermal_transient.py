@@ -177,3 +177,66 @@ class TestValidation:
             duration=10.0, time_step=1.0)
         with pytest.raises(InputError):
             result.node("ghost")
+
+    def test_max_steps_guard_rejects_runaway_step_count(self):
+        # A mistyped time_step must fail eagerly, not loop for 10^8
+        # steps while allocating the full history.
+        solver = TransientNetworkSolver(rc_network())
+        with pytest.raises(InputError, match="max_steps"):
+            solver.integrate(duration=1000.0, time_step=1e-5)
+
+    def test_max_steps_guard_can_be_raised(self):
+        solver = TransientNetworkSolver(rc_network())
+        result = solver.integrate(duration=2.0, time_step=0.5,
+                                  max_steps=4)
+        assert len(result.times) == 5
+
+    def test_max_steps_below_request_rejected(self):
+        solver = TransientNetworkSolver(rc_network())
+        with pytest.raises(InputError, match="max_steps"):
+            solver.integrate(duration=2.0, time_step=0.5, max_steps=3)
+
+    def test_invalid_max_steps(self):
+        solver = TransientNetworkSolver(rc_network())
+        with pytest.raises(InputError):
+            solver.integrate(duration=2.0, time_step=0.5, max_steps=0)
+
+
+class TestCompiledPathCorrectness:
+    def test_rc_full_history_matches_analytic(self):
+        # Backward Euler on dT/dt = -(T - T_inf)/RC has the exact
+        # discrete solution T_n = T_inf + (T0-T_inf)/(1+dt/RC)^n, which
+        # converges to the analytic exponential; with dt = tau/200 the
+        # whole trajectory must track exp(-t/tau) to first order.
+        capacitance, resistance = 100.0, 2.0
+        tau = capacitance * resistance
+        dt = tau / 200.0
+        net = rc_network(capacitance=capacitance, resistance=resistance)
+        result = TransientNetworkSolver(net).integrate(
+            duration=3.0 * tau, time_step=dt, initial_temperature=400.0)
+        analytic = 300.0 + 100.0 * np.exp(-result.times / tau)
+        assert np.max(np.abs(result.node("mass") - analytic)) < 0.3
+        # And the discrete backward-Euler solution is matched exactly.
+        steps = np.arange(result.times.size)
+        discrete = 300.0 + 100.0 / (1.0 + dt / tau) ** steps
+        assert np.max(np.abs(result.node("mass") - discrete)) < 1e-9
+
+    def test_nonlinear_transient_matches_reference(self):
+        # Hard-coded trajectory values captured from the pre-compiled
+        # (lil_matrix + per-step refactorization) implementation: the
+        # compiled path must reproduce them.
+        net = ThermalNetwork()
+        net.add_node("amb", fixed_temperature=293.15)
+        net.add_node("chip", heat_load=12.0, capacitance=40.0)
+        net.add_node("board", capacitance=150.0)
+        net.add_conductance("chip", "board", 1.5)
+        net.add_conductance("board", "amb",
+                            lambda a, b: 0.4 + 1e-3 * (a - b))
+        result = TransientNetworkSolver(net).integrate(
+            duration=200.0, time_step=2.0)
+        chip = result.node("chip")
+        assert chip[10] == pytest.approx(297.3852488421196, rel=1e-12)
+        assert chip[50] == pytest.approx(304.1240754412540, rel=1e-12)
+        assert chip[100] == pytest.approx(309.2093950110543, rel=1e-12)
+        assert result.final("board") == pytest.approx(302.41703393679387,
+                                                      rel=1e-12)
