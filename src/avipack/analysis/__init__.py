@@ -1,0 +1,46 @@
+"""Domain-aware static analysis for the avipack codebase.
+
+``avipack.analysis`` is an AST-based lint framework carrying the paper's
+design-procedure philosophy (catch specification violations before
+hardware — here: before a 240-candidate sweep runs) into the codebase
+itself.  Five domain rules encode failure classes met in earlier PRs:
+
+========  ===================================================================
+AVI001    unit-suffix consistency (names vs documented physical units)
+AVI002    error-taxonomy enforcement (avipack.errors types, picklable
+          custom exceptions)
+AVI003    worker-boundary pickle safety (no lambdas/local defs into pools)
+AVI004    determinism (no unseeded entropy or wall-clock logic in
+          solver/sweep/resilience code)
+AVI005    solver-mutation safety (no topology mutation after solve)
+========  ===================================================================
+
+Run it with ``python -m avipack.analysis [--format text|json] [paths]``.
+Findings are suppressed inline with ``# avilint: disable=RULE`` or
+grandfathered in a checked-in baseline (``analysis-baseline.json``).
+Results are cached per file on a content hash
+(:func:`avipack.fingerprint.stable_fingerprint`), so unchanged files are
+free on re-runs.
+"""
+
+from .baseline import Baseline
+from .cache import AnalysisCache
+from .context import FileContext
+from .engine import AnalysisEngine, AnalysisResult
+from .findings import Finding, Severity
+from .rules import Rule, all_rules, get_rule, register, rules_signature
+
+__all__ = [
+    "AnalysisCache",
+    "AnalysisEngine",
+    "AnalysisResult",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register",
+    "rules_signature",
+]

@@ -1,0 +1,129 @@
+"""Per-file result cache for the analyzer.
+
+Rules are pure functions of (file content, rule set), so results are
+memoised on ``stable_fingerprint(source)`` — the same content-hash
+machinery the solver cache uses (:mod:`avipack.fingerprint`).  The cache
+stores *raw* rule output (before suppression and baseline filtering):
+suppression directives live in the source, so the fingerprint covers
+them, while the baseline file can change independently and is therefore
+always applied after the cache.
+
+A cache file written by a different rule set (new rule, bumped
+``version``) is discarded wholesale via the rules signature, so stale
+results can never leak through a rule change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import InputError
+from ..fingerprint import stable_fingerprint
+from .findings import Finding
+
+__all__ = ["AnalysisCache"]
+
+_CACHE_VERSION = 1
+
+
+class AnalysisCache:
+    """Content-addressed per-file finding cache."""
+
+    def __init__(self, rules_signature: str) -> None:
+        self.rules_signature = rules_signature
+        self._entries: Dict[str, Tuple[str, Tuple[Finding, ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup --------------------------------------------------------------
+
+    @staticmethod
+    def key_for(source: str) -> str:
+        """Content hash a lookup is keyed on."""
+        return stable_fingerprint(source)
+
+    def get(self, rel_path: str,
+            source: str) -> Optional[Tuple[Finding, ...]]:
+        """Cached raw findings for this exact content, else ``None``."""
+        entry = self._entries.get(rel_path)
+        if entry is None or entry[0] != self.key_for(source):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[1]
+
+    def put(self, rel_path: str, source: str,
+            findings: Tuple[Finding, ...]) -> None:
+        """Store raw findings for the current content of ``rel_path``."""
+        self._entries[rel_path] = (self.key_for(source), findings)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-compatible encoding of the whole cache."""
+        return {
+            "version": _CACHE_VERSION,
+            "rules_signature": self.rules_signature,
+            "entries": {
+                rel_path: {
+                    "fingerprint": fingerprint,
+                    "findings": [finding.to_dict() for finding in findings],
+                }
+                for rel_path, (fingerprint, findings)
+                in sorted(self._entries.items())
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object,
+                     rules_signature: str) -> "AnalysisCache":
+        """Rebuild a cache, discarding it on any mismatch or damage."""
+        cache = cls(rules_signature)
+        if not isinstance(payload, dict):
+            return cache
+        if payload.get("version") != _CACHE_VERSION:
+            return cache
+        if payload.get("rules_signature") != rules_signature:
+            return cache
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return cache
+        try:
+            for rel_path, entry in entries.items():
+                findings = tuple(Finding.from_dict(record)
+                                 for record in entry["findings"])
+                cache._entries[rel_path] = (str(entry["fingerprint"]),
+                                            findings)
+        except (InputError, KeyError, TypeError):
+            return cls(rules_signature)  # damaged file: start cold
+        return cache
+
+    def save(self, path: str) -> None:
+        """Write the cache to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(self.to_payload(), stream, indent=1, sort_keys=True)
+            stream.write("\n")
+
+    @classmethod
+    def load(cls, path: str, rules_signature: str) -> "AnalysisCache":
+        """Read a cache file; any problem yields an empty cache."""
+        if not os.path.exists(path):
+            return cls(rules_signature)
+        try:
+            with open(path, encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return cls(rules_signature)
+        return cls.from_payload(payload, rules_signature)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[str]:
+        """Paths currently cached (test/debug helper)."""
+        return sorted(self._entries)

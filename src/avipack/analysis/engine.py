@@ -1,0 +1,207 @@
+"""Analysis engine: file discovery, rule dispatch, result assembly.
+
+The engine is deliberately small: discover ``.py`` files, parse each one
+once into a :class:`~avipack.analysis.context.FileContext`, run every
+registered rule (or a cached result for unchanged content), then filter
+raw findings through inline suppressions and the baseline.  Everything
+stateful (cache, baseline) is injected, so tests drive the engine
+directly on fixture trees.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import InputError
+from .baseline import Baseline
+from .cache import AnalysisCache
+from .context import FileContext
+from .findings import Finding
+from .rules import Rule, all_rules, rules_signature
+from .suppress import line_suppressions, suppresses
+
+__all__ = ["AnalysisEngine", "AnalysisResult"]
+
+_RESULT_VERSION = 1
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    files_analyzed: int = 0
+    cache_hits: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing gates: no active findings, no parse errors."""
+        return not self.findings and not self.errors
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-compatible encoding (``--format json`` output)."""
+        return {
+            "version": _RESULT_VERSION,
+            "rules_signature": rules_signature(),
+            "files_analyzed": self.files_analyzed,
+            "cache_hits": self.cache_hits,
+            "clean": self.clean,
+            "errors": list(self.errors),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "AnalysisResult":
+        """Rebuild a result from :meth:`to_payload` output (round-trip)."""
+        if not isinstance(payload, dict) \
+                or payload.get("version") != _RESULT_VERSION:
+            raise InputError("malformed analysis result payload")
+        return cls(
+            findings=[Finding.from_dict(r) for r in payload["findings"]],
+            baselined=[Finding.from_dict(r) for r in payload["baselined"]],
+            suppressed=[Finding.from_dict(r) for r in payload["suppressed"]],
+            errors=[str(e) for e in payload.get("errors", [])],
+            files_analyzed=int(payload.get("files_analyzed", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+        )
+
+    def render_text(self) -> str:
+        """Human-readable report (``--format text`` output)."""
+        lines: List[str] = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        for error in self.errors:
+            lines.append(f"error: {error}")
+        if self.baselined:
+            lines.append(f"-- {len(self.baselined)} baselined finding(s) "
+                         f"not shown (see the baseline file)")
+        if self.suppressed:
+            lines.append(f"-- {len(self.suppressed)} finding(s) suppressed "
+                         f"inline (# avilint: disable=...)")
+        lines.append(
+            f"analyzed {self.files_analyzed} file(s) "
+            f"({self.cache_hits} cached): "
+            f"{len(self.findings)} active, {len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed")
+        return "\n".join(lines)
+
+
+class AnalysisEngine:
+    """Run the registered rule set over a file tree."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None,
+                 cache: Optional[AnalysisCache] = None,
+                 baseline: Optional[Baseline] = None) -> None:
+        self.rules: Tuple[Rule, ...] = (tuple(rules) if rules is not None
+                                        else all_rules())
+        self.cache = cache
+        self.baseline = baseline
+
+    # -- discovery -----------------------------------------------------------
+
+    @staticmethod
+    def discover(paths: Iterable[str]) -> List[str]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        files: List[str] = []
+        for path in paths:
+            if os.path.isfile(path):
+                if path.endswith(".py"):
+                    files.append(path)
+            elif os.path.isdir(path):
+                for root, dirs, names in os.walk(path):
+                    dirs[:] = sorted(d for d in dirs
+                                     if d != "__pycache__"
+                                     and not d.endswith(".egg-info"))
+                    for name in sorted(names):
+                        if name.endswith(".py"):
+                            files.append(os.path.join(root, name))
+            else:
+                raise InputError(f"no such file or directory: {path}")
+        return sorted(dict.fromkeys(_normalise(f) for f in files))
+
+    # -- execution -----------------------------------------------------------
+
+    def analyze_paths(self, paths: Iterable[str]) -> AnalysisResult:
+        """Analyze every ``.py`` file under ``paths``."""
+        return self.analyze_files(self.discover(paths))
+
+    def analyze_files(self, files: Sequence[str]) -> AnalysisResult:
+        result = AnalysisResult()
+        raw: List[Finding] = []
+        for rel_path in files:
+            try:
+                with open(rel_path, encoding="utf-8") as stream:
+                    source = stream.read()
+            except OSError as exc:
+                result.errors.append(f"{rel_path}: {exc}")
+                continue
+            result.files_analyzed += 1
+            file_findings = self._analyze_source(rel_path, source, result)
+            if file_findings is None:
+                continue
+            active, suppressed = self._apply_suppressions(
+                source, file_findings)
+            raw.extend(active)
+            result.suppressed.extend(suppressed)
+        if self.baseline is not None:
+            result.findings, result.baselined = self.baseline.partition(raw)
+        else:
+            result.findings = raw
+        result.findings.sort(key=_finding_order)
+        result.baselined.sort(key=_finding_order)
+        result.suppressed.sort(key=_finding_order)
+        return result
+
+    def _analyze_source(self, rel_path: str, source: str,
+                        result: AnalysisResult
+                        ) -> Optional[Tuple[Finding, ...]]:
+        """Raw rule output for one file (cache-aware); None on parse error."""
+        if self.cache is not None:
+            cached = self.cache.get(rel_path, source)
+            if cached is not None:
+                result.cache_hits += 1
+                return cached
+        try:
+            ctx = FileContext.parse(rel_path, source)
+        except InputError as exc:
+            result.errors.append(str(exc))
+            return None
+        findings: List[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule.check(ctx))
+        packed = tuple(sorted(findings, key=_finding_order))
+        if self.cache is not None:
+            self.cache.put(rel_path, source, packed)
+        return packed
+
+    @staticmethod
+    def _apply_suppressions(source: str, findings: Iterable[Finding]
+                            ) -> Tuple[List[Finding], List[Finding]]:
+        table = line_suppressions(source.splitlines())
+        active: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            if table and suppresses(table, finding.line, finding.rule_id):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+        return active, suppressed
+
+
+def _finding_order(finding: Finding) -> Tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.column, finding.rule_id)
+
+
+def _normalise(path: str) -> str:
+    """Repo-relative forward-slash path when possible (baseline stability)."""
+    rel = os.path.relpath(path)
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")

@@ -1,0 +1,107 @@
+"""Finding records produced by the static-analysis rules.
+
+A :class:`Finding` is a structured lint result: rule id, severity,
+location, human message and (optionally) a machine-applicable
+suggestion.  Findings are plain frozen dataclasses so they serialise
+losslessly to JSON (``--format json``, the on-disk result cache and the
+checked-in baseline all share the same encoding) and compare by value,
+which the baseline matcher and the analyzer's own tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from ..errors import InputError
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    Every active (non-suppressed, non-baselined) finding gates the CI
+    job regardless of severity; the distinction is informational.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis result.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable rule identifier, e.g. ``"AVI002"``.
+    severity:
+        :class:`Severity` of the finding.
+    path:
+        File the finding is in, as a forward-slash relative path.
+    line / column:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description of the problem.
+    suggestion:
+        Optional short hint on how to fix it.
+    symbol:
+        Enclosing function/class qualname (used, together with the
+        message, to match baseline entries stably across line-number
+        churn).
+    """
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    suggestion: str = ""
+    symbol: str = ""
+
+    def baseline_key(self) -> Tuple[str, str, str, str]:
+        """Line-number-independent identity used by the baseline file."""
+        return (self.rule_id, self.path, self.symbol, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible encoding (inverse of :meth:`from_dict`)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "symbol": self.symbol,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        try:
+            return cls(
+                rule_id=str(payload["rule_id"]),
+                severity=Severity(payload["severity"]),
+                path=str(payload["path"]),
+                line=int(payload["line"]),
+                column=int(payload["column"]),
+                message=str(payload["message"]),
+                suggestion=str(payload.get("suggestion", "")),
+                symbol=str(payload.get("symbol", "")),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise InputError(f"malformed finding record: {exc}") from exc
+
+    def render(self) -> str:
+        """One-line ``path:line:col: RULE [severity] message`` form."""
+        text = (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule_id} [{self.severity.value}] {self.message}")
+        if self.suggestion:
+            text += f"  ({self.suggestion})"
+        return text

@@ -1,0 +1,100 @@
+"""Rule base class and registry for :mod:`avipack.analysis`.
+
+Every rule is a small stateless object with a stable ``rule_id``, a
+``version`` (bumped whenever its behaviour changes, which invalidates
+cached results for every file) and a ``check`` method yielding
+:class:`~avipack.analysis.findings.Finding` records for one parsed
+file.  Rules self-register at import time via :func:`register`; the
+engine iterates :func:`all_rules` so adding a rule is: write the module,
+import it below, done.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Tuple
+
+from ...errors import InputError
+from ...fingerprint import stable_fingerprint
+from ..context import FileContext
+from ..findings import Finding, Severity
+
+__all__ = ["Rule", "all_rules", "get_rule", "register", "rules_signature"]
+
+
+class Rule:
+    """Base class for one static-analysis rule."""
+
+    #: Stable identifier, e.g. ``"AVI001"``.
+    rule_id: str = ""
+    #: Short human name shown in ``--format json`` metadata.
+    name: str = ""
+    #: Default severity of findings this rule emits.
+    severity: Severity = Severity.ERROR
+    #: Bump to invalidate cached results after a behaviour change.
+    version: int = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str,
+                suggestion: str = "") -> Finding:
+        """Build a finding anchored at ``node`` in ``ctx``."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            suggestion=suggestion,
+            symbol=ctx.symbol(node),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise InputError(f"rule {cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise InputError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, ordered by rule id."""
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id."""
+    try:
+        return _REGISTRY[rule_id.upper()]
+    except KeyError as exc:
+        raise InputError(f"unknown rule id {rule_id!r}") from exc
+
+
+def rules_signature() -> str:
+    """Fingerprint of the active rule set (ids + versions).
+
+    Stored in the result cache; a version bump or a new rule changes the
+    signature, which discards every cached entry at once.
+    """
+    return stable_fingerprint(
+        [(rule.rule_id, rule.version, type(rule).__qualname__)
+         for rule in all_rules()])
+
+
+# Import rule modules for their registration side effect.  Keep this at
+# the bottom so the base class exists when the modules load.
+from . import determinism  # noqa: E402,F401
+from . import error_taxonomy  # noqa: E402,F401
+from . import pickle_safety  # noqa: E402,F401
+from . import solver_mutation  # noqa: E402,F401
+from . import unit_suffix  # noqa: E402,F401

@@ -1,0 +1,116 @@
+"""AVI004 — determinism in solver/sweep/resilience code.
+
+The fault-injection and chaos suites (PR 2) assert *bitwise identical*
+behaviour between serial and parallel runs of the same seeds, and the
+solver cache keys on structural fingerprints.  Both guarantees die the
+moment solver, sweep or resilience code consumes an unseeded source of
+entropy.  Inside ``avipack.thermal``, ``avipack.sweep`` and
+``avipack.resilience`` this rule flags:
+
+* calls on the process-global ``random`` module state
+  (``random.random()``, ``random.choice(...)``, ...) — ``random.Random(seed)``
+  with an explicit seed is the accepted idiom;
+* legacy global-state numpy entropy (``np.random.rand`` etc.) and
+  ``np.random.default_rng()`` *without* a seed argument;
+* wall-clock reads via ``time.time()`` — interval measurement belongs to
+  ``time.perf_counter()``/``time.monotonic()`` (which never feed logic),
+  and anything keyed on absolute time is unreproducible by definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from . import Rule, register
+
+__all__ = ["AVI004Determinism"]
+
+#: avipack sub-packages the rule applies to.
+_SCOPED_SUBPACKAGES = ("thermal", "sweep", "resilience")
+
+#: Legacy numpy global-state entropy functions.
+_NP_LEGACY = frozenset(
+    {"rand", "randn", "randint", "random", "random_sample", "ranf",
+     "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+     "exponential", "poisson", "beta", "gamma", "standard_normal",
+     "seed", "bytes"})
+
+
+def _dotted(node: ast.expr) -> Tuple[str, ...]:
+    """Flatten ``a.b.c`` into ``("a", "b", "c")`` (empty if not a path)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    if call.args and not (len(call.args) == 1
+                          and isinstance(call.args[0], ast.Constant)
+                          and call.args[0].value is None):
+        return True
+    return any(kw.arg in ("seed", "x") for kw in call.keywords)
+
+
+@register
+class AVI004Determinism(Rule):
+    """Flag unseeded entropy and wall-clock reads in deterministic code."""
+
+    rule_id = "AVI004"
+    name = "determinism"
+    severity = Severity.ERROR
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_subpackage(*_SCOPED_SUBPACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext,
+                    call: ast.Call) -> Iterator[Finding]:
+        path = _dotted(call.func)
+        message = self._classify(path, call)
+        if message is not None:
+            reason, suggestion = message
+            yield self.finding(ctx, call, reason, suggestion=suggestion)
+
+    def _classify(self, path: Tuple[str, ...],
+                  call: ast.Call) -> Optional[Tuple[str, str]]:
+        if path == ("time", "time"):
+            return ("time.time() in deterministic solver/sweep code: "
+                    "absolute wall-clock state is unreproducible",
+                    "use time.perf_counter()/time.monotonic() for "
+                    "intervals, or pass timestamps in explicitly")
+        if len(path) == 2 and path[0] == "random":
+            if path[1] == "Random":
+                if _has_seed_argument(call):
+                    return None
+                return ("random.Random() without an explicit seed in "
+                        "deterministic solver/sweep code",
+                        "pass a seed: random.Random(seed)")
+            if path[1] in ("SystemRandom", "getstate", "setstate"):
+                return None
+            return (f"process-global random.{path[1]}() in deterministic "
+                    f"solver/sweep code breaks seed reproducibility",
+                    "use a seeded random.Random(seed) instance")
+        if path[-2:] == ("random", "default_rng") and len(path) >= 3:
+            if _has_seed_argument(call):
+                return None
+            return ("np.random.default_rng() without an explicit seed in "
+                    "deterministic solver/sweep code",
+                    "pass a seed: np.random.default_rng(seed)")
+        if (len(path) >= 3 and path[-2] == "random"
+                and path[-1] in _NP_LEGACY):
+            return (f"legacy global-state np.random.{path[-1]}() in "
+                    f"deterministic solver/sweep code",
+                    "use a seeded np.random.default_rng(seed) Generator")
+        return None

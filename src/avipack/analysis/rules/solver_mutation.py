@@ -1,0 +1,98 @@
+"""AVI005 — solver-mutation safety.
+
+The compiled solver core (PR 3) lowers a :class:`ThermalNetwork` to
+index arrays and a reusable factorization on the first ``solve()``;
+topology mutations (``add_node``/``add_conductance``/``add_heat_load``/
+``add_resistance``) invalidate that compilation.  Code that mutates a
+network *after* solving it therefore works — but only because of the
+invalidation hook, pays a silent recompilation on every iteration, and
+breaks outright if the mutation ever bypasses the public mutators.
+
+This rule flags, within a single function body, any topology mutation
+on a receiver that was already solved earlier in that body (same
+receiver name, mutation site after the first ``solve``/``solve_transient``
+call).  Intentional mutate-and-resolve loops should restructure to
+mutate *before* solving, use time-dependent loads on the transient
+solver, or carry an explicit ``# avilint: disable=AVI005``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from . import Rule, register
+
+__all__ = ["AVI005SolverMutation"]
+
+#: Method names that trigger (or imply) compilation.
+_SOLVE_METHODS = frozenset({"solve", "solve_transient"})
+
+#: ThermalNetwork topology mutators.
+_MUTATORS = frozenset(
+    {"add_node", "add_conductance", "add_heat_load", "add_resistance"})
+
+
+def _method_call(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``receiver.method(...)`` -> (receiver name, method name)."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id, func.attr
+    if isinstance(value, ast.Attribute):  # self.network.solve(...)
+        return value.attr, func.attr
+    return None
+
+
+@register
+class AVI005SolverMutation(Rule):
+    """Flag ThermalNetwork topology mutations after a solve call."""
+
+    rule_id = "AVI005"
+    name = "solver-mutation-safety"
+    severity = Severity.ERROR
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx: FileContext, func) -> Iterator[Finding]:
+        calls = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                if self._owning_function(ctx, node) is not func:
+                    continue  # nested defs get their own pass
+                target = _method_call(node)
+                if target is not None:
+                    calls.append((node.lineno, node.col_offset, node,
+                                  *target))
+        calls.sort(key=lambda item: (item[0], item[1]))
+
+        first_solve: Dict[str, int] = {}
+        for lineno, _col, node, receiver, method in calls:
+            if method in _SOLVE_METHODS:
+                first_solve.setdefault(receiver, lineno)
+            elif (method in _MUTATORS and receiver in first_solve
+                    and lineno > first_solve[receiver]):
+                yield self.finding(
+                    ctx, node,
+                    f"'{receiver}.{method}(...)' mutates network topology "
+                    f"after '{receiver}.solve(...)' on line "
+                    f"{first_solve[receiver]}; this silently relies on "
+                    f"compilation invalidation and recompiles the network",
+                    suggestion="restructure to finish building the network "
+                               "before solving, or suppress if the "
+                               "mutate-resolve loop is intentional")
+
+    @staticmethod
+    def _owning_function(ctx: FileContext, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None

@@ -1,0 +1,245 @@
+"""AVI001 — unit-suffix consistency.
+
+The library's convention (DESIGN.md section 6) is that every identifier
+carrying a physical quantity names its unit as a suffix: ``power_w``,
+``temp_k``, ``resistance_k_w``, ``freq_hz``.  Two failure modes are
+checked:
+
+1. **Spelled-out suffix aliases** — ``temp_celsius``, ``power_watts``,
+   ``freq_hertz`` — are flagged on public function parameters and class
+   attributes, with the canonical suffix suggested.
+2. **Docstring contradictions** — a parameter named ``..._k`` whose
+   docstring block documents degrees Celsius (or ``..._c`` documenting
+   kelvin, ``..._m`` documenting millimetres, etc.) is flagged: either
+   the name or the documentation is lying, and the solver will happily
+   consume the wrong magnitude.
+
+The canonical suffix vocabulary is *derived* from
+:mod:`avipack.units`: every ``<a>_to_<b>`` converter contributes its
+unit tokens, so adding a converter (say ``bar_to_pa``) automatically
+teaches the rule the corresponding suffixes.  A small core table covers
+SI units that need no conversion helper.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ... import units as units_module
+from ..context import FileContext
+from ..findings import Finding, Severity
+from . import Rule, register
+
+__all__ = ["AVI001UnitSuffix", "canonical_suffixes"]
+
+# Core SI suffixes used throughout the package (no converter needed).
+_CORE_SUFFIXES = (
+    "_w", "_k", "_c", "_m", "_s", "_h", "_hz", "_pa", "_kg", "_g", "_n",
+    "_j", "_v", "_a", "_m2", "_m3", "_mm", "_um", "_w_m2", "_w_cm2",
+    "_w_mk", "_k_w", "_c_w", "_kmm2_w", "_m_s", "_m_s2", "_kg_s",
+    "_kg_m3", "_kg_h", "_j_kgk", "_j_kg", "_pa_s", "_g2_hz", "_grms",
+    "_mpa", "_gpa", "_ppm_k", "_per_k", "_cycles", "_db", "_db_oct",
+)
+
+# Unit token (as it appears in an avipack.units converter name) to the
+# canonical identifier suffix it implies.
+_TOKEN_TO_SUFFIX = {
+    "kelvin": "_k",
+    "celsius": "_c",
+    "hz": "_hz",
+    "rpm": "_rpm",
+    "m": "_m",
+    "mil": "_mil",
+    "inch": "_in",
+    "g": "_g",
+    "m_s2": "_m_s2",
+    "kg_per_s": "_kg_s",
+    "seconds": "_s",
+    "hours": "_h",
+    "w_per_cm2": "_w_cm2",
+    "kmm2_per_w": "_kmm2_w",
+}
+
+# Spelled-out aliases that should be the canonical suffix instead.
+_ALIASES = {
+    "_celsius": "_c",
+    "_degc": "_c",
+    "_deg_c": "_c",
+    "_kelvin": "_k",
+    "_watt": "_w",
+    "_watts": "_w",
+    "_hertz": "_hz",
+    "_pascal": "_pa",
+    "_pascals": "_pa",
+    "_meter": "_m",
+    "_meters": "_m",
+    "_metre": "_m",
+    "_metres": "_m",
+    "_kilogram": "_kg",
+    "_kilograms": "_kg",
+    "_second": "_s",
+    "_secs": "_s",
+    "_hrs": "_h",
+}
+
+# Suffix -> regex patterns whose presence in the parameter's doc block
+# contradicts the suffix.  Case-sensitive patterns guard unit symbols
+# (mm vs m, kW vs W); IGNORECASE ones guard spelled-out unit words.
+_CONTRADICTIONS: Dict[str, Tuple[Tuple[str, int], ...]] = {
+    "_k": ((r"°\s*C", 0), (r"\bdeg\s*C\b", 0), (r"\bcelsius\b", re.I)),
+    "_c": ((r"\bkelvin\b", re.I), (r"\[K\]", 0)),
+    "_w": ((r"\bkW\b", 0), (r"\bmW\b", 0)),
+    "_m": ((r"\bmm\b", 0), (r"\bcm\b", 0), (r"\bmils?\b", re.I),
+           (r"\binch(?:es)?\b", re.I)),
+    "_hz": ((r"\brpm\b", re.I),),
+    "_pa": ((r"\bkPa\b", 0), (r"\bMPa\b", 0), (r"\bbar\b", re.I),
+            (r"\bpsi\b", re.I)),
+    "_s": ((r"\bhours?\b", re.I), (r"\bminutes?\b", re.I)),
+    "_h": ((r"\bseconds?\b", re.I),),
+    "_kg": ((r"\bgrams?\b", re.I), (r"\blbs?\b", re.I)),
+}
+
+
+@lru_cache(maxsize=1)
+def canonical_suffixes() -> FrozenSet[str]:
+    """Canonical unit-suffix vocabulary, derived from avipack.units."""
+    suffixes = set(_CORE_SUFFIXES)
+    for name in dir(units_module):
+        if "_to_" not in name or name.startswith("_"):
+            continue
+        for token in name.split("_to_"):
+            suffix = _TOKEN_TO_SUFFIX.get(token)
+            if suffix is not None:
+                suffixes.add(suffix)
+    return frozenset(suffixes)
+
+
+def _suffix_of(name: str) -> Optional[str]:
+    """Longest canonical suffix that ``name`` carries, if any."""
+    best = None
+    for suffix in canonical_suffixes():
+        if name.endswith(suffix) and len(name) > len(suffix):
+            if best is None or len(suffix) > len(best):
+                best = suffix
+    return best
+
+
+def _doc_block(doc: str, name: str) -> str:
+    """The docstring lines documenting parameter/attribute ``name``.
+
+    Matches numpydoc-style blocks: a line whose stripped text is the
+    name (optionally followed by ``:`` and a type) plus every following
+    line indented deeper than it.
+    """
+    lines = doc.splitlines()
+    for index, raw in enumerate(lines):
+        stripped = raw.strip()
+        if not (stripped == name or stripped.startswith(name + ":")
+                or stripped.startswith(name + " :")):
+            continue
+        indent = len(raw) - len(raw.lstrip())
+        block: List[str] = [raw]
+        for follow in lines[index + 1:]:
+            if follow.strip() and len(follow) - len(follow.lstrip()) <= indent:
+                break
+            block.append(follow)
+        return "\n".join(block)
+    return ""
+
+
+def _contradiction(suffix: str, block: str) -> Optional[str]:
+    """First contradictory unit token found in ``block``, if any."""
+    for pattern, flags in _CONTRADICTIONS.get(suffix, ()):
+        match = re.search(pattern, block, flags)
+        if match is not None:
+            return match.group(0)
+    return None
+
+
+def _named_args(node: ast.arguments) -> Iterator[ast.arg]:
+    for arg in (*node.posonlyargs, *node.args, *node.kwonlyargs):
+        if arg.arg not in ("self", "cls"):
+            yield arg
+
+
+@register
+class AVI001UnitSuffix(Rule):
+    """Flag spelled-out unit suffixes and docstring/unit contradictions."""
+
+    rule_id = "AVI001"
+    name = "unit-suffix-consistency"
+    severity = Severity.WARNING
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    # -- functions -----------------------------------------------------------
+
+    def _check_function(self, ctx: FileContext, node) -> Iterator[Finding]:
+        public = not node.name.startswith("_")
+        doc = ast.get_docstring(node, clean=True) or ""
+        for arg in _named_args(node.args):
+            alias = self._alias_of(arg.arg)
+            if public and alias is not None:
+                yield self.finding(
+                    ctx, arg,
+                    f"parameter '{arg.arg}' spells out its unit; the "
+                    f"repo convention is the '{_ALIASES[alias]}' suffix",
+                    suggestion=f"rename to "
+                               f"'{arg.arg[:-len(alias)]}{_ALIASES[alias]}'")
+                continue
+            suffix = _suffix_of(arg.arg)
+            if suffix is None or not doc:
+                continue
+            token = _contradiction(suffix, _doc_block(doc, arg.arg))
+            if token is not None:
+                yield self.finding(
+                    ctx, arg,
+                    f"parameter '{arg.arg}' carries the '{suffix}' unit "
+                    f"suffix but its docstring says '{token}'",
+                    suggestion="make the name and the documented unit agree")
+
+    # -- class attributes ----------------------------------------------------
+
+    def _check_class(self, ctx: FileContext, node: ast.ClassDef
+                     ) -> Iterator[Finding]:
+        doc = ast.get_docstring(node, clean=True) or ""
+        for stmt in node.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            attr = stmt.target.id
+            alias = self._alias_of(attr)
+            if alias is not None and not attr.startswith("_"):
+                yield self.finding(
+                    ctx, stmt,
+                    f"attribute '{attr}' spells out its unit; the repo "
+                    f"convention is the '{_ALIASES[alias]}' suffix",
+                    suggestion=f"rename to "
+                               f"'{attr[:-len(alias)]}{_ALIASES[alias]}'")
+                continue
+            suffix = _suffix_of(attr)
+            if suffix is None or not doc:
+                continue
+            token = _contradiction(suffix, _doc_block(doc, attr))
+            if token is not None:
+                yield self.finding(
+                    ctx, stmt,
+                    f"attribute '{attr}' carries the '{suffix}' unit "
+                    f"suffix but the class docstring says '{token}'",
+                    suggestion="make the name and the documented unit agree")
+
+    @staticmethod
+    def _alias_of(name: str) -> Optional[str]:
+        for alias in _ALIASES:
+            if name.endswith(alias) and len(name) > len(alias):
+                return alias
+        return None

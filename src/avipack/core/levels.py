@@ -294,7 +294,7 @@ def run_pyramid(rack: Rack,
             "levels.level2", lambda: run_level2(rack, cache=cache),
             retry_on=(ConvergenceError,))
     level3: Dict[str, Level3Result] = {}
-    for module, slot in zip(rack.modules, level2.slots):
+    for module, slot in zip(rack.modules, level2.slots, strict=True):
         if module.pcb is None or not module.pcb.components:
             continue
         boundary = 0.5 * (slot.inlet_temperature

@@ -16,7 +16,7 @@ preserves).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 
 class AvipackError(Exception):
@@ -54,7 +54,7 @@ class ConvergenceError(AvipackError, RuntimeError):
         self.residual = residual
         self.last_iterate = last_iterate
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         return (self.__class__, (self.args[0] if self.args else "",
                                  self.iterations, self.residual,
                                  self.last_iterate))
@@ -83,7 +83,7 @@ class OperatingLimitError(AvipackError, RuntimeError):
         self.limit_name = limit_name
         self.limit_value = limit_value
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         return (self.__class__, (self.args[0] if self.args else "",
                                  self.limit_name, self.limit_value))
 
@@ -95,11 +95,12 @@ class SpecificationError(AvipackError):
     reports can enumerate failures.
     """
 
-    def __init__(self, message: str, violations: tuple = ()) -> None:
+    def __init__(self, message: str,
+                 violations: Iterable[object] = ()) -> None:
         super().__init__(message)
         self.violations = tuple(violations)
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         return (self.__class__, (self.args[0] if self.args else "",
                                  self.violations))
 

@@ -125,7 +125,8 @@ def three_band_damage_rate(rms_deflection: float,
     if rms_deflection == 0.0:
         return 0.0
     damage_rate = 0.0
-    for sigma_level, fraction in zip((1.0, 2.0, 3.0), BAND_FRACTIONS):
+    for sigma_level, fraction in zip((1.0, 2.0, 3.0), BAND_FRACTIONS,
+                                     strict=True):
         amplitude = sigma_level * rms_deflection
         # Life at this amplitude via the S-N power law anchored at the
         # allowable 3-sigma deflection.

@@ -41,7 +41,7 @@ class PowerSpectralDensity:
         freqs = [f for f, _ in self.points]
         if any(f <= 0.0 for f in freqs):
             raise InputError("frequencies must be positive")
-        if any(f2 <= f1 for f1, f2 in zip(freqs, freqs[1:])):
+        if any(f2 <= f1 for f1, f2 in zip(freqs, freqs[1:], strict=False)):
             raise InputError("frequencies must be strictly increasing")
         if any(level <= 0.0 for _, level in self.points):
             raise InputError("PSD levels must be positive")
@@ -62,7 +62,8 @@ class PowerSpectralDensity:
             raise InputError("frequency must be positive")
         if frequency < self.f_min or frequency > self.f_max:
             return 0.0
-        for (f1, l1), (f2, l2) in zip(self.points, self.points[1:]):
+        for (f1, l1), (f2, l2) in zip(self.points, self.points[1:],
+                                      strict=False):
             if f1 <= frequency <= f2:
                 slope = math.log(l2 / l1) / math.log(f2 / f1)
                 return l1 * (frequency / f1) ** slope
@@ -82,7 +83,8 @@ class PowerSpectralDensity:
         (with the m = −1 special case handled).
         """
         total = 0.0
-        for (f1, l1), (f2, l2) in zip(self.points, self.points[1:]):
+        for (f1, l1), (f2, l2) in zip(self.points, self.points[1:],
+                                      strict=False):
             m = math.log(l2 / l1) / math.log(f2 / f1)
             if abs(m + 1.0) < 1e-12:
                 total += l1 * f1 * math.log(f2 / f1)

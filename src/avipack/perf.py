@@ -37,7 +37,9 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from .errors import InputError
 
 __all__ = [
     "SolveStats",
@@ -97,7 +99,7 @@ class SolveStats:
     def merged(self, other: "SolveStats") -> "SolveStats":
         """Counter-wise sum with another record of the same kernel."""
         if other.kernel != self.kernel:
-            raise ValueError(
+            raise InputError(
                 f"cannot merge {self.kernel!r} with {other.kernel!r}")
         return SolveStats(
             kernel=self.kernel,
@@ -113,7 +115,7 @@ class SolveStats:
     def minus(self, earlier: "SolveStats") -> "SolveStats":
         """Counter-wise difference (``self`` after, ``earlier`` before)."""
         if earlier.kernel != self.kernel:
-            raise ValueError(
+            raise InputError(
                 f"cannot diff {self.kernel!r} with {earlier.kernel!r}")
         return SolveStats(
             kernel=self.kernel,
@@ -216,7 +218,7 @@ def aggregate(groups: Iterable[Iterable[SolveStats]]
 
 
 @contextmanager
-def timed(kernel: str):
+def timed(kernel: str) -> Iterator[None]:
     """Context manager adding the block's wall time to ``kernel``."""
     start = time.perf_counter()
     try:

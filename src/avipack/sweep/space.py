@@ -229,7 +229,7 @@ class DesignSpace:
         """
         names = list(self.axes)
         for combo in itertools.product(*(self.axes[n] for n in names)):
-            yield replace(self.base, **dict(zip(names, combo)))
+            yield replace(self.base, **dict(zip(names, combo, strict=True)))
 
     def sample(self, n: int, seed: int = 0) -> List[Candidate]:
         """A seeded uniform sub-sample of the grid, without replacement.

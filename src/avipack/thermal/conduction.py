@@ -93,7 +93,8 @@ class CartesianGrid:
             raise InputError("material defaults must be positive")
         self.shape = tuple(int(n) for n in shape)
         self.size = tuple(float(s) for s in size)
-        self.spacing = tuple(s / n for s, n in zip(self.size, self.shape))
+        self.spacing = tuple(
+            s / n for s, n in zip(self.size, self.shape, strict=True))
         full = self.shape
         self.kx = np.full(full, float(conductivity))
         self.ky = np.full(full, float(conductivity))

@@ -96,7 +96,7 @@ class BoxEnclosure:
             weights = np.array([self.face_area(BOX_FACES[j])
                                 for j in others])
             weights = weights / weights.sum()
-            for j, weight in zip(others, weights):
+            for j, weight in zip(others, weights, strict=True):
                 f[i, j] = remainder * weight
         # Enforce reciprocity AND row closure simultaneously with a
         # Sinkhorn-style iteration on the exchange matrix A_i F_ij:
@@ -133,7 +133,8 @@ class BoxEnclosure:
         temps = [temperatures[face] for face in BOX_FACES]
         flows = solve_radiosity(areas, eps, self.view_factor_matrix(),
                                 temps)
-        return {face: float(q) for face, q in zip(BOX_FACES, flows)}
+        return {face: float(q)
+                for face, q in zip(BOX_FACES, flows, strict=True)}
 
     def pair_conductance(self, face_a: str, face_b: str,
                          t_a: float, t_b: float) -> float:

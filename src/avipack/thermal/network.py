@@ -259,7 +259,7 @@ class _CompiledNetwork:
         """
         g = np.array([float(fn(a, b)) for fn, a, b
                       in zip(self.callables, temps[self.var_ia].tolist(),
-                             temps[self.var_ib].tolist())])
+                             temps[self.var_ib].tolist(), strict=True)])
         if strict and g.size and g.min() < 0.0:
             k = int(np.argmax(g < 0.0))
             node_a, node_b = self.callable_ends[k]
@@ -343,7 +343,7 @@ class _CompiledNetwork:
     def heat_flows(self, temps: np.ndarray) -> Dict[str, float]:
         """Per-link heat flows [W], keyed like the historical solver."""
         q = self.link_conductances(temps) * (temps[self.ia] - temps[self.ib])
-        return dict(zip(self.flow_keys, map(float, q)))
+        return dict(zip(self.flow_keys, map(float, q), strict=True))
 
     def residual(self, temps: np.ndarray) -> float:
         """Max energy-balance residual over free nodes [W]."""
@@ -366,7 +366,7 @@ class _CompiledNetwork:
                          ) -> Tuple[Dict[str, float], float]:
         """Heat flows and residual from one conductance evaluation."""
         q = self.link_conductances(temps) * (temps[self.ia] - temps[self.ib])
-        flows = dict(zip(self.flow_keys, map(float, q)))
+        flows = dict(zip(self.flow_keys, map(float, q), strict=True))
         return flows, self._residual_of(q)
 
 

@@ -1,0 +1,307 @@
+"""Engine, cache, baseline, JSON schema and CLI tests for avipack.analysis."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from avipack.analysis import (
+    AnalysisCache,
+    AnalysisEngine,
+    AnalysisResult,
+    Baseline,
+    Finding,
+    Severity,
+    all_rules,
+    rules_signature,
+)
+from avipack.analysis.cli import main
+from avipack.errors import InputError
+
+VIOLATION = (
+    "def f(x):\n"
+    "    raise ValueError('bad')\n"
+)
+CLEAN = (
+    "from avipack.errors import InputError\n"
+    "\n"
+    "def f(x):\n"
+    "    raise InputError('bad')\n"
+)
+
+
+def make_pkg(tmp_path, name_to_source):
+    """Lay out sources under <tmp>/src/avipack/ and return the src dir."""
+    pkg = tmp_path / "src" / "avipack"
+    pkg.mkdir(parents=True)
+    for name, source in name_to_source.items():
+        (pkg / name).write_text(source)
+    return tmp_path / "src"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_all_five_rules_registered():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == ["AVI001", "AVI002", "AVI003", "AVI004", "AVI005"]
+
+
+def test_rules_signature_stable():
+    assert rules_signature() == rules_signature()
+
+
+# ---------------------------------------------------------------------------
+# Engine + cache
+# ---------------------------------------------------------------------------
+
+def test_engine_finds_violation(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION, "good.py": CLEAN})
+    monkeypatch.chdir(tmp_path)
+    result = AnalysisEngine().analyze_paths([str(src)])
+    assert result.files_analyzed == 2
+    assert [f.rule_id for f in result.findings] == ["AVI002"]
+    assert result.findings[0].path == "src/avipack/bad.py"
+    assert not result.clean
+
+
+def test_cache_hit_on_unchanged_file(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION, "good.py": CLEAN})
+    monkeypatch.chdir(tmp_path)
+    cache = AnalysisCache(rules_signature())
+    engine = AnalysisEngine(cache=cache)
+
+    first = engine.analyze_paths([str(src)])
+    assert first.cache_hits == 0
+    assert cache.hits == 0 and cache.misses == 2
+
+    second = engine.analyze_paths([str(src)])
+    assert second.cache_hits == 2
+    # Cached raw findings survive intact (same active set).
+    assert [f.to_dict() for f in second.findings] \
+        == [f.to_dict() for f in first.findings]
+
+    # Touching one file invalidates exactly that entry.
+    (src / "avipack" / "bad.py").write_text(CLEAN)
+    third = engine.analyze_paths([str(src)])
+    assert third.cache_hits == 1
+    assert third.findings == []
+
+
+def test_cache_round_trips_through_disk(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION})
+    monkeypatch.chdir(tmp_path)
+    cache_file = tmp_path / "cache.json"
+
+    cache = AnalysisCache(rules_signature())
+    engine = AnalysisEngine(cache=cache)
+    first = engine.analyze_paths([str(src)])
+    cache.save(str(cache_file))
+
+    reloaded = AnalysisCache.load(str(cache_file), rules_signature())
+    assert len(reloaded) == 1
+    engine = AnalysisEngine(cache=reloaded)
+    second = engine.analyze_paths([str(src)])
+    assert second.cache_hits == 1
+    assert [f.to_dict() for f in second.findings] \
+        == [f.to_dict() for f in first.findings]
+
+
+def test_cache_discarded_on_rules_signature_change(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION})
+    monkeypatch.chdir(tmp_path)
+    cache_file = tmp_path / "cache.json"
+
+    cache = AnalysisCache(rules_signature())
+    AnalysisEngine(cache=cache).analyze_paths([str(src)])
+    cache.save(str(cache_file))
+
+    stale = AnalysisCache.load(str(cache_file), "different-signature")
+    assert len(stale) == 0
+
+
+def test_damaged_cache_file_starts_cold(tmp_path):
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{ not json !")
+    cache = AnalysisCache.load(str(cache_file), rules_signature())
+    assert len(cache) == 0
+
+
+def test_parse_error_reported_and_gates(tmp_path, monkeypatch):
+    make_pkg(tmp_path, {"broken.py": "def f(:\n"})
+    monkeypatch.chdir(tmp_path)
+    result = AnalysisEngine().analyze_paths([str(tmp_path / "src")])
+    assert result.errors and "broken.py" in result.errors[0]
+    assert not result.clean
+
+
+def test_discover_skips_pycache_and_non_python(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {"good.py": CLEAN})
+    cache_dir = src / "avipack" / "__pycache__"
+    cache_dir.mkdir()
+    (cache_dir / "good.cpython-311.py").write_text(VIOLATION)
+    (src / "avipack" / "notes.txt").write_text("not python")
+    monkeypatch.chdir(tmp_path)
+    files = AnalysisEngine.discover([str(src)])
+    assert files == ["src/avipack/good.py"]
+
+
+def test_discover_missing_path_raises():
+    with pytest.raises(InputError):
+        AnalysisEngine.discover(["no/such/path"])
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def make_finding(**overrides):
+    base = dict(rule_id="AVI002", severity=Severity.ERROR,
+                path="src/avipack/bad.py", line=2, column=4,
+                message="bare builtin raise", suggestion="", symbol="f")
+    base.update(overrides)
+    return Finding(**base)
+
+
+def test_baseline_multiset_semantics():
+    one = make_finding()
+    twin = make_finding(line=9)  # same key: line numbers are ignored
+    baseline = Baseline((one,))
+    active, baselined = baseline.partition([one, twin])
+    assert baselined == [one]
+    assert active == [twin]
+
+
+def test_baseline_round_trips_through_disk(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    Baseline((make_finding(),)).save(str(baseline_file))
+    reloaded = Baseline.load(str(baseline_file))
+    assert len(reloaded) == 1
+    active, baselined = reloaded.partition([make_finding(line=30)])
+    assert active == [] and len(baselined) == 1
+
+
+def test_baseline_damage_is_an_error(tmp_path):
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text('{"version": 99}')
+    with pytest.raises(InputError):
+        Baseline.load(str(baseline_file))
+    with pytest.raises(InputError):
+        Baseline.load(str(tmp_path / "missing.json"))
+
+
+# ---------------------------------------------------------------------------
+# JSON schema round-trip
+# ---------------------------------------------------------------------------
+
+def test_result_payload_round_trip(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION})
+    monkeypatch.chdir(tmp_path)
+    result = AnalysisEngine().analyze_paths([str(src)])
+
+    payload = json.loads(json.dumps(result.to_payload()))
+    assert set(payload) == {"version", "rules_signature", "files_analyzed",
+                            "cache_hits", "clean", "errors", "findings",
+                            "baselined", "suppressed"}
+    for record in payload["findings"]:
+        assert set(record) == {"rule_id", "severity", "path", "line",
+                               "column", "message", "suggestion", "symbol"}
+
+    rebuilt = AnalysisResult.from_payload(payload)
+    assert [f.to_dict() for f in rebuilt.findings] \
+        == [f.to_dict() for f in result.findings]
+    assert rebuilt.files_analyzed == result.files_analyzed
+    assert rebuilt.clean == result.clean
+
+
+def test_finding_round_trip_preserves_severity():
+    finding = make_finding(severity=Severity.WARNING)
+    assert Finding.from_dict(finding.to_dict()) == finding
+
+
+def test_malformed_payloads_raise():
+    with pytest.raises(InputError):
+        Finding.from_dict({"rule_id": "AVI001"})
+    with pytest.raises(InputError):
+        AnalysisResult.from_payload({"version": 99})
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_exits_nonzero_on_violation(tmp_path, monkeypatch, capsys):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION})
+    monkeypatch.chdir(tmp_path)
+    code = main(["--no-cache", str(src)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "AVI002" in out
+
+
+def test_cli_exits_zero_on_clean_tree(tmp_path, monkeypatch, capsys):
+    src = make_pkg(tmp_path, {"good.py": CLEAN})
+    monkeypatch.chdir(tmp_path)
+    code = main(["--no-cache", str(src)])
+    assert code == 0
+    assert "0 active" in capsys.readouterr().out
+
+
+def test_cli_json_output_parses(tmp_path, monkeypatch, capsys):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION})
+    monkeypatch.chdir(tmp_path)
+    code = main(["--no-cache", "--format", "json", str(src)])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["clean"] is False
+    assert payload["findings"][0]["rule_id"] == "AVI002"
+
+
+def test_cli_write_baseline_then_gate_passes(tmp_path, monkeypatch, capsys):
+    src = make_pkg(tmp_path, {"bad.py": VIOLATION})
+    monkeypatch.chdir(tmp_path)
+    baseline = tmp_path / "baseline.json"
+
+    assert main(["--no-cache", "--write-baseline",
+                 "--baseline", str(baseline), str(src)]) == 0
+    capsys.readouterr()
+
+    # Grandfathered finding no longer gates...
+    assert main(["--no-cache", "--baseline", str(baseline), str(src)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # ...but a new violation in another symbol still does.
+    (src / "avipack" / "bad.py").write_text(
+        VIOLATION + "\ndef g(x):\n    raise ValueError('new')\n")
+    assert main(["--no-cache", "--baseline", str(baseline), str(src)]) == 1
+
+
+def test_cli_cache_file_round_trip(tmp_path, monkeypatch, capsys):
+    src = make_pkg(tmp_path, {"good.py": CLEAN})
+    monkeypatch.chdir(tmp_path)
+    cache_file = tmp_path / "lint-cache.json"
+
+    assert main(["--cache", str(cache_file), str(src)]) == 0
+    assert cache_file.exists()
+    capsys.readouterr()
+    assert main(["--cache", str(cache_file), str(src)]) == 0
+    assert "(1 cached)" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("AVI001", "AVI002", "AVI003", "AVI004", "AVI005"):
+        assert rule_id in out
+
+
+def test_cli_damaged_baseline_is_usage_error(tmp_path, monkeypatch, capsys):
+    src = make_pkg(tmp_path, {"good.py": CLEAN})
+    monkeypatch.chdir(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{ damaged")
+    code = main(["--no-cache", "--baseline", str(baseline), str(src)])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,51 @@
+"""Self-check: the analyzer over the repo's own ``src/`` must be clean.
+
+This is the same gate CI runs (``python -m avipack.analysis src``): zero
+non-baselined findings against the checked-in ``analysis-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from avipack.analysis import AnalysisEngine, Baseline
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "avipack"
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def result(monkeypatch_module):
+    monkeypatch_module.chdir(REPO_ROOT)
+    baseline = Baseline.load(str(BASELINE))
+    engine = AnalysisEngine(baseline=baseline)
+    return engine.analyze_paths([str(SRC)])
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    from _pytest.monkeypatch import MonkeyPatch
+
+    patcher = MonkeyPatch()
+    yield patcher
+    patcher.undo()
+
+
+def test_src_has_zero_non_baselined_findings(result):
+    rendered = "\n".join(finding.render() for finding in result.findings)
+    assert result.findings == [], f"active findings in src:\n{rendered}"
+    assert result.errors == []
+    assert result.clean
+
+
+def test_src_analysis_covers_the_package(result):
+    # Guard against the gate silently analyzing nothing.
+    assert result.files_analyzed >= 50
+
+
+def test_checked_in_baseline_stays_small(result):
+    # Satellite requirement: keep the grandfathered debt under 10 entries.
+    assert len(Baseline.load(str(BASELINE))) < 10
