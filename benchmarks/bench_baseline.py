@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import statistics
 import sys
@@ -149,7 +150,9 @@ def run_benches(rounds=25):
 
 def write_baseline(path, rounds):
     document = run_benches(rounds)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
     print(f"wrote {path} ({len(document['benches'])} benches)")
     return 0
 

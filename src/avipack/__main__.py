@@ -7,10 +7,13 @@ Usage::
     python -m avipack claims     # just the SIV.A claims
     python -m avipack nanopack   # the NANOPACK TIM results
     python -m avipack qual       # the virtual qualification campaign
+    python -m avipack sweep --journal sweep.jsonl        # durable sweep
+    python -m avipack sweep --journal sweep.jsonl --resume  # continue it
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 
@@ -73,11 +76,60 @@ def _print_qualification() -> None:
     print(render_qualification_report(report))
 
 
+def _run_sweep(argv) -> int:
+    """``python -m avipack sweep`` — a durable design-space campaign."""
+    from .sweep import DesignSpace, SweepRunner, render_sweep_document
+
+    parser = argparse.ArgumentParser(
+        prog="python -m avipack sweep",
+        description="Run (or resume) a journalled standard-tradeoff "
+                    "design-space sweep.")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="write-ahead journal path (enables "
+                             "crash-safe resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume the campaign recorded in --journal "
+                             "instead of starting fresh")
+    parser.add_argument("--sample", type=int, metavar="N", default=None,
+                        help="evaluate a seeded N-candidate sub-sample "
+                             "of the grid instead of the full space")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sample seed (default 0)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent on-disk solver cache shared "
+                             "across (resumed) runs")
+    parser.add_argument("--serial", action="store_true",
+                        help="force the serial execution path")
+    parser.add_argument("--top", type=int, default=10,
+                        help="ranked-table length (default 10)")
+    args = parser.parse_args(argv)
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
+
+    space = DesignSpace.standard_tradeoff()
+    candidates = (space.sample(args.sample, seed=args.seed)
+                  if args.sample is not None else space)
+    runner = SweepRunner(parallel=not args.serial,
+                         cache_dir=args.cache_dir)
+    if args.resume:
+        report = runner.resume(args.journal)
+    else:
+        report = runner.run(candidates, journal_path=args.journal)
+    print(render_sweep_document(report, top=args.top))
+    return 0 if report.n_compliant else 1
+
+
+#: Zero-argument report commands (legacy dispatch).
 _COMMANDS = {
     "fig10": _print_fig10,
     "claims": _print_claims,
     "nanopack": _print_nanopack,
     "qual": _print_qualification,
+}
+
+#: Commands that parse their own argument vector.
+_ARG_COMMANDS = {
+    "sweep": _run_sweep,
 }
 
 
@@ -93,9 +145,12 @@ def main(argv=None) -> int:
     if command in ("-h", "--help"):
         print(__doc__)
         return 0
+    if command in _ARG_COMMANDS:
+        return _ARG_COMMANDS[command](argv[1:])
     if command not in _COMMANDS:
         print(f"unknown command {command!r}; choose from "
-              f"{', '.join(sorted(_COMMANDS))}", file=sys.stderr)
+              f"{', '.join(sorted(_COMMANDS) + sorted(_ARG_COMMANDS))}",
+              file=sys.stderr)
         return 2
     _COMMANDS[command]()
     return 0

@@ -68,9 +68,11 @@ class Baseline:
         }
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as stream:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as stream:
             json.dump(self.to_payload(), stream, indent=1, sort_keys=True)
             stream.write("\n")
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, path: str) -> "Baseline":

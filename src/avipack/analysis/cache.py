@@ -101,10 +101,12 @@ class AnalysisCache:
         return cache
 
     def save(self, path: str) -> None:
-        """Write the cache to ``path`` as JSON."""
-        with open(path, "w", encoding="utf-8") as stream:
+        """Write the cache to ``path`` as JSON (atomic publication)."""
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as stream:
             json.dump(self.to_payload(), stream, indent=1, sort_keys=True)
             stream.write("\n")
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, path: str, rules_signature: str) -> "AnalysisCache":

@@ -36,7 +36,7 @@ DEFAULT_CACHE = ".avilint-cache.json"
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m avipack.analysis",
-        description="avipack domain-aware static analysis (AVI001-AVI005)")
+        description="avipack domain-aware static analysis (AVI001-AVI006)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to analyze (default: src)")
     parser.add_argument("--format", choices=("text", "json"),

@@ -29,7 +29,7 @@ from . import Rule, register
 __all__ = ["AVI004Determinism"]
 
 #: avipack sub-packages the rule applies to.
-_SCOPED_SUBPACKAGES = ("thermal", "sweep", "resilience")
+_SCOPED_SUBPACKAGES = ("thermal", "sweep", "resilience", "durability")
 
 #: Legacy numpy global-state entropy functions.
 _NP_LEGACY = frozenset(
@@ -66,7 +66,7 @@ class AVI004Determinism(Rule):
     rule_id = "AVI004"
     name = "determinism"
     severity = Severity.ERROR
-    version = 1
+    version = 2
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if not ctx.in_subpackage(*_SCOPED_SUBPACKAGES):

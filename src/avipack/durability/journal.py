@@ -1,0 +1,321 @@
+"""Write-ahead journal for design-space sweeps (append-only JSONL).
+
+A multi-hour sweep that dies to SIGKILL, OOM or power loss should cost
+the campaign the in-flight candidates, not the finished ones.
+:class:`SweepJournal` is the durability contract behind
+:meth:`avipack.sweep.SweepRunner.run` (``journal_path=...``) and
+:meth:`~avipack.sweep.SweepRunner.resume`:
+
+* every record is one JSON line carrying a ``body`` plus two checksums
+  over the canonical body encoding — CRC-32 (cheap first line of
+  defence) and SHA-256 (authoritative) — and the journal
+  ``schema_version``;
+* appends are atomic at the record level: the encoded line is written
+  in a single call on an append-mode descriptor, flushed and
+  ``fsync``'d before the runner proceeds, so after a crash the journal
+  is a prefix of intact records plus at most one torn tail line;
+* replay (:func:`replay_journal`) never raises on damage and never
+  silently trusts it: a truncated, bit-flipped, stale-schema or
+  unpicklable record is moved to a ``.quarantine`` sidecar and its
+  candidate is simply recomputed by the resume.
+
+Record kinds: ``plan`` (the pickled candidate list and its space
+fingerprint — what makes ``resume(journal_path)`` self-contained),
+``dispatched`` (a candidate handed to a worker), and the outcome kinds
+``completed`` / ``failed`` / ``timeout``.  Outcomes are keyed by the
+candidate's content :attr:`~avipack.sweep.space.Candidate.fingerprint`,
+*not* its list index, so a resume survives re-ordering or extension of
+the candidate space.
+
+The payloads are pickles of the library's own outcome records; the
+checksums protect against corruption in transit and at rest, not
+against an adversary who can rewrite the journal *and* its checksums —
+treat journal files with the same trust as the repository they live in.
+
+Fault sites (see :mod:`avipack.resilience.faults`):
+``durability.journal_torn_write`` truncates the encoded record before
+it reaches the descriptor and ``durability.journal_bitflip`` flips one
+bit in it — both scoped per record sequence number, so a seeded plan
+corrupts a deterministic subset of records.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..errors import InputError, JournalError
+from ..fingerprint import content_crc32, content_digest
+from ..resilience.faults import corrupts as _corrupts
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sweep.runner import CandidateOutcome
+    from ..sweep.space import Candidate
+
+__all__ = ["SCHEMA_VERSION", "JournalReplay", "QuarantinedRecord",
+           "SweepJournal", "replay_journal"]
+
+#: Bump when the record encoding changes; replay quarantines any other
+#: version rather than guessing at its layout.
+SCHEMA_VERSION = 1
+
+#: Record kinds carrying a pickled outcome payload.
+_OUTCOME_KINDS = ("completed", "failed", "timeout")
+
+
+class _DamagedRecord(ValueError):
+    """Internal verification signal; always caught by replay, never
+    surfaced (a damaged record is quarantined, not raised)."""
+
+
+def _canonical(body: Dict[str, Any]) -> str:
+    """The exact byte form (as str) the checksums are computed over."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _encode_payload(value: Any) -> str:
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode()
+
+
+def _decode_payload(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode()))
+
+
+class SweepJournal:
+    """Append-only, checksummed, fsync'd sweep journal.
+
+    Use :meth:`create` to start a fresh journal (writes the ``plan``
+    record) or :meth:`append_to` to continue an existing one (the
+    resume path).  The journal is a context manager; :meth:`close` is
+    idempotent.
+    """
+
+    def __init__(self, path: str, stream, next_seq: int = 0) -> None:
+        self.path = path
+        self._stream = stream
+        self._seq = next_seq
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, candidates: Tuple["Candidate", ...],
+               space_fingerprint: str = "") -> "SweepJournal":
+        """Start a fresh journal at ``path`` and write its plan record."""
+        stream = open(path, "wb")
+        journal = cls(path, stream)
+        journal.record_plan(candidates, space_fingerprint)
+        return journal
+
+    @classmethod
+    def append_to(cls, path: str, next_seq: int = 0) -> "SweepJournal":
+        """Open an existing journal for appending (resume path)."""
+        if not os.path.exists(path):
+            raise JournalError(f"journal not found: {path}")
+        return cls(path, open(path, "ab"), next_seq)
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the journal stream (idempotent)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    # -- record writers ------------------------------------------------------
+
+    def record_plan(self, candidates: Tuple["Candidate", ...],
+                    space_fingerprint: str = "") -> None:
+        """Journal the candidate set a resume will need to re-dispatch."""
+        self._append("plan",
+                     n_candidates=len(candidates),
+                     space_fingerprint=space_fingerprint,
+                     candidates=_encode_payload(tuple(candidates)))
+
+    def record_dispatched(self, index: int,
+                          candidate: "Candidate") -> None:
+        """Journal a candidate entering evaluation (in-flight marker)."""
+        self._append("dispatched", index=index,
+                     fingerprint=candidate.fingerprint)
+
+    def record_outcome(self, outcome: "CandidateOutcome") -> None:
+        """Journal a finished candidate as it arrives from a worker."""
+        if getattr(outcome, "error_type", None) == "WatchdogTimeout":
+            kind = "timeout"
+        elif hasattr(outcome, "error_type"):
+            kind = "failed"
+        else:
+            kind = "completed"
+        self._append(kind, index=outcome.index,
+                     fingerprint=outcome.fingerprint,
+                     payload=_encode_payload(outcome))
+
+    def _append(self, kind: str, **fields: Any) -> None:
+        """Checksum, encode and durably append one record.
+
+        The write is a single call on an append-mode descriptor
+        followed by flush + ``fsync``: after any crash the journal
+        holds every acknowledged record intact plus at most one torn
+        tail, which replay quarantines.
+        """
+        if self._stream is None:
+            raise InputError("journal is closed")
+        body: Dict[str, Any] = {"schema_version": SCHEMA_VERSION,
+                                "seq": self._seq, "kind": kind}
+        body.update(fields)
+        canonical = _canonical(body)
+        record = json.dumps({"body": body,
+                             "crc32": content_crc32(canonical),
+                             "sha256": content_digest(canonical)},
+                            sort_keys=True)
+        data = record.encode("utf-8") + b"\n"
+        if _corrupts("durability.journal_torn_write", ("journal", self._seq)):
+            data = data[:max(1, (2 * len(data)) // 3)]
+        elif _corrupts("durability.journal_bitflip", ("journal", self._seq)):
+            flipped = bytearray(data)
+            flipped[len(flipped) // 2] ^= 0x08
+            data = bytes(flipped)
+        self._seq += 1
+        self._stream.write(data)
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One journal line that failed verification, preserved as evidence."""
+
+    line_number: int
+    reason: str
+    raw: bytes
+
+
+@dataclass
+class JournalReplay:
+    """Everything an intact-prefix replay of one journal recovered."""
+
+    path: str
+    #: Candidate set from the latest intact plan record (None if no
+    #: plan record survived — resuming is then impossible).
+    candidates: Optional[Tuple["Candidate", ...]] = None
+    space_fingerprint: str = ""
+    #: Latest intact outcome per candidate fingerprint.
+    outcomes: Dict[str, "CandidateOutcome"] = field(default_factory=dict)
+    #: Latest dispatched index per fingerprint (in-flight markers).
+    dispatched: Dict[str, int] = field(default_factory=dict)
+    n_records: int = 0
+    next_seq: int = 0
+    quarantined: Tuple[QuarantinedRecord, ...] = ()
+
+    @property
+    def n_quarantined(self) -> int:
+        """Records that failed verification and were set aside."""
+        return len(self.quarantined)
+
+
+def _verify_line(line: bytes) -> Dict[str, Any]:
+    """Decode and checksum-verify one line; raises _DamagedRecord."""
+    try:
+        envelope = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise _DamagedRecord(f"unparseable record: {exc}") from exc
+    if (not isinstance(envelope, dict)
+            or not isinstance(envelope.get("body"), dict)):
+        raise _DamagedRecord("record has no body")
+    body = envelope["body"]
+    canonical = _canonical(body)
+    if envelope.get("crc32") != content_crc32(canonical):
+        raise _DamagedRecord("crc32 mismatch")
+    if envelope.get("sha256") != content_digest(canonical):
+        raise _DamagedRecord("sha256 mismatch")
+    if body.get("schema_version") != SCHEMA_VERSION:
+        raise _DamagedRecord(
+            f"stale schema_version {body.get('schema_version')!r} "
+            f"(expected {SCHEMA_VERSION})")
+    if not isinstance(body.get("kind"), str):
+        raise _DamagedRecord("record has no kind")
+    return body
+
+
+def _write_quarantine(path: str,
+                      records: Tuple[QuarantinedRecord, ...]) -> None:
+    """Atomically (re)write the quarantine sidecar for one replay."""
+    lines = [json.dumps({"line_number": record.line_number,
+                         "reason": record.reason,
+                         "raw": base64.b64encode(record.raw).decode()},
+                        sort_keys=True)
+             for record in records]
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        stream.write("\n".join(lines) + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path)
+
+
+def replay_journal(path: str, quarantine_path: Optional[str] = None,
+                   write_quarantine: bool = True) -> JournalReplay:
+    """Verify and replay a journal; damage is quarantined, never fatal.
+
+    Every line is independently decoded and checksum-verified; lines
+    that fail (torn tail, bit flips, stale ``schema_version``,
+    unpicklable payloads) become :class:`QuarantinedRecord` entries —
+    written to ``quarantine_path`` (default ``<path>.quarantine``) as a
+    JSONL sidecar when ``write_quarantine`` is set — and replay
+    continues.  Only a missing/unreadable journal *file* raises
+    :class:`~avipack.errors.JournalError`.
+    """
+    try:
+        with open(path, "rb") as stream:
+            raw = stream.read()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    replay = JournalReplay(path=path)
+    quarantined: List[QuarantinedRecord] = []
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    for line_number, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        try:
+            body = _verify_line(line)
+            kind = body["kind"]
+            if kind == "plan":
+                replay.candidates = tuple(
+                    _decode_payload(body["candidates"]))
+                replay.space_fingerprint = str(
+                    body.get("space_fingerprint", ""))
+            elif kind == "dispatched":
+                replay.dispatched[str(body["fingerprint"])] = \
+                    int(body["index"])
+            elif kind in _OUTCOME_KINDS:
+                outcome = _decode_payload(body["payload"])
+                replay.outcomes[str(body["fingerprint"])] = outcome
+            else:
+                raise _DamagedRecord(f"unknown record kind {kind!r}")
+        except (ValueError, KeyError, TypeError,
+                pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError) as exc:
+            reason = str(exc) or type(exc).__name__
+            if line_number == len(lines) and not raw.endswith(b"\n"):
+                reason = f"torn tail: {reason}"
+            quarantined.append(QuarantinedRecord(
+                line_number=line_number, reason=reason, raw=line))
+        else:
+            replay.n_records += 1
+            replay.next_seq = max(replay.next_seq,
+                                  int(body.get("seq", -1)) + 1)
+    replay.quarantined = tuple(quarantined)
+    if write_quarantine and quarantined:
+        _write_quarantine(quarantine_path or f"{path}.quarantine",
+                          replay.quarantined)
+    return replay

@@ -136,3 +136,15 @@ class CacheCorruptionError(AvipackError, RuntimeError):
     raised while loading a stored entry — as a cache miss: the entry is
     evicted, counted in the ``corrupt`` statistic, and recomputed.
     """
+
+
+class JournalError(AvipackError, RuntimeError):
+    """A sweep write-ahead journal cannot support a resume.
+
+    Individual damaged records never raise — they are quarantined to the
+    ``.quarantine`` sidecar and their candidates recomputed (see
+    :mod:`avipack.durability.journal`).  This error is reserved for the
+    cases where resuming is *impossible*: the journal file is missing or
+    unreadable, or no intact plan record survives to name the candidate
+    set.
+    """

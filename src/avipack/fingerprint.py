@@ -31,11 +31,12 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
-from typing import Any
+import zlib
+from typing import Any, Union
 
 import numpy as np
 
-__all__ = ["stable_fingerprint"]
+__all__ = ["content_crc32", "content_digest", "stable_fingerprint"]
 
 
 def _feed(digest: "hashlib._Hash", value: Any) -> None:
@@ -111,3 +112,30 @@ def stable_fingerprint(*values: Any) -> str:
     for value in values:
         _feed(digest, value)
     return digest.hexdigest()
+
+
+def content_digest(data: Union[bytes, str]) -> str:
+    """SHA-256 hex digest of raw bytes (strings are UTF-8 encoded).
+
+    The integrity checksum used by the durability layer
+    (:mod:`avipack.durability`) for journal records and on-disk cache
+    entries: unlike :func:`stable_fingerprint` it hashes the *exact
+    serialized bytes*, so any bit flip in a persisted artefact changes
+    the digest.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def content_crc32(data: Union[bytes, str]) -> str:
+    """CRC-32 of raw bytes as 8 hex digits (strings are UTF-8 encoded).
+
+    The cheap first-line checksum on journal records; a mismatch is
+    settled by the authoritative :func:`content_digest` anyway, but the
+    CRC catches the common torn-write/bit-rot cases without hashing
+    twice over intact files.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return f"{zlib.crc32(data) & 0xFFFFFFFF:08x}"

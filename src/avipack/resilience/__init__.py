@@ -26,6 +26,7 @@ from .faults import (
     FaultSpec,
     active,
     configure,
+    corrupts,
     fire,
     install,
     uninstall,
@@ -54,6 +55,7 @@ __all__ = [
     "SupervisionPolicy",
     "active",
     "configure",
+    "corrupts",
     "fire",
     "install",
     "solve_network",

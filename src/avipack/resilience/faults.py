@@ -14,6 +14,21 @@ Instrumented production sites call :func:`fire` with their site name
 no plan installed the call is a no-op costing one ``None`` check, so
 the instrumentation stays in release code.
 
+The durability layer (:mod:`avipack.durability`, PR 5) adds three
+*data-corruption* sites probed through :func:`corrupts` with the
+``"cache_corrupt"`` kind:
+
+* ``"durability.journal_torn_write"`` — the journal truncates the
+  record it is about to append (a power loss mid-``write``);
+* ``"durability.journal_bitflip"`` — the journal flips one bit in the
+  encoded record before appending it (storage bit rot);
+* ``"durability.cache_disk_corrupt"`` — the on-disk solver cache
+  treats the entry being read as damaged.
+
+At these sites the injected error never propagates: the site *performs*
+the corruption (or damage classification) so the recovery machinery —
+checksums, quarantine, eviction — is exercised for real.
+
 Determinism rules:
 
 * A :class:`FaultSpec` matches every site whose name starts with its
@@ -46,6 +61,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import (
+    AvipackError,
     CacheCorruptionError,
     ConvergenceError,
     InputError,
@@ -61,6 +77,7 @@ __all__ = [
     "FaultSpec",
     "active",
     "configure",
+    "corrupts",
     "fire",
     "install",
     "uninstall",
@@ -253,3 +270,35 @@ def fire(site: str) -> None:
     """
     if _ACTIVE is not None:
         _ACTIVE.fire(site)
+
+
+#: Sentinel distinguishing "no scope given" from an explicit ``None``.
+_KEEP_SCOPE = object()
+
+
+def corrupts(site: str, scope: Any = _KEEP_SCOPE) -> bool:
+    """True when an installed plan injects data corruption at ``site``.
+
+    The probe form of :func:`fire` for sites whose fault is *silent data
+    damage* rather than an exception: the durability layer asks whether
+    to corrupt, performs the corruption itself (truncating or
+    bit-flipping the bytes it was about to persist, classifying a cache
+    entry as damaged), and continues — exactly how real torn writes and
+    bit rot behave.  Any injected error counts as "corrupt here".
+
+    ``scope`` (e.g. a journal record sequence number) overrides the
+    injector's current scope for this one decision, so per-record
+    corruption decisions stay deterministic and independent of whatever
+    candidate scope surrounds the write.
+    """
+    if _ACTIVE is None:
+        return False
+    try:
+        if scope is _KEEP_SCOPE:
+            _ACTIVE.fire(site)
+        else:
+            with _ACTIVE.scoped(scope):
+                _ACTIVE.fire(site)
+    except AvipackError:
+        return True
+    return False

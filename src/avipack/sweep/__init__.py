@@ -18,8 +18,13 @@ identical solver sub-problems.
   the ranked compliant-candidate document.
 """
 
-from .cache import CacheStats, SolverCache, worker_cache
-from .report import SweepReport, render_sweep_document
+from .cache import (
+    DEFAULT_WORKER_CACHE_MAX_ENTRIES,
+    CacheStats,
+    SolverCache,
+    worker_cache,
+)
+from .report import DurabilityStats, SweepReport, render_sweep_document
 from .runner import (
     CandidateFailure,
     CandidateResult,
@@ -29,11 +34,13 @@ from .runner import (
 from .space import Candidate, DesignSpace
 
 __all__ = [
+    "DEFAULT_WORKER_CACHE_MAX_ENTRIES",
     "CacheStats",
     "Candidate",
     "CandidateFailure",
     "CandidateResult",
     "DesignSpace",
+    "DurabilityStats",
     "SolverCache",
     "SweepReport",
     "SweepRunner",

@@ -33,7 +33,15 @@ from typing import Any, Callable, Dict, Optional
 
 from ..resilience.faults import fire as _fire_fault
 
-__all__ = ["CacheStats", "SolverCache", "worker_cache"]
+__all__ = ["DEFAULT_WORKER_CACHE_MAX_ENTRIES", "CacheStats", "SolverCache",
+           "worker_cache"]
+
+#: Default bound on the per-process :func:`worker_cache` singleton.  A
+#: resumed long-running campaign funnels every candidate through the
+#: same worker caches, so an unbounded store grows with the design
+#: space; the bound keeps worker memory flat (new results past the
+#: bound are returned but not retained).
+DEFAULT_WORKER_CACHE_MAX_ENTRIES = 4096
 
 
 @dataclass(frozen=True)
@@ -41,13 +49,16 @@ class CacheStats:
     """Aggregate hit/miss counters of one cache (or one sweep).
 
     ``corrupt`` counts entries that were present but unreadable and
-    were therefore evicted and recomputed.
+    were therefore evicted and recomputed.  ``max_entries`` reports the
+    configured retention bound (``None`` = unbounded) so sweep reports
+    can show how the cache was provisioned.
     """
 
     hits: int
     misses: int
     entries: int
     corrupt: int = 0
+    max_entries: Optional[int] = None
 
     @property
     def lookups(self) -> int:
@@ -62,11 +73,18 @@ class CacheStats:
         return self.hits / self.lookups
 
     def merged(self, other: "CacheStats") -> "CacheStats":
-        """Combine counters from another cache (e.g. another worker)."""
+        """Combine counters from another cache (e.g. another worker).
+
+        Every sweep worker shares one configured bound, so the merged
+        record keeps the first non-``None`` ``max_entries``.
+        """
         return CacheStats(hits=self.hits + other.hits,
                           misses=self.misses + other.misses,
                           entries=self.entries + other.entries,
-                          corrupt=self.corrupt + other.corrupt)
+                          corrupt=self.corrupt + other.corrupt,
+                          max_entries=(self.max_entries
+                                       if self.max_entries is not None
+                                       else other.max_entries))
 
 
 class SolverCache:
@@ -167,7 +185,8 @@ class SolverCache:
         with self._lock:
             return CacheStats(hits=self._hits, misses=self._misses,
                               entries=len(self._store),
-                              corrupt=self._corrupt)
+                              corrupt=self._corrupt,
+                              max_entries=self.max_entries)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -185,8 +204,15 @@ _WORKER_CACHE: Optional[SolverCache] = None
 
 
 def worker_cache() -> SolverCache:
-    """The calling process's sweep cache singleton (created on demand)."""
+    """The calling process's sweep cache singleton (created on demand).
+
+    Bounded at :data:`DEFAULT_WORKER_CACHE_MAX_ENTRIES` by default so a
+    resumed multi-hour campaign cannot grow worker memory without
+    limit; the bound travels into :class:`CacheStats.max_entries` and
+    the sweep report's cache line.
+    """
     global _WORKER_CACHE
     if _WORKER_CACHE is None:
-        _WORKER_CACHE = SolverCache()
+        _WORKER_CACHE = SolverCache(
+            max_entries=DEFAULT_WORKER_CACHE_MAX_ENTRIES)
     return _WORKER_CACHE

@@ -22,7 +22,33 @@ from .cache import CacheStats
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .runner import CandidateFailure, CandidateOutcome, CandidateResult
 
-__all__ = ["SweepReport", "render_sweep_document"]
+__all__ = ["DurabilityStats", "SweepReport", "render_sweep_document"]
+
+
+@dataclass(frozen=True)
+class DurabilityStats:
+    """What the durability layer did for one (journalled) sweep.
+
+    Attached to :class:`SweepReport` whenever the run wrote a
+    write-ahead journal; all-zero counters on a fresh journalled run,
+    populated by :meth:`avipack.sweep.SweepRunner.resume`.
+    """
+
+    #: Path of the write-ahead journal backing the sweep.
+    journal_path: str
+    #: Outcomes restored from the journal instead of recomputed.
+    n_resumed: int = 0
+    #: Candidates (re)computed by this process (in-flight at the crash,
+    #: quarantined, audit-flagged, or never dispatched).
+    n_recomputed: int = 0
+    #: Journal records that failed checksum/schema verification and
+    #: were moved to the ``.quarantine`` sidecar.
+    n_quarantined: int = 0
+    #: Restored records rejected by the invariant audit (and therefore
+    #: recomputed) — see :mod:`avipack.durability.audit`.
+    n_audit_failures: int = 0
+    #: ``fingerprint -> issues`` detail for the audit rejections.
+    audit_issues: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -46,6 +72,8 @@ class SweepReport:
     perf:
         Per-kernel :class:`~avipack.perf.SolveStats` aggregated across
         every candidate and worker (empty when no solver kernel ran).
+    durability:
+        Journal/resume accounting (``None`` for unjournalled sweeps).
     """
 
     outcomes: Tuple["CandidateOutcome", ...]
@@ -54,6 +82,7 @@ class SweepReport:
     workers: int
     cache: CacheStats
     perf: Tuple[SolveStats, ...] = ()
+    durability: Optional[DurabilityStats] = None
 
     # -- outcome views -------------------------------------------------------
 
@@ -181,6 +210,8 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
                   f"(hit rate {report.cache.hit_rate:.0%})")
     if report.cache.corrupt:
         cache_line += f", {report.cache.corrupt} corrupt evicted"
+    if report.cache.max_entries is not None:
+        cache_line += f", bound {report.cache.max_entries} entries"
     lines.append(cache_line)
     lines.append("")
     lines.append("2. OUTCOMES")
@@ -217,6 +248,19 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
             lines.append(f"   - #{index} {trail.summary()}")
         if len(trails) > 2 * top:
             lines.append(f"   ... and {len(trails) - 2 * top} more trails")
+    if report.durability is not None:
+        durability = report.durability
+        lines.append("")
+        lines.append(f"{section}. DURABILITY")
+        section += 1
+        lines.append(f"   journal              : {durability.journal_path}")
+        lines.append(f"   resumed from journal : {durability.n_resumed}")
+        lines.append(f"   recomputed           : {durability.n_recomputed}")
+        lines.append(f"   quarantined records  : {durability.n_quarantined}")
+        lines.append(f"   audit failures       : "
+                     f"{durability.n_audit_failures}")
+        for fingerprint, issues in durability.audit_issues[:top]:
+            lines.append(f"   - {fingerprint[:12]}: {issues[0]}")
     if report.perf:
         lines.append("")
         lines.append(f"{section}. PERFORMANCE")

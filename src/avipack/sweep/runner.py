@@ -33,6 +33,7 @@ serial and a parallel run of the same space rank identically.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import os
 import pickle
 import time
@@ -45,15 +46,20 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from .. import perf as _perf
 from ..core.design_flow import run_design_procedure
 from ..core.report import summarize_margins
-from ..errors import InputError
+from ..errors import InputError, JournalError
 from ..perf import SolveStats
 from ..packaging.cooling import CoolingTechnique
 from ..resilience import faults as _faults
 from ..resilience.faults import FaultPlan
 from ..resilience.policy import RecoveryTrail, SupervisionPolicy
 from ..resilience.supervisor import Supervisor
-from .cache import CacheStats, SolverCache, worker_cache
-from .report import SweepReport
+from .cache import (
+    DEFAULT_WORKER_CACHE_MAX_ENTRIES,
+    CacheStats,
+    SolverCache,
+    worker_cache,
+)
+from .report import DurabilityStats, SweepReport
 from .space import Candidate, DesignSpace
 
 __all__ = ["CandidateFailure", "CandidateResult", "SweepRunner",
@@ -186,23 +192,30 @@ def _exception_details(exc: BaseException) -> Dict[str, object]:
 
 def _unpack_task(task) -> Tuple[int, Candidate, bool,
                                 Optional[SupervisionPolicy],
-                                Optional[FaultPlan]]:
-    """Accept both the historical 3-tuple and the supervised 5-tuple."""
+                                Optional[FaultPlan], Optional[str]]:
+    """Accept the historical 3-/5-tuples and the durable 6-tuple."""
     if len(task) == 3:
         index, candidate, use_cache = task
-        return index, candidate, use_cache, None, None
-    index, candidate, use_cache, policy, plan = task
-    return index, candidate, use_cache, policy, plan
+        return index, candidate, use_cache, None, None, None
+    if len(task) == 5:
+        index, candidate, use_cache, policy, plan = task
+        return index, candidate, use_cache, policy, plan, None
+    index, candidate, use_cache, policy, plan, cache_dir = task
+    return index, candidate, use_cache, policy, plan, cache_dir
 
 
 def evaluate_candidate(task, cache: Optional[SolverCache] = None
                        ) -> CandidateOutcome:
-    """Evaluate one ``(index, candidate, use_cache[, policy, faults])`` task.
+    """Evaluate one ``(index, candidate, use_cache[, policy, faults[,
+    cache_dir]])`` task.
 
     Module-level (hence picklable) worker entry point shared by the
     serial and process-pool paths.  ``cache`` overrides the per-process
     default; when ``None`` and the task requests caching, the process's
-    :func:`~avipack.sweep.cache.worker_cache` singleton is used.  Every
+    :func:`~avipack.sweep.cache.worker_cache` singleton is used — or,
+    when the task names a ``cache_dir``, the process's persistent
+    :class:`~avipack.durability.DiskSolverCache` for that directory,
+    shared across workers and resumed runs.  Every
     expected failure mode — bad input, specification violations, solver
     non-convergence, out-of-range models, injected faults — is converted
     into a :class:`CandidateFailure` carrying the stage, message,
@@ -215,10 +228,14 @@ def evaluate_candidate(task, cache: Optional[SolverCache] = None
     index so injection decisions are identical in serial and parallel
     executions.
     """
-    index, candidate, use_cache, policy, plan = _unpack_task(task)
+    index, candidate, use_cache, policy, plan, cache_dir = _unpack_task(task)
     injector = _faults.configure(plan)
     if cache is None and use_cache:
-        cache = worker_cache()
+        if cache_dir is not None:
+            from ..durability.diskcache import worker_disk_cache
+            cache = worker_disk_cache(cache_dir)
+        else:
+            cache = worker_cache()
     if not use_cache:
         cache = None
     hits0 = cache.hits if cache else 0
@@ -336,9 +353,14 @@ class SweepRunner:
     evaluator:
         Picklable replacement for :func:`evaluate_candidate` (custom
         workloads on the sweep infrastructure — e.g. supervised raw
-        network solves).  It is called with the 5-field task tuple and
-        must return a :class:`CandidateResult` or
-        :class:`CandidateFailure`.
+        network solves).  It is called with the 5-field task tuple
+        (6-field when ``cache_dir`` is set) and must return a
+        :class:`CandidateResult` or :class:`CandidateFailure`.
+    cache_dir:
+        Directory for a persistent
+        :class:`~avipack.durability.DiskSolverCache` shared by every
+        worker (and across resumed runs) instead of the per-process
+        in-memory cache.  ``None`` (default) keeps caching in memory.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
@@ -347,7 +369,8 @@ class SweepRunner:
                  timeout_s: Optional[float] = None,
                  policy: Optional[SupervisionPolicy] = None,
                  faults: Optional[FaultPlan] = None,
-                 evaluator=None) -> None:
+                 evaluator=None,
+                 cache_dir: Optional[str] = None) -> None:
         if max_workers is not None and max_workers < 0:
             raise InputError("max_workers must be >= 0")
         if chunksize is not None and chunksize < 1:
@@ -363,6 +386,7 @@ class SweepRunner:
         self.faults = faults
         self.evaluator = evaluator if evaluator is not None \
             else evaluate_candidate
+        self.cache_dir = cache_dir
 
     def _resolve_workers(self) -> int:
         if self.max_workers is not None:
@@ -371,23 +395,53 @@ class SweepRunner:
 
     # -- execution paths -----------------------------------------------------
 
-    def _run_serial(self, tasks: List[tuple]) -> List[CandidateOutcome]:
-        cache = SolverCache() if self.use_cache else None
-        return [self.evaluator(task, cache) if
-                self.evaluator is evaluate_candidate else self.evaluator(task)
-                for task in tasks]
+    @staticmethod
+    def _journal_outcome(journal, outcome: CandidateOutcome) -> None:
+        """Durably journal one outcome as it arrives (no-op unjournalled)."""
+        if journal is not None:
+            journal.record_outcome(outcome)
 
-    def _run_parallel(self, tasks: List[tuple],
-                      workers: int) -> List[CandidateOutcome]:
-        """Bulk chunked dispatch — fastest path, no per-candidate watchdog."""
+    def _serial_cache(self):
+        """The cache the in-process (serial / retry) path evaluates with."""
+        if not self.use_cache:
+            return None
+        if self.cache_dir is not None:
+            from ..durability.diskcache import worker_disk_cache
+            return worker_disk_cache(self.cache_dir)
+        return SolverCache(max_entries=DEFAULT_WORKER_CACHE_MAX_ENTRIES)
+
+    def _run_serial(self, tasks: List[tuple],
+                    journal=None) -> List[CandidateOutcome]:
+        cache = self._serial_cache()
+        outcomes: List[CandidateOutcome] = []
+        for task in tasks:
+            outcome = (self.evaluator(task, cache)
+                       if self.evaluator is evaluate_candidate
+                       else self.evaluator(task))
+            self._journal_outcome(journal, outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+    def _run_parallel(self, tasks: List[tuple], workers: int,
+                      journal=None) -> List[CandidateOutcome]:
+        """Bulk chunked dispatch — fastest path, no per-candidate watchdog.
+
+        Results are journalled as ``pool.map`` yields them (in task
+        order), so a crash mid-sweep preserves every outcome the main
+        process has already collected.
+        """
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, -(-len(tasks) // (4 * workers)))
+        outcomes: List[CandidateOutcome] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.evaluator, tasks,
-                                 chunksize=chunksize))
+            for outcome in pool.map(self.evaluator, tasks,
+                                    chunksize=chunksize):
+                self._journal_outcome(journal, outcome)
+                outcomes.append(outcome)
+        return outcomes
 
-    def _run_watchdog(self, tasks: List[tuple], workers: int
+    def _run_watchdog(self, tasks: List[tuple], workers: int, journal=None
                       ) -> Tuple[Dict[int, CandidateOutcome], List[str]]:
         """Sliding-window dispatch with a per-candidate watchdog.
 
@@ -441,6 +495,7 @@ class SweepRunner:
                     index, _, _ = in_flight.pop(future)
                     try:
                         outcomes[index] = future.result()
+                        self._journal_outcome(journal, outcomes[index])
                     except BrokenProcessPool:
                         broken = True
                     except Exception as exc:  # pool infrastructure error
@@ -463,6 +518,7 @@ class SweepRunner:
                     in_flight.pop(future)
                     outcomes[index] = _watchdog_failure(
                         index, candidate, timeout_s)
+                    self._journal_outcome(journal, outcomes[index])
                     abandoned[future] = index
                     capacity -= 1
                     incidents.append(f"watchdog abandoned #{index}")
@@ -480,6 +536,9 @@ class SweepRunner:
                                 outcomes[index] = future.result()
                             except Exception:
                                 pass
+                            else:
+                                self._journal_outcome(journal,
+                                                      outcomes[index])
                     break
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -488,8 +547,89 @@ class SweepRunner:
                              "candidates")
         return outcomes, incidents
 
-    def run(self, space: Union[DesignSpace, Iterable[Candidate]]
-            ) -> SweepReport:
+    def _tasks(self, indexed: List[Tuple[int, Candidate]]) -> List[tuple]:
+        # The 5-field tuple is a published contract for custom
+        # evaluators; the cache directory only extends it when set.
+        if self.cache_dir is None:
+            return [(index, candidate, self.use_cache, self.policy,
+                     self.faults) for index, candidate in indexed]
+        return [(index, candidate, self.use_cache, self.policy,
+                 self.faults, self.cache_dir)
+                for index, candidate in indexed]
+
+    def _execute(self, tasks: List[tuple], journal=None
+                 ) -> Tuple[List[CandidateOutcome], str, int]:
+        """Run tasks down the configured path; outcomes in task order.
+
+        Shared engine behind :meth:`run` and :meth:`resume`.  Task
+        indices need not be contiguous (the resume path dispatches only
+        the unfinished subset).  Every outcome is journalled the moment
+        the main process holds it.
+        """
+        workers = self._resolve_workers()
+        mode = "parallel" if (self.parallel and workers > 1
+                              and len(tasks) > 1) else "serial"
+        try:
+            if mode == "parallel" and self.timeout_s is not None:
+                outcome_map, incidents = self._run_watchdog(
+                    tasks, workers, journal)
+                missing = [task for task in tasks
+                           if task[0] not in outcome_map]
+                if missing:
+                    cache = self._serial_cache()
+                    for task in missing:
+                        outcome = (self.evaluator(task, cache)
+                                   if self.evaluator is evaluate_candidate
+                                   else self.evaluator(task))
+                        self._journal_outcome(journal, outcome)
+                        outcome_map[task[0]] = outcome
+                outcomes = [outcome_map[task[0]] for task in tasks]
+                if incidents:
+                    mode = f"parallel ({'; '.join(sorted(set(incidents)))})"
+            elif mode == "parallel":
+                try:
+                    outcomes = self._run_parallel(tasks, workers, journal)
+                except (BrokenProcessPool, OSError,
+                        pickle.PicklingError) as exc:
+                    mode = f"serial (pool fallback: {type(exc).__name__})"
+                    outcomes = self._run_serial(tasks, journal)
+            else:
+                outcomes = self._run_serial(tasks, journal)
+        finally:
+            # A serial (re-)run in this process may have installed the
+            # fault plan here; never leak it into subsequent user code.
+            if self.faults is not None:
+                _faults.uninstall()
+        return outcomes, mode, workers if mode.startswith("parallel") else 1
+
+    def _assemble(self, outcomes: List[CandidateOutcome], wall: float,
+                  mode: str, workers: int,
+                  durability: Optional[DurabilityStats] = None
+                  ) -> SweepReport:
+        hits = sum(o.cache_hits for o in outcomes
+                   if isinstance(o, CandidateResult))
+        misses = sum(o.cache_misses for o in outcomes
+                     if isinstance(o, CandidateResult))
+        corrupt = sum(o.cache_corrupt for o in outcomes
+                      if isinstance(o, CandidateResult))
+        limit = (DEFAULT_WORKER_CACHE_MAX_ENTRIES
+                 if self.use_cache and self.cache_dir is None else None)
+        cache_stats = CacheStats(hits=hits, misses=misses, entries=misses,
+                                 corrupt=corrupt, max_entries=limit)
+        perf_records = _perf.aggregate(
+            getattr(o, "perf", ()) for o in outcomes)
+        return SweepReport(
+            outcomes=tuple(outcomes),
+            wall_time_s=wall,
+            mode=mode,
+            workers=workers,
+            cache=cache_stats,
+            perf=perf_records,
+            durability=durability,
+        )
+
+    def run(self, space: Union[DesignSpace, Iterable[Candidate]],
+            journal_path: Optional[str] = None) -> SweepReport:
         """Evaluate every candidate and assemble a :class:`SweepReport`.
 
         Candidate order is preserved in the outcome list whichever
@@ -499,64 +639,129 @@ class SweepRunner:
         path rather than failing; a pool broken *mid-flight* (worker
         crash) triggers a serial retry of only the unfinished
         candidates, so one bad worker never costs the campaign.
+
+        With ``journal_path`` the sweep additionally writes a
+        write-ahead journal (:class:`~avipack.durability.SweepJournal`):
+        the candidate plan first, then every outcome as it arrives,
+        each record checksummed and fsync'd — if the process dies
+        (SIGKILL, OOM, power loss), :meth:`resume` continues the
+        campaign from the journal, recomputing only the candidates the
+        journal cannot prove finished.
         """
         candidates = (list(space.grid()) if isinstance(space, DesignSpace)
                       else list(space))
         if not candidates:
             raise InputError("sweep needs at least one candidate")
-        tasks = [(index, candidate, self.use_cache, self.policy, self.faults)
-                 for index, candidate in enumerate(candidates)]
-        workers = self._resolve_workers()
-        mode = "parallel" if (self.parallel and workers > 1
-                              and len(tasks) > 1) else "serial"
+        tasks = self._tasks(list(enumerate(candidates)))
+        journal = None
+        if journal_path is not None:
+            from ..durability.journal import SweepJournal
+            from ..fingerprint import stable_fingerprint
+            journal = SweepJournal.create(
+                journal_path, tuple(candidates),
+                space_fingerprint=stable_fingerprint(tuple(candidates)))
+            for index, candidate in enumerate(candidates):
+                journal.record_dispatched(index, candidate)
         start = time.perf_counter()
         try:
-            if mode == "parallel" and self.timeout_s is not None:
-                outcome_map, incidents = self._run_watchdog(tasks, workers)
-                missing = [task for task in tasks
-                           if task[0] not in outcome_map]
-                if missing:
-                    cache = SolverCache() if self.use_cache else None
-                    for task in missing:
-                        outcome_map[task[0]] = (
-                            self.evaluator(task, cache)
-                            if self.evaluator is evaluate_candidate
-                            else self.evaluator(task))
-                outcomes = [outcome_map[index]
-                            for index in range(len(tasks))]
-                if incidents:
-                    mode = f"parallel ({'; '.join(sorted(set(incidents)))})"
-            elif mode == "parallel":
-                try:
-                    outcomes = self._run_parallel(tasks, workers)
-                except (BrokenProcessPool, OSError,
-                        pickle.PicklingError) as exc:
-                    mode = f"serial (pool fallback: {type(exc).__name__})"
-                    outcomes = self._run_serial(tasks)
-            else:
-                outcomes = self._run_serial(tasks)
+            outcomes, mode, workers = self._execute(tasks, journal)
         finally:
-            # A serial (re-)run in this process may have installed the
-            # fault plan here; never leak it into subsequent user code.
-            if self.faults is not None:
-                _faults.uninstall()
+            if journal is not None:
+                journal.close()
         wall = time.perf_counter() - start
+        durability = None
+        if journal_path is not None:
+            durability = DurabilityStats(journal_path=journal_path,
+                                         n_recomputed=len(candidates))
+        return self._assemble(outcomes, wall, mode, workers, durability)
 
-        hits = sum(o.cache_hits for o in outcomes
-                   if isinstance(o, CandidateResult))
-        misses = sum(o.cache_misses for o in outcomes
-                     if isinstance(o, CandidateResult))
-        corrupt = sum(o.cache_corrupt for o in outcomes
-                      if isinstance(o, CandidateResult))
-        cache_stats = CacheStats(hits=hits, misses=misses, entries=misses,
-                                 corrupt=corrupt)
-        perf_records = _perf.aggregate(
-            getattr(o, "perf", ()) for o in outcomes)
-        return SweepReport(
-            outcomes=tuple(outcomes),
-            wall_time_s=wall,
-            mode=mode,
-            workers=workers if mode.startswith("parallel") else 1,
-            cache=cache_stats,
-            perf=perf_records,
+    def resume(self, journal_path: str,
+               space: Union[DesignSpace, Iterable[Candidate], None] = None
+               ) -> SweepReport:
+        """Continue a journalled sweep after a crash (or completion).
+
+        Replays the journal (:func:`~avipack.durability.replay_journal`
+        — damaged records are quarantined to the ``.quarantine``
+        sidecar, never trusted and never fatal), audits every restored
+        outcome against the invariant battery in
+        :mod:`avipack.durability.audit`, and recomputes whatever is
+        left: candidates that were in flight at the crash, candidates
+        whose records were quarantined, and restored records the audit
+        rejected.  Restored outcomes keep their original metric values,
+        so the resumed report ranks identically to an uninterrupted
+        run.
+
+        Candidates are matched by content fingerprint, not list index,
+        so the resume also survives a re-ordered or extended candidate
+        set passed via ``space``; without ``space``, the candidate list
+        is taken from the journal's own plan record.  New work is
+        appended to the same journal (a resumed run can itself be
+        resumed).  Raises :class:`~avipack.errors.JournalError` only
+        when the journal is unreadable or carries no usable plan.
+        """
+        from ..durability.audit import audit_outcomes
+        from ..durability.journal import SweepJournal, replay_journal
+        from ..fingerprint import stable_fingerprint
+        replay = replay_journal(journal_path)
+        if space is not None:
+            candidates = (list(space.grid())
+                          if isinstance(space, DesignSpace)
+                          else list(space))
+        elif replay.candidates is not None:
+            candidates = list(replay.candidates)
+        else:
+            raise JournalError(
+                f"journal {journal_path} has no intact plan record; "
+                "pass the candidate space to resume() explicitly")
+        if not candidates:
+            raise InputError("sweep needs at least one candidate")
+        restored = dict(replay.outcomes)
+        flagged = audit_outcomes(restored.values())
+        for fingerprint in flagged:
+            restored.pop(fingerprint, None)
+        pending = [(index, candidate)
+                   for index, candidate in enumerate(candidates)
+                   if candidate.fingerprint not in restored]
+        start = time.perf_counter()
+        mode = "resume"
+        workers = 1
+        fresh: Dict[int, CandidateOutcome] = {}
+        journal = SweepJournal.append_to(journal_path,
+                                         next_seq=replay.next_seq)
+        try:
+            if space is not None:
+                journal.record_plan(
+                    tuple(candidates),
+                    space_fingerprint=stable_fingerprint(tuple(candidates)))
+            for index, candidate in pending:
+                journal.record_dispatched(index, candidate)
+            if pending:
+                tasks = self._tasks(pending)
+                outcomes, engine_mode, workers = self._execute(tasks,
+                                                               journal)
+                fresh = {task[0]: outcome
+                         for task, outcome in zip(tasks, outcomes)}
+                mode = f"resume ({engine_mode})"
+        finally:
+            journal.close()
+        wall = time.perf_counter() - start
+        merged: List[CandidateOutcome] = []
+        n_resumed = 0
+        for index, candidate in enumerate(candidates):
+            if index in fresh:
+                merged.append(fresh[index])
+                continue
+            outcome = restored[candidate.fingerprint]
+            if outcome.index != index:
+                outcome = dataclasses.replace(outcome, index=index)
+            merged.append(outcome)
+            n_resumed += 1
+        durability = DurabilityStats(
+            journal_path=journal_path,
+            n_resumed=n_resumed,
+            n_recomputed=len(pending),
+            n_quarantined=replay.n_quarantined,
+            n_audit_failures=len(flagged),
+            audit_issues=tuple(sorted(flagged.items())),
         )
+        return self._assemble(merged, wall, mode, workers, durability)

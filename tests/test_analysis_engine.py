@@ -46,7 +46,8 @@ def make_pkg(tmp_path, name_to_source):
 
 def test_all_five_rules_registered():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ids == ["AVI001", "AVI002", "AVI003", "AVI004", "AVI005"]
+    assert ids == ["AVI001", "AVI002", "AVI003", "AVI004", "AVI005",
+                   "AVI006"]
 
 
 def test_rules_signature_stable():
@@ -293,7 +294,8 @@ def test_cli_cache_file_round_trip(tmp_path, monkeypatch, capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("AVI001", "AVI002", "AVI003", "AVI004", "AVI005"):
+    for rule_id in ("AVI001", "AVI002", "AVI003", "AVI004", "AVI005",
+                    "AVI006"):
         assert rule_id in out
 
 

@@ -1,4 +1,4 @@
-"""Per-rule fixtures for :mod:`avipack.analysis` (AVI001-AVI005).
+"""Per-rule fixtures for :mod:`avipack.analysis` (AVI001-AVI006).
 
 Every rule gets at least: one positive fixture proving it fires, one
 negative fixture proving it stays quiet on conforming code, and one
@@ -385,6 +385,106 @@ class TestAVI005:
         """, tmp_path=tmp_path)
         assert active == []
         assert rule_ids(suppressed) == ["AVI005"]
+
+
+# ---------------------------------------------------------------------------
+# AVI006 — atomic persistence of on-disk documents
+# ---------------------------------------------------------------------------
+
+class TestAVI006:
+    def test_fires_on_open_w_json_literal(self):
+        findings = run_rules("""
+            import json
+
+            def save(payload):
+                with open("state.json", "w") as stream:
+                    json.dump(payload, stream)
+        """)
+        assert "AVI006" in rule_ids(findings)
+        assert "torn" in findings[0].message
+
+    def test_fires_on_json_dump_into_variable_path(self):
+        findings = run_rules("""
+            import json
+
+            def save(path, payload):
+                with open(path, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream)
+        """)
+        assert rule_ids(findings) == ["AVI006"]
+
+    def test_fires_on_write_text_of_json_dumps(self):
+        findings = run_rules("""
+            import json
+
+            def save(path, payload):
+                path.write_text(json.dumps(payload) + "\\n")
+        """)
+        assert rule_ids(findings) == ["AVI006"]
+
+    def test_fires_on_jsonl_fstring_destination(self):
+        findings = run_rules("""
+            def save(stem, lines):
+                with open(f"{stem}.records.jsonl", "w") as stream:
+                    stream.writelines(lines)
+        """)
+        assert rule_ids(findings) == ["AVI006"]
+
+    def test_fires_outside_the_package_too(self):
+        findings = run_rules("""
+            import json
+
+            def save(payload):
+                with open("bench.json", "w") as stream:
+                    json.dump(payload, stream)
+        """, path=OUTSIDE)
+        assert rule_ids(findings) == ["AVI006"]
+
+    def test_quiet_on_tmp_file_plus_os_replace(self):
+        findings = run_rules("""
+            import json
+            import os
+
+            def save(path, payload):
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream)
+                os.replace(tmp, path)
+        """)
+        assert findings == []
+
+    def test_quiet_on_append_mode(self):
+        findings = run_rules("""
+            def log(path, line):
+                with open("events.jsonl", "ab") as stream:
+                    stream.write(line)
+        """)
+        assert findings == []
+
+    def test_quiet_on_read_and_scratch_writes(self):
+        findings = run_rules("""
+            import json
+
+            def load(path):
+                with open(path, "r", encoding="utf-8") as stream:
+                    return json.load(stream)
+
+            def scratch(path, text):
+                with open(path, "w") as stream:
+                    stream.write(text)
+        """)
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        active, suppressed = run_engine("""
+            import json
+
+            def save(payload):
+                with open("state.json", "w") as stream:  # avilint: disable=AVI006
+                    json.dump(payload, stream)
+        """, tmp_path=tmp_path)
+        assert active == []
+        assert rule_ids(suppressed) == ["AVI006"]
 
 
 # ---------------------------------------------------------------------------

@@ -7,7 +7,8 @@ import pytest
 
 from avipack.fingerprint import stable_fingerprint
 from avipack.packaging.cooling import CoolingTechnique, ModuleEnvelope
-from avipack.sweep import CacheStats, SolverCache, worker_cache
+from avipack.sweep import DEFAULT_WORKER_CACHE_MAX_ENTRIES, CacheStats, \
+    SolverCache, worker_cache
 
 
 class TestSolverCache:
@@ -69,9 +70,29 @@ class TestSolverCache:
     def test_worker_cache_is_a_process_singleton(self):
         assert worker_cache() is worker_cache()
 
+    def test_worker_cache_is_bounded_by_default(self):
+        # An unbounded per-worker store would grow for the lifetime of
+        # the pool process; the default caps it.
+        assert worker_cache().max_entries \
+            == DEFAULT_WORKER_CACHE_MAX_ENTRIES
+
+    def test_stats_report_the_bound(self):
+        bounded = SolverCache(max_entries=3)
+        assert bounded.stats().max_entries == 3
+        assert SolverCache().stats().max_entries is None
+
     def test_merged_stats_add_counters(self):
         merged = CacheStats(1, 2, 3).merged(CacheStats(10, 20, 30))
         assert merged == CacheStats(11, 22, 33)
+
+    def test_merged_stats_keep_the_configured_bound(self):
+        # Workers share one configured bound; the merge keeps the first
+        # non-None value rather than inventing a combined one.
+        merged = CacheStats(1, 2, 3).merged(
+            CacheStats(1, 1, 1, max_entries=5))
+        assert merged.max_entries == 5
+        assert CacheStats(0, 0, 0, max_entries=7).merged(
+            CacheStats(0, 0, 0)).max_entries == 7
 
     def test_empty_stats_hit_rate_zero(self):
         assert CacheStats(0, 0, 0).hit_rate == 0.0
