@@ -26,6 +26,7 @@ import sys
 import time
 
 from avipack import perf
+from avipack.thermal.batch import solve_batched
 from avipack.thermal.network import ThermalNetwork
 from avipack.thermal.transient import TransientNetworkSolver
 
@@ -34,7 +35,8 @@ BASELINE = pathlib.Path(__file__).resolve().parent.parent \
 
 #: Counters whose baseline values must be reproduced exactly.
 EXACT_COUNTERS = ("compilations", "assemblies", "factorizations",
-                  "factorization_reuses", "solves", "iterations")
+                  "factorization_reuses", "solves", "iterations",
+                  "batched_solves", "batch_width")
 
 
 def build_linear_network(n_chains=30, chain_length=6):
@@ -91,6 +93,33 @@ def build_transient_chain(n_nodes=30):
     return net
 
 
+def build_candidate_grid(n_powers=100, g_scales=(1.0, 1.6),
+                         chain_length=10):
+    """A 200-candidate topology-sharing sweep grid, built fresh.
+
+    Every candidate is the same board-stack chain; candidates differ in
+    the per-board power level (the multi-RHS axis — same operator,
+    different right-hand side) and in a global conductance scale (the
+    stacked-assembly axis — one sparse template, different data).  Each
+    call rebuilds the networks, as a sweep does, so compile/assembly
+    counters are deterministic per call.
+    """
+    networks = []
+    for scale in g_scales:
+        for k in range(n_powers):
+            power = 2.0 + 0.08 * k
+            net = ThermalNetwork()
+            net.add_node("sink", fixed_temperature=300.0)
+            previous = "sink"
+            for i in range(chain_length):
+                name = f"seg{i}"
+                net.add_node(name, heat_load=power / chain_length)
+                net.add_conductance(name, previous, 4.0 * scale)
+                previous = name
+            networks.append(net)
+    return networks
+
+
 def _measure(kernel, call, rounds):
     """Median wall time [ms] of ``call`` plus one instrumented pass.
 
@@ -140,6 +169,19 @@ def run_benches(rounds=25):
         lambda: solver.integrate(duration=500.0, time_step=1.0),
         rounds)
 
+    def batched_grid():
+        outcomes = solve_batched(build_candidate_grid())
+        assert all(o.ok for o in outcomes)
+
+    def scalar_grid():
+        for net in build_candidate_grid():
+            net.solve()
+
+    benches["sweep_batched_grid"] = _measure(
+        "network.batched", batched_grid, rounds)
+    benches["sweep_scalar_grid"] = _measure(
+        "network.steady", scalar_grid, rounds)
+
     return {
         "schema": 1,
         "unit": "median wall milliseconds over warm rounds",
@@ -157,7 +199,16 @@ def write_baseline(path, rounds):
     return 0
 
 
-def compare_baseline(path, rounds, tolerance):
+def _candidates_per_factorization(counters):
+    """Derived batch-amortization figure from a counter dict (0 = n/a)."""
+    width = counters.get("batch_width", 0)
+    factorizations = counters.get("factorizations", 0)
+    if not width or not factorizations:
+        return 0.0
+    return width / factorizations
+
+
+def compare_baseline(path, rounds, tolerance, report_path=None):
     if not path.exists():
         print(f"ERROR: baseline {path} not found; run "
               "`python benchmarks/bench_baseline.py write` and commit it")
@@ -165,10 +216,14 @@ def compare_baseline(path, rounds, tolerance):
     baseline = json.loads(path.read_text())
     current = run_benches(rounds)
     failures = []
+    comparison = {"schema": 1, "tolerance": tolerance, "rounds": rounds,
+                  "benches": {}}
     for name, pinned in sorted(baseline["benches"].items()):
         measured = current["benches"].get(name)
         if measured is None:
             failures.append(f"{name}: bench disappeared")
+            comparison["benches"][name] = {"verdict": "MISSING",
+                                           "baseline": pinned}
             continue
         limit = pinned["median_ms"] * tolerance
         verdict = "ok"
@@ -177,16 +232,49 @@ def compare_baseline(path, rounds, tolerance):
             failures.append(
                 f"{name}: {measured['median_ms']:.3f} ms exceeds "
                 f"{tolerance:g}x baseline {pinned['median_ms']:.3f} ms")
-        for counter, expected in pinned["counters"].items():
+        # Compare the union of baseline and measured counters, so a
+        # counter that drifted is always reported by name with its
+        # old/new values — including counters the baseline has never
+        # seen (or that vanished from the measurement).
+        counter_names = sorted(set(pinned["counters"])
+                               | set(measured["counters"]))
+        for counter in counter_names:
+            expected = pinned["counters"].get(counter)
             got = measured["counters"].get(counter)
             if got != expected:
                 verdict = "REGRESSION"
                 failures.append(
-                    f"{name}: counter {counter} = {got}, baseline "
-                    f"pins {expected} (caching discipline broken)")
+                    f"{name}: counter {counter} drifted: baseline "
+                    f"{expected} -> measured {got} "
+                    "(caching discipline broken)")
+        base_cpf = _candidates_per_factorization(pinned["counters"])
+        got_cpf = _candidates_per_factorization(measured["counters"])
+        if base_cpf and got_cpf < base_cpf:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: candidates-per-factorization regressed: "
+                f"baseline {base_cpf:.1f} -> measured {got_cpf:.1f}")
+        comparison["benches"][name] = {
+            "verdict": verdict,
+            "baseline_ms": pinned["median_ms"],
+            "measured_ms": measured["median_ms"],
+            "limit_ms": round(limit, 4),
+            "baseline_counters": pinned["counters"],
+            "measured_counters": measured["counters"],
+            "baseline_candidates_per_factorization": round(base_cpf, 2),
+            "measured_candidates_per_factorization": round(got_cpf, 2),
+        }
         print(f"{name:<32} {measured['median_ms']:>9.3f} ms "
               f"(baseline {pinned['median_ms']:.3f}, "
               f"limit {limit:.3f})  {verdict}")
+    comparison["failures"] = failures
+    comparison["ok"] = not failures
+    if report_path is not None:
+        tmp = report_path.parent / f"{report_path.name}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(comparison, indent=2, sort_keys=True)
+                       + "\n")
+        os.replace(tmp, report_path)
+        print(f"comparison written to {report_path}")
     if failures:
         print("\n" + "\n".join(f"FAIL: {line}" for line in failures))
         return 1
@@ -201,10 +289,14 @@ def main(argv=None):
     parser.add_argument("--rounds", type=int, default=25)
     parser.add_argument("--tolerance", type=float, default=3.0,
                         help="allowed slow-down factor (default 3x)")
+    parser.add_argument("--report", type=pathlib.Path, default=None,
+                        help="write the comparison document (JSON) here "
+                             "(compare mode only)")
     args = parser.parse_args(argv)
     if args.mode == "write":
         return write_baseline(args.baseline, args.rounds)
-    return compare_baseline(args.baseline, args.rounds, args.tolerance)
+    return compare_baseline(args.baseline, args.rounds, args.tolerance,
+                            args.report)
 
 
 if __name__ == "__main__":

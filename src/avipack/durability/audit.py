@@ -83,8 +83,18 @@ def energy_balance_residual_c(result: "CandidateResult") -> float:
 
 
 def audit_result(result: "CandidateResult",
-                 recompute_level2: bool = True) -> Tuple[str, ...]:
-    """Invariant violations of one restored result (empty = trusted)."""
+                 recompute_level2: bool = True,
+                 model_checks: bool = True) -> Tuple[str, ...]:
+    """Invariant violations of one restored result (empty = trusted).
+
+    ``model_checks=False`` skips the two invariants that are bound to
+    the *default* design-procedure workload — the rack-supply first-law
+    floor and the level-2 energy-balance recheck — because a sweep run
+    with a custom evaluator (e.g. :class:`~avipack.sweep.
+    NetworkSweepEvaluator` over arbitrary networks) makes neither
+    guarantee.  The model-free battery (fingerprint integrity,
+    temperature sanity bounds, margin/record consistency) always runs.
+    """
     issues: List[str] = []
     try:
         expected = result.candidate.fingerprint
@@ -101,7 +111,7 @@ def audit_result(result: "CandidateResult",
     elif not -273.15 < board_c < _BOARD_CEILING_C:
         issues.append(f"worst_board_c {board_c:g} degC is outside the "
                       f"physical range (-273.15, {_BOARD_CEILING_C:g})")
-    elif board_c < supply_c - _CONSISTENCY_TOL:
+    elif model_checks and board_c < supply_c - _CONSISTENCY_TOL:
         issues.append(
             f"worst_board_c {board_c:g} degC is below the rack supply "
             f"{supply_c:g} degC: a dissipating board cannot undercut "
@@ -124,7 +134,7 @@ def audit_result(result: "CandidateResult",
             issues.append(
                 f"record is compliant at {board_c:g} degC, above the "
                 f"{AUDIT_BOARD_LIMIT_C:g} degC board rule")
-    if recompute_level2 and not issues:
+    if model_checks and recompute_level2 and not issues:
         try:
             residual = energy_balance_residual_c(result)
         except Exception as exc:
@@ -174,7 +184,8 @@ def audit_headroom_monotonicity(
 
 
 def audit_outcomes(outcomes: Iterable["CandidateOutcome"],
-                   recompute_level2: bool = True
+                   recompute_level2: bool = True,
+                   model_checks: bool = True
                    ) -> Dict[str, Tuple[str, ...]]:
     """Audit a restored outcome set; returns ``fingerprint -> issues``.
 
@@ -182,6 +193,8 @@ def audit_outcomes(outcomes: Iterable["CandidateOutcome"],
     monotonicity check; failures only need fingerprint integrity (their
     payload never enters the ranked table).  Any flagged fingerprint
     should be dropped from the restore set and recomputed.
+    ``model_checks=False`` relaxes the default-workload invariants for
+    custom-evaluator sweeps (see :func:`audit_result`).
     """
     outcomes = list(outcomes)
     flagged: Dict[str, Tuple[str, ...]] = {}
@@ -189,7 +202,8 @@ def audit_outcomes(outcomes: Iterable["CandidateOutcome"],
     for outcome in outcomes:
         if hasattr(outcome, "margins"):
             issues = audit_result(outcome,
-                                  recompute_level2=recompute_level2)
+                                  recompute_level2=recompute_level2,
+                                  model_checks=model_checks)
             if issues:
                 flagged[outcome.fingerprint] = issues
             else:

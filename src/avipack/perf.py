@@ -53,7 +53,7 @@ __all__ = [
 ]
 
 #: Kernel names used by the built-in solvers.
-KERNELS = ("network.steady", "network.transient",
+KERNELS = ("network.steady", "network.transient", "network.batched",
            "conduction.steady", "conduction.transient")
 
 
@@ -81,6 +81,16 @@ class SolveStats:
         Top-level solve/integrate calls.
     iterations:
         Fixed-point iterations (steady) or time steps (transient).
+    batched_solves:
+        Batched group solves executed (one topology-sharing candidate
+        group advanced as a single vectorized system counts once,
+        however many candidates it carries).
+    batch_width:
+        Total candidates answered through the batch path — the
+        candidate axis the batched solver amortized structure over.
+        ``batch_width / factorizations`` is the candidates-per-
+        factorization figure the sweep throughput work targets
+        (:attr:`candidates_per_factorization`).
     wall_s:
         Wall-clock seconds spent inside the kernel.
     """
@@ -92,6 +102,8 @@ class SolveStats:
     factorization_reuses: int = 0
     solves: int = 0
     iterations: int = 0
+    batched_solves: int = 0
+    batch_width: int = 0
     wall_s: float = 0.0
 
     # -- arithmetic ----------------------------------------------------------
@@ -110,6 +122,8 @@ class SolveStats:
                                   + other.factorization_reuses),
             solves=self.solves + other.solves,
             iterations=self.iterations + other.iterations,
+            batched_solves=self.batched_solves + other.batched_solves,
+            batch_width=self.batch_width + other.batch_width,
             wall_s=self.wall_s + other.wall_s)
 
     def minus(self, earlier: "SolveStats") -> "SolveStats":
@@ -126,6 +140,8 @@ class SolveStats:
                                   - earlier.factorization_reuses),
             solves=self.solves - earlier.solves,
             iterations=self.iterations - earlier.iterations,
+            batched_solves=self.batched_solves - earlier.batched_solves,
+            batch_width=self.batch_width - earlier.batch_width,
             wall_s=self.wall_s - earlier.wall_s)
 
     @property
@@ -133,7 +149,9 @@ class SolveStats:
         """True when every counter is zero."""
         return not (self.compilations or self.assemblies
                     or self.factorizations or self.factorization_reuses
-                    or self.solves or self.iterations or self.wall_s)
+                    or self.solves or self.iterations
+                    or self.batched_solves or self.batch_width
+                    or self.wall_s)
 
     @property
     def reuse_rate(self) -> float:
@@ -143,6 +161,18 @@ class SolveStats:
             return 0.0
         return self.factorization_reuses / total
 
+    @property
+    def candidates_per_factorization(self) -> float:
+        """Mean batch-path candidates amortized over one factorization.
+
+        Zero while the batch path has not run (or factorized nothing):
+        the figure only describes batched work, so scalar kernels report
+        0.0 rather than a misleading ratio.
+        """
+        if not self.batch_width or not self.factorizations:
+            return 0.0
+        return self.batch_width / self.factorizations
+
 
 _REGISTRY: Dict[str, SolveStats] = {}
 _LOCK = threading.Lock()
@@ -150,14 +180,15 @@ _LOCK = threading.Lock()
 
 def record(kernel: str, *, compilations: int = 0, assemblies: int = 0,
            factorizations: int = 0, factorization_reuses: int = 0,
-           solves: int = 0, iterations: int = 0,
-           wall_s: float = 0.0) -> None:
+           solves: int = 0, iterations: int = 0, batched_solves: int = 0,
+           batch_width: int = 0, wall_s: float = 0.0) -> None:
     """Accumulate counters for ``kernel`` in the process registry."""
     increment = SolveStats(
         kernel=kernel, compilations=compilations, assemblies=assemblies,
         factorizations=factorizations,
         factorization_reuses=factorization_reuses, solves=solves,
-        iterations=iterations, wall_s=wall_s)
+        iterations=iterations, batched_solves=batched_solves,
+        batch_width=batch_width, wall_s=wall_s)
     with _LOCK:
         current = _REGISTRY.get(kernel)
         _REGISTRY[kernel] = (increment if current is None
@@ -239,10 +270,15 @@ def format_stats(records: Union[Iterable[SolveStats],
         records = [records[kernel] for kernel in sorted(records)]
     lines = []
     for item in records:
-        lines.append(
+        line = (
             f"{item.kernel:<22} solves {item.solves:>6}  "
             f"iter {item.iterations:>7}  asm {item.assemblies:>6}  "
             f"LU {item.factorizations:>5}  "
             f"reuse {item.factorization_reuses:>7} "
             f"({item.reuse_rate:.0%})  {item.wall_s:8.3f} s")
+        if item.batch_width:
+            line += (f"  batched {item.batched_solves} "
+                     f"width {item.batch_width} "
+                     f"(cand/LU {item.candidates_per_factorization:.0f})")
+        lines.append(line)
     return tuple(lines)

@@ -14,10 +14,14 @@ identical solver sub-problems.
   (see :mod:`avipack.resilience`);
 * :mod:`~avipack.sweep.cache` — :class:`SolverCache` keyed memoisation
   with hit/miss accounting;
+* :mod:`~avipack.sweep.batch` — :class:`NetworkSweepEvaluator`
+  batch-capable evaluator routing topology-sharing candidate groups
+  through the vectorized solver core (:mod:`avipack.thermal.batch`);
 * :mod:`~avipack.sweep.report` — :class:`SweepReport` observability and
   the ranked compliant-candidate document.
 """
 
+from .batch import NetworkSweepEvaluator
 from .cache import (
     DEFAULT_WORKER_CACHE_MAX_ENTRIES,
     CacheStats,
@@ -41,6 +45,7 @@ __all__ = [
     "CandidateResult",
     "DesignSpace",
     "DurabilityStats",
+    "NetworkSweepEvaluator",
     "SolverCache",
     "SweepReport",
     "SweepRunner",

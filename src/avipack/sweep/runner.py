@@ -115,6 +115,9 @@ class CandidateResult:
     #: :mod:`avipack.perf` registry delta, shipped across the process
     #: boundary and aggregated into the sweep report).
     perf: Tuple[SolveStats, ...] = ()
+    #: Answered by the vectorized batch path (topology-group solve)
+    #: rather than a per-candidate scalar evaluation.
+    batched: bool = False
 
     @property
     def thermal_headroom_c(self) -> float:
@@ -361,6 +364,18 @@ class SweepRunner:
         :class:`~avipack.durability.DiskSolverCache` shared by every
         worker (and across resumed runs) instead of the per-process
         in-memory cache.  ``None`` (default) keeps caching in memory.
+    batch:
+        Batch-scheduler switch.  ``None`` (default) batches whenever
+        the evaluator declares batch support (a truthy
+        ``supports_batch`` attribute and an ``evaluate_batch`` method —
+        e.g. :class:`~avipack.sweep.batch.NetworkSweepEvaluator`):
+        tasks are grouped and solved through the vectorized batch core
+        in-process instead of dispatched one by one.  ``False`` forces
+        the classic per-candidate paths (the parity baseline);
+        ``True`` requires a batch-capable evaluator and raises
+        :class:`~avipack.errors.InputError` otherwise.  Journaling,
+        failure isolation and cache semantics are identical either
+        way.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
@@ -370,7 +385,8 @@ class SweepRunner:
                  policy: Optional[SupervisionPolicy] = None,
                  faults: Optional[FaultPlan] = None,
                  evaluator=None,
-                 cache_dir: Optional[str] = None) -> None:
+                 cache_dir: Optional[str] = None,
+                 batch: Optional[bool] = None) -> None:
         if max_workers is not None and max_workers < 0:
             raise InputError("max_workers must be >= 0")
         if chunksize is not None and chunksize < 1:
@@ -387,11 +403,21 @@ class SweepRunner:
         self.evaluator = evaluator if evaluator is not None \
             else evaluate_candidate
         self.cache_dir = cache_dir
+        self.batch = batch
+        if batch is True and not self._evaluator_batches():
+            raise InputError(
+                "batch=True needs an evaluator with batch support "
+                "(supports_batch attribute and evaluate_batch method)")
 
     def _resolve_workers(self) -> int:
         if self.max_workers is not None:
             return self.max_workers
         return min(os.cpu_count() or 1, 8)
+
+    def _evaluator_batches(self) -> bool:
+        """Whether the configured evaluator can take whole task lists."""
+        return bool(getattr(self.evaluator, "supports_batch", False)
+                    and hasattr(self.evaluator, "evaluate_batch"))
 
     # -- execution paths -----------------------------------------------------
 
@@ -420,6 +446,22 @@ class SweepRunner:
                        else self.evaluator(task))
             self._journal_outcome(journal, outcome)
             outcomes.append(outcome)
+        return outcomes
+
+    def _run_batched(self, tasks: List[tuple],
+                     journal=None) -> List[CandidateOutcome]:
+        """Hand the whole task list to the evaluator's batch scheduler.
+
+        The evaluator groups candidates by network structure and
+        advances each group as one vectorized system (see
+        :mod:`avipack.thermal.batch`); per-candidate outcomes come back
+        in task order with the usual failure isolation and are
+        journalled exactly like the scalar paths.
+        """
+        cache = self._serial_cache()
+        outcomes = self.evaluator.evaluate_batch(tasks, cache)
+        for outcome in outcomes:
+            self._journal_outcome(journal, outcome)
         return outcomes
 
     def _run_parallel(self, tasks: List[tuple], workers: int,
@@ -567,6 +609,12 @@ class SweepRunner:
         the main process holds it.
         """
         workers = self._resolve_workers()
+        if self.batch is not False and self._evaluator_batches():
+            try:
+                return self._run_batched(tasks, journal), "batched", 1
+            finally:
+                if self.faults is not None:
+                    _faults.uninstall()
         mode = "parallel" if (self.parallel and workers > 1
                               and len(tasks) > 1) else "serial"
         try:
@@ -716,7 +764,13 @@ class SweepRunner:
         if not candidates:
             raise InputError("sweep needs at least one candidate")
         restored = dict(replay.outcomes)
-        flagged = audit_outcomes(restored.values())
+        # The supply-floor and level-2 energy-balance invariants hold
+        # only for the default design-procedure workload; a custom
+        # evaluator (arbitrary networks) would fail them on every
+        # intact record and resume would recompute the whole campaign.
+        flagged = audit_outcomes(
+            restored.values(),
+            model_checks=self.evaluator is evaluate_candidate)
         for fingerprint in flagged:
             restored.pop(fingerprint, None)
         pending = [(index, candidate)

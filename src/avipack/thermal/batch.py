@@ -1,0 +1,548 @@
+"""Batched steady-state solves over topology-sharing network stacks.
+
+A design-space sweep evaluates hundreds of candidate stacks that share
+one network *topology* — same nodes, same links, same fixed/free split —
+and differ only in parameter values: heat loads (power maps), fixed
+sink temperatures, constant conductances (materials, TIM choices) and
+the coefficients inside callable links.  The scalar path in
+:mod:`avipack.thermal.network` solves each candidate independently,
+paying Python dispatch, operator assembly and an LU factorization per
+candidate.  This module lowers the whole candidate axis into the solver:
+
+* candidates are grouped by :func:`structural_fingerprint` (topology
+  only, no parameter values);
+* constant-conductance assembly is vectorized over the candidate
+  dimension — one sparse scatter operator per group maps the stacked
+  parameter arrays ``(B, n_const)`` onto stacked CSC data rows
+  ``(B, nnz)`` in a single sparse-times-dense product;
+* candidates whose assembled operators are bit-identical share one LU
+  factorization, and their right-hand sides are stacked into a single
+  multi-RHS ``lu.solve`` — the candidates-per-factorization amortization
+  the sweep throughput work targets;
+* callable links are evaluated over the whole candidate stack at once
+  (numpy broadcasting when every candidate shares the callable, a tight
+  per-candidate loop otherwise), and the nonlinear fixed point advances
+  all candidates of a group simultaneously with *per-candidate
+  convergence masking*: converged candidates freeze, the rest keep
+  iterating, and any straggler left at the iteration budget falls back
+  to the scalar path so its failure semantics (:class:`~avipack.errors.
+  ConvergenceError` with a warm-startable last iterate) are identical
+  to an unbatched solve.
+
+Per-candidate results are bit-compatible with the scalar path: the
+fixed-point trajectory of every candidate is exactly the one
+:meth:`avipack.thermal.network.ThermalNetwork.solve` would have walked,
+just advanced in lockstep with its group.
+
+Counters land in :mod:`avipack.perf` under the ``"network.batched"``
+kernel: ``batched_solves`` (group solves), ``batch_width`` (candidates
+answered by the batch path) and the derived candidates-per-factorization
+figure, alongside the usual assembly/factorization/solve accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csc_matrix, csr_matrix
+from scipy.sparse.linalg import splu
+
+from .. import perf
+from ..errors import InputError
+from ..fingerprint import stable_fingerprint
+from .network import NetworkSolution, ThermalNetwork, _CompiledNetwork
+
+__all__ = ["BatchOutcome", "group_by_structure", "solve_batched",
+           "structural_fingerprint"]
+
+#: Perf kernel the batch path records under.
+KERNEL = "network.batched"
+
+#: Below this group size the batch machinery costs more than it saves.
+DEFAULT_MIN_BATCH = 2
+
+
+def structural_fingerprint(network: ThermalNetwork) -> str:
+    """Topology-only fingerprint of a network.
+
+    Two networks fingerprint identically here when they share node
+    names (in insertion order), the fixed/free split, and link
+    endpoints in declaration order with the same constant-vs-callable
+    kind per link — i.e. when they assemble into operators with the
+    same sparsity template and can be advanced as one batched system.
+    Parameter *values* (heat loads, fixed temperatures, conductances,
+    callable coefficients) are deliberately excluded: they are the
+    candidate axis the batch stacks over.
+    """
+    nodes = network._nodes
+    return stable_fingerprint(
+        "network_structure",
+        tuple(nodes),
+        tuple(name for name, node in nodes.items()
+              if node.fixed_temperature is not None),
+        tuple((link.node_a, link.node_b, callable(link.conductance))
+              for link in network._links))
+
+
+def group_by_structure(networks: Sequence[ThermalNetwork]
+                       ) -> Dict[str, List[int]]:
+    """Indices of ``networks`` grouped by :func:`structural_fingerprint`.
+
+    Preserves first-seen group order and, within a group, input order —
+    the deterministic schedule :func:`solve_batched` executes.
+    """
+    groups: Dict[str, List[int]] = {}
+    for index, network in enumerate(networks):
+        groups.setdefault(structural_fingerprint(network), []).append(index)
+    return groups
+
+
+@dataclass
+class BatchOutcome:
+    """One network's outcome from :func:`solve_batched`.
+
+    Exactly one of ``solution``/``error`` is set.  ``batched`` is True
+    when the answer came from the vectorized group path; False marks
+    the scalar path (small group, precondition failure, straggler
+    fallback) whose cost and exceptions are the classic per-candidate
+    ones.
+    """
+
+    solution: Optional[NetworkSolution] = None
+    error: Optional[BaseException] = None
+    batched: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the solve produced a solution."""
+        return self.solution is not None
+
+
+@dataclass
+class _Group:
+    """One topology-sharing candidate group lowered to stacked arrays."""
+
+    comp: _CompiledNetwork
+    indices: List[int]
+    networks: List[ThermalNetwork]
+    heat_free: np.ndarray      # (B, n_free)
+    fixed_vals: np.ndarray     # (B, n)
+    g_const: np.ndarray        # (B, n_const)
+    callables: List[List[Callable[[float, float], float]]]
+    # Scatter operators, built once per group:
+    scatter_const: csr_matrix       # (nnz, n_const) -> operator data
+    scatter_var: Optional[csr_matrix]    # (nnz, n_var)
+    rhs_const: Optional[csr_matrix]      # (n_free, K_c) fixed-coupling
+    rhs_var: Optional[csr_matrix]        # (n_free, K_v)
+    flow_scatter: csr_matrix             # (n_free, n_links) balance
+    #: Per-var-link: every candidate shares the same callable object.
+    shared_fn: List[bool] = field(default_factory=list)
+    #: Tri-state vectorization verdict per var link (None = untried).
+    vector_ok: List[Optional[bool]] = field(default_factory=list)
+
+
+def _lower_group(networks: List[ThermalNetwork], indices: List[int]
+                 ) -> _Group:
+    """Stack one group's parameters and build its scatter operators."""
+    comp = networks[0]._compiled(KERNEL)
+    n = len(comp.names)
+    n_free = comp.n_free
+    heat = np.array([[node.heat_load for node in net._nodes.values()]
+                     for net in networks])
+    fixed_vals = np.array(
+        [[node.fixed_temperature
+          if node.fixed_temperature is not None else 0.0
+          for node in net._nodes.values()] for net in networks])
+    g_const = np.array(
+        [[float(net._links[int(k)].conductance) for k in comp.const_sel]
+         for net in networks])
+    callables = [[net._links[int(k)].conductance for k in comp.var_sel]
+                 for net in networks]
+
+    nnz = comp.const_data.size
+    scatter_const = csr_matrix(
+        (comp.c_sign, (comp.c_pos, comp.c_link)),
+        shape=(nnz, max(len(comp.const_sel), 1)))
+    scatter_var = None
+    if comp.var_sel.size:
+        scatter_var = csr_matrix(
+            (comp.v_sign, (comp.v_pos, comp.v_link)),
+            shape=(nnz, len(comp.var_sel)))
+    rhs_const = None
+    if comp.c_rhs_rows.size:
+        k_c = comp.c_rhs_rows.size
+        rhs_const = csr_matrix(
+            (np.ones(k_c), (comp.c_rhs_rows, np.arange(k_c))),
+            shape=(n_free, k_c))
+    rhs_var = None
+    if comp.var_sel.size and comp.v_rhs_rows.size:
+        k_v = comp.v_rhs_rows.size
+        rhs_var = csr_matrix(
+            (np.ones(k_v), (comp.v_rhs_rows, np.arange(k_v))),
+            shape=(n_free, k_v))
+    # Signed free-node incidence: balance = Q - P @ q  (per candidate).
+    ja = comp.free_of[comp.ia]
+    jb = comp.free_of[comp.ib]
+    a_free = ja >= 0
+    b_free = jb >= 0
+    links = np.arange(comp.ia.size)
+    flow_scatter = csr_matrix(
+        (np.concatenate([np.ones(int(a_free.sum())),
+                         -np.ones(int(b_free.sum()))]),
+         (np.concatenate([ja[a_free], jb[b_free]]),
+          np.concatenate([links[a_free], links[b_free]]))),
+        shape=(n_free, comp.ia.size))
+
+    n_var = int(comp.var_sel.size)
+    shared_fn = [all(callables[b][j] is callables[0][j]
+                     for b in range(len(networks)))
+                 for j in range(n_var)]
+    return _Group(comp=comp, indices=indices, networks=networks,
+                  heat_free=heat[:, comp.free], fixed_vals=fixed_vals,
+                  g_const=g_const, callables=callables,
+                  scatter_const=scatter_const, scatter_var=scatter_var,
+                  rhs_const=rhs_const, rhs_var=rhs_var,
+                  flow_scatter=flow_scatter, shared_fn=shared_fn,
+                  vector_ok=[None] * n_var)
+
+
+def _assemble_const(group: _Group) -> np.ndarray:
+    """Stacked constant-part operator data, one vectorized scatter."""
+    if not group.comp.const_sel.size:
+        return np.zeros((len(group.networks), group.comp.const_data.size))
+    return np.ascontiguousarray(
+        (group.scatter_const @ group.g_const.T).T)
+
+
+def _rhs_base(group: _Group) -> np.ndarray:
+    """Stacked steady RHS: heat loads + constant fixed-node coupling."""
+    rhs = group.heat_free.copy()
+    if group.rhs_const is not None:
+        term = (group.g_const[:, group.comp.c_rhs_link]
+                * group.fixed_vals[:, group.comp.c_rhs_other])
+        rhs += (group.rhs_const @ term.T).T
+    return rhs
+
+
+def _eval_callables_batch(group: _Group, temps: np.ndarray,
+                          act: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Callable conductances for the active candidates ``act``.
+
+    Returns ``(g_var, negative)`` where ``g_var`` has shape
+    ``(act.size, n_var)`` (clamped like the scalar path) and
+    ``negative`` flags positions in ``act`` whose callables returned a
+    negative value — the scalar path raises
+    :class:`~avipack.errors.InputError` for those, so the caller routes
+    them to the scalar fallback to reproduce the exact failure.
+
+    Links whose callable is shared by every candidate in the group are
+    tried as a single broadcast call over the candidate axis; the
+    verdict is cached so a scalar-only callable costs one failed probe,
+    not one per iteration.
+    """
+    comp = group.comp
+    n_var = int(comp.var_sel.size)
+    out = np.empty((act.size, n_var))
+    for j in range(n_var):
+        ia = comp.var_ia[j]
+        ib = comp.var_ib[j]
+        t_a = temps[act, ia]
+        t_b = temps[act, ib]
+        if group.shared_fn[j] and group.vector_ok[j] is not False:
+            fn = group.callables[int(act[0])][j]
+            try:
+                res = np.asarray(fn(t_a, t_b), dtype=float)
+            except Exception:
+                group.vector_ok[j] = False
+            else:
+                if res.shape == t_a.shape:
+                    out[:, j] = res
+                    group.vector_ok[j] = True
+                    continue
+                group.vector_ok[j] = False
+        for i, b in enumerate(act.tolist()):
+            out[i, j] = float(group.callables[b][j](temps[b, ia],
+                                                    temps[b, ib]))
+    negative = (out < 0.0).any(axis=1) if n_var else \
+        np.zeros(act.size, dtype=bool)
+    return np.maximum(out, 1e-12), negative
+
+
+def _factorize_and_solve(data: np.ndarray, rhs: np.ndarray,
+                         comp: _CompiledNetwork
+                         ) -> Tuple[np.ndarray, int, int]:
+    """Solve the stacked systems, sharing LUs across identical operators.
+
+    ``data``/``rhs`` are the per-candidate operator data rows and
+    right-hand sides.  Rows whose operator data is bit-identical share
+    a single factorization and are answered by one multi-RHS
+    ``lu.solve``.  Returns ``(solutions, factorizations, reuses)`` with
+    ``solutions`` of shape ``(B, n_free)``.
+    """
+    n_free = comp.n_free
+    template = comp._matrix
+    solutions = np.empty((data.shape[0], n_free))
+    by_operator: Dict[bytes, List[int]] = {}
+    for row, datum in enumerate(data):
+        by_operator.setdefault(datum.tobytes(), []).append(row)
+    factorizations = 0
+    reuses = 0
+    for rows in by_operator.values():
+        matrix = csc_matrix(
+            (data[rows[0]], template.indices, template.indptr),
+            shape=(n_free, n_free))
+        lu = splu(matrix)
+        factorizations += 1
+        reuses += len(rows) - 1
+        stacked = lu.solve(rhs[rows].T)
+        solutions[rows] = np.atleast_2d(stacked.T)
+    return solutions, factorizations, reuses
+
+
+def _finalize(group: _Group, b: int, temps_row: np.ndarray,
+              g_var_row: Optional[np.ndarray],
+              iterations: int) -> NetworkSolution:
+    """Per-candidate flows/residual from one conductance evaluation."""
+    comp = group.comp
+    g_all = np.empty(comp.ia.size)
+    if comp.const_sel.size:
+        g_all[comp.const_sel] = group.g_const[b]
+    if comp.var_sel.size:
+        g_all[comp.var_sel] = g_var_row
+    q = g_all * (temps_row[comp.ia] - temps_row[comp.ib])
+    flows = dict(zip(comp.flow_keys, map(float, q), strict=True))
+    balance = group.heat_free[b] - group.flow_scatter @ q
+    residual = float(np.max(np.abs(balance))) if comp.n_free else 0.0
+    temperatures = {name: float(temps_row[i])
+                    for i, name in enumerate(comp.names)}
+    return NetworkSolution(temperatures, flows, iterations, residual)
+
+
+def _solve_group(group: _Group, outcomes: List[Optional[BatchOutcome]],
+                 initial_guess: float, max_iterations: int,
+                 tolerance: float, relaxation: float) -> List[int]:
+    """Advance one topology group as a batched system.
+
+    Fills ``outcomes`` (by original index) for every candidate the
+    batch path answered and returns the original indices that must fall
+    back to the scalar path: callables that returned negative values,
+    convergence stragglers, or any candidate of a group whose batched
+    evaluation failed unexpectedly.
+    """
+    start = time.perf_counter()
+    comp = group.comp
+    b_total = len(group.networks)
+    n = len(comp.names)
+    nonlinear = comp.nonlinear
+
+    temps = np.full((b_total, n), float(initial_guess))
+    fixed_idx = np.flatnonzero(comp.fixed_mask)
+    temps[:, fixed_idx] = group.fixed_vals[:, fixed_idx]
+
+    data_const = _assemble_const(group)
+    rhs_base = _rhs_base(group)
+    assemblies = 1
+    factorizations = 0
+    reuses = 0
+    iteration_count = 0
+
+    active = np.ones(b_total, dtype=bool)
+    iters = np.zeros(b_total, dtype=int)
+    fallback: List[int] = []
+    g_var_last = (np.zeros((b_total, int(comp.var_sel.size)))
+                  if nonlinear else None)
+
+    for iteration in range(1, max_iterations + 1):
+        act = np.flatnonzero(active)
+        if not act.size:
+            break
+        if nonlinear:
+            g_var, negative = _eval_callables_batch(group, temps, act)
+            if negative.any():
+                for i in np.flatnonzero(negative).tolist():
+                    fallback.append(int(act[i]))
+                    active[act[i]] = False
+                keep = ~negative
+                act = act[keep]
+                g_var = g_var[keep]
+                if not act.size:
+                    continue
+            g_var_last[act] = g_var
+            data = data_const[act] + (group.scatter_var @ g_var.T).T
+            rhs = rhs_base[act]
+            if group.rhs_var is not None:
+                term = (g_var[:, group.comp.v_rhs_link]
+                        * group.fixed_vals[
+                            np.ix_(act, group.comp.v_rhs_other)])
+                rhs = rhs + (group.rhs_var @ term.T).T
+            if iteration > 1:
+                assemblies += 1
+        else:
+            data = data_const[act]
+            rhs = rhs_base[act]
+        if comp.n_free:
+            new_free, n_lu, n_reuse = _factorize_and_solve(
+                np.ascontiguousarray(data), np.ascontiguousarray(rhs),
+                comp)
+            factorizations += n_lu
+            reuses += n_reuse
+            current = temps[np.ix_(act, comp.free)]
+            step = new_free - current
+            delta = np.abs(step).max(axis=1)
+            temps[np.ix_(act, comp.free)] = (
+                current + relaxation * step if nonlinear else new_free)
+        else:
+            delta = np.zeros(act.size)
+        iters[act] = iteration
+        iteration_count += int(act.size)
+        if not nonlinear:
+            active[act] = False
+            continue
+        converged = delta < tolerance
+        active[act[converged]] = False
+
+    # Stragglers: still active after the budget -> scalar path, which
+    # walks the identical trajectory and raises the library's
+    # ConvergenceError with the proper last iterate.
+    for b in np.flatnonzero(active).tolist():
+        fallback.append(b)
+
+    dropped = set(fallback)
+    solved = [b for b in range(b_total)
+              if not active[b] and b not in dropped]
+    if nonlinear and solved:
+        # One more conductance evaluation at the final temperatures for
+        # flows/residual, mirroring the scalar solution_outputs (strict:
+        # a negative value here fails the candidate the scalar way).
+        act = np.array(solved, dtype=np.intp)
+        g_final, negative = _eval_callables_batch(group, temps, act)
+        if negative.any():
+            for i in np.flatnonzero(negative).tolist():
+                fallback.append(int(act[i]))
+            keep = ~negative
+            act = act[keep]
+            g_final = g_final[keep]
+            solved = act.tolist()
+        g_var_last[act] = g_final
+
+    for b in solved:
+        solution = _finalize(
+            group, b, temps[b],
+            g_var_last[b] if nonlinear else None, int(iters[b]))
+        outcomes[group.indices[b]] = BatchOutcome(solution=solution,
+                                                  batched=True)
+    perf.record(KERNEL, solves=len(solved), iterations=iteration_count,
+                assemblies=assemblies, factorizations=factorizations,
+                factorization_reuses=reuses, batched_solves=1,
+                batch_width=len(solved),
+                wall_s=time.perf_counter() - start)
+    return [group.indices[b] for b in dict.fromkeys(fallback)]
+
+
+def _scalar_outcome(network: ThermalNetwork, initial_guess: float,
+                    max_iterations: int, tolerance: float,
+                    relaxation: float) -> BatchOutcome:
+    """Scalar-path outcome with the classic failure semantics."""
+    try:
+        solution = network.solve(initial_guess=initial_guess,
+                                 max_iterations=max_iterations,
+                                 tolerance=tolerance,
+                                 relaxation=relaxation)
+    except Exception as exc:
+        return BatchOutcome(error=exc, batched=False)
+    return BatchOutcome(solution=solution, batched=False)
+
+
+def _batchable(network: ThermalNetwork) -> bool:
+    """Whether the batch path's cheap preconditions hold for ``network``.
+
+    Networks failing them (no nodes, no fixed-temperature node) are
+    routed to the scalar path so the exact scalar
+    :class:`~avipack.errors.InputError` is raised for them.  Floating
+    islands are a *structural* property, so they are detected once per
+    group — after grouping — rather than compiling every candidate here.
+    """
+    if not network._nodes:
+        return False
+    return any(node.fixed_temperature is not None
+               for node in network._nodes.values())
+
+
+def solve_batched(networks: Sequence[ThermalNetwork], *,
+                  initial_guess: float = 320.0, max_iterations: int = 200,
+                  tolerance: float = 1e-8, relaxation: float = 0.7,
+                  min_batch: int = DEFAULT_MIN_BATCH
+                  ) -> List[BatchOutcome]:
+    """Solve many networks, amortizing structure across topology groups.
+
+    Networks are grouped by :func:`structural_fingerprint`; each group
+    of at least ``min_batch`` members is advanced as one vectorized
+    system (stacked assembly, shared factorizations, multi-RHS solves,
+    masked fixed-point iteration).  Everything that cannot be batched —
+    singleton groups, precondition failures, negative callables,
+    convergence stragglers — is answered by the scalar path, so every
+    outcome's value *and* failure behaviour matches what
+    :meth:`~avipack.thermal.network.ThermalNetwork.solve` would have
+    produced candidate by candidate.
+
+    Returns one :class:`BatchOutcome` per input network, in input
+    order.  Never raises for a per-candidate solve failure; the solver
+    settings themselves are validated eagerly (empty input, bad
+    relaxation) with the scalar path's :class:`~avipack.errors.
+    InputError` messages.
+    """
+    networks = list(networks)
+    if not networks:
+        raise InputError("solve_batched needs at least one network")
+    if not 0.0 < relaxation <= 1.0:
+        raise InputError("relaxation must be in (0, 1]")
+    if min_batch < 2:
+        raise InputError("min_batch must be >= 2")
+
+    outcomes: List[Optional[BatchOutcome]] = [None] * len(networks)
+
+    scalar_indices: List[int] = []
+    batch_groups: Dict[str, List[int]] = {}
+    for index, network in enumerate(networks):
+        try:
+            usable = _batchable(network)
+        except Exception:
+            usable = False
+        if not usable:
+            scalar_indices.append(index)
+            continue
+        batch_groups.setdefault(
+            structural_fingerprint(network), []).append(index)
+
+    for key in list(batch_groups):
+        if len(batch_groups[key]) < min_batch:
+            scalar_indices.extend(batch_groups.pop(key))
+
+    for indices in batch_groups.values():
+        members = [networks[i] for i in indices]
+        try:
+            # Floating islands are structural: one check covers the
+            # whole group.  Affected groups take the scalar path so
+            # each member raises the scalar InputError by name.
+            if members[0]._compiled(KERNEL).floating:
+                scalar_indices.extend(indices)
+                continue
+            group = _lower_group(members, indices)
+            stragglers = _solve_group(group, outcomes, initial_guess,
+                                      max_iterations, tolerance,
+                                      relaxation)
+        except Exception:
+            # Defensive: a batch-machinery failure must never take the
+            # group down — every member still gets its scalar answer.
+            stragglers = [i for i in indices if outcomes[i] is None]
+        scalar_indices.extend(stragglers)
+
+    for index in scalar_indices:
+        outcomes[index] = _scalar_outcome(
+            networks[index], initial_guess, max_iterations, tolerance,
+            relaxation)
+
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -1,0 +1,276 @@
+"""SweepRunner batch scheduling (:class:`avipack.sweep.NetworkSweepEvaluator`).
+
+A batch-capable evaluator routes whole task lists through the
+vectorized solver core; these tests pin the contract around it: a
+batched sweep and the forced-scalar sweep of the same grid must agree
+on every outcome (temperatures to rel 1e-10, identical rankings, the
+same structured failures for non-converging candidates), while
+journaling, resume and cache semantics stay exactly as on the classic
+paths.
+"""
+
+import pytest
+
+from avipack.errors import InputError
+from avipack.sweep import (
+    Candidate,
+    CandidateFailure,
+    NetworkSweepEvaluator,
+    SweepRunner,
+    render_sweep_document,
+)
+from avipack.thermal import ThermalNetwork
+
+REL = 1e-10
+
+#: Conductance variant per TIM choice — two topology-sharing variants,
+#: so a grid over (tim, power) exercises both the stacked-assembly axis
+#: and the multi-RHS axis of the batch core.
+_G_TIM = {"standard_grease": 3.0, "silicone_pad": 1.5}
+
+
+def build_candidate_network(candidate):
+    """Realise a candidate as a small board-stack network (picklable)."""
+    power = candidate.power_per_module
+    net = ThermalNetwork()
+    net.add_node("chip", heat_load=power)
+    net.add_node("case", heat_load=0.1 * power)
+    net.add_node("board")
+    net.add_node("sink", fixed_temperature=300.0)
+    net.add_conductance("chip", "case", _G_TIM[candidate.tim_name])
+    net.add_conductance("case", "board", 2.0)
+    net.add_conductance("board", "sink", 1.5)
+    return net
+
+
+def build_sometimes_oscillating(candidate):
+    """Networks where ``series_fraction >= 0.9`` never converge."""
+    net = build_candidate_network(candidate)
+    if candidate.series_fraction >= 0.9:
+        net.add_conductance(
+            "case", "sink",
+            lambda a, b: 0.02 if int(a * 1e6) % 2 == 0 else 8.0)
+    else:
+        net.add_conductance("case", "sink",
+                            lambda a, b: 0.05 + 1e-4 * (a - b))
+    return net
+
+
+def make_grid(n_powers=6):
+    # Powers chosen so every board runs hotter than the 40 degC rack
+    # supply: restored outcomes must pass the resume-time first-law
+    # audit (avipack.durability.audit), not get flagged and recomputed.
+    return [Candidate(power_per_module=12.0 + 2.0 * k, tim_name=tim)
+            for tim in sorted(_G_TIM) for k in range(n_powers)]
+
+
+def run_pair(candidates, tmp_path=None, **evaluator_kwargs):
+    """The same grid via the batch scheduler and the scalar baseline."""
+    batched = SweepRunner(
+        parallel=False,
+        evaluator=NetworkSweepEvaluator(build_candidate_network,
+                                        **evaluator_kwargs),
+    ).run(candidates)
+    scalar = SweepRunner(
+        parallel=False, batch=False,
+        evaluator=NetworkSweepEvaluator(build_candidate_network,
+                                        **evaluator_kwargs),
+    ).run(candidates)
+    return batched, scalar
+
+
+class TestBatchedVsScalarParity:
+    def test_modes_and_flags(self):
+        batched, scalar = run_pair(make_grid())
+        assert batched.mode == "batched"
+        assert scalar.mode == "serial"
+        assert batched.n_batched == len(batched.outcomes)
+        assert scalar.n_batched == 0
+        assert all(o.batched for o in batched.results)
+        assert not any(o.batched for o in scalar.results)
+
+    def test_temperature_and_compliance_parity(self):
+        batched, scalar = run_pair(make_grid())
+        for a, b in zip(batched.outcomes, scalar.outcomes):
+            assert a.index == b.index
+            assert a.compliant == b.compliant
+            assert abs(a.worst_board_c - b.worst_board_c) <= \
+                REL * max(1.0, abs(b.worst_board_c))
+            assert a.margins["network_board_margin_c"] == pytest.approx(
+                b.margins["network_board_margin_c"], abs=1e-8)
+
+    def test_identical_rankings(self):
+        batched, scalar = run_pair(make_grid())
+        assert [o.index for o in batched.ranked()] == \
+            [o.index for o in scalar.ranked()]
+        assert batched.best().fingerprint == scalar.best().fingerprint
+
+    def test_board_limit_violations_match(self):
+        batched, scalar = run_pair(make_grid(), board_limit_c=55.0)
+        assert batched.n_compliant == scalar.n_compliant
+        assert batched.n_compliant < len(batched.outcomes)
+        for a, b in zip(batched.outcomes, scalar.outcomes):
+            assert a.violations == b.violations
+
+    def test_perf_counters_record_the_batch(self):
+        batched, _ = run_pair(make_grid())
+        by_kernel = {stats.kernel: stats for stats in batched.perf}
+        stats = by_kernel["network.batched"]
+        assert stats.batched_solves >= 1
+        assert stats.batch_width == len(batched.outcomes)
+        assert stats.factorization_reuses > 0
+
+
+class TestMixedConvergenceGroups:
+    def grids(self):
+        good = [Candidate(power_per_module=4.0 + 2.0 * k,
+                          series_fraction=0.3) for k in range(4)]
+        bad = [Candidate(power_per_module=9.0, series_fraction=0.9)]
+        return good + bad
+
+    def run_pair(self):
+        results = []
+        for batch in (None, False):
+            runner = SweepRunner(
+                parallel=False, batch=batch,
+                evaluator=NetworkSweepEvaluator(
+                    build_sometimes_oscillating, max_iterations=40))
+            results.append(runner.run(self.grids()))
+        return results
+
+    def test_stragglers_fail_identically(self):
+        batched, scalar = self.run_pair()
+        assert len(batched.failures) == len(scalar.failures) == 1
+        a, b = batched.failures[0], scalar.failures[0]
+        assert a.index == b.index
+        assert a.stage == b.stage == "solve"
+        assert a.error_type == b.error_type == "ConvergenceError"
+        assert a.message == b.message
+
+    def test_survivors_keep_parity_and_ranking(self):
+        batched, scalar = self.run_pair()
+        assert len(batched.results) == len(scalar.results) == 4
+        assert all(o.batched for o in batched.results)
+        for a, b in zip(batched.results, scalar.results):
+            assert abs(a.worst_board_c - b.worst_board_c) <= \
+                REL * max(1.0, abs(b.worst_board_c))
+        assert [o.index for o in batched.ranked()] == \
+            [o.index for o in scalar.ranked()]
+
+    def test_build_failures_stay_isolated(self):
+        def fragile(candidate):
+            if candidate.n_components == 13:
+                raise InputError("unbuildable candidate")
+            return build_candidate_network(candidate)
+
+        candidates = [Candidate(power_per_module=5.0),
+                      Candidate(power_per_module=6.0, n_components=13),
+                      Candidate(power_per_module=7.0)]
+        report = SweepRunner(
+            parallel=False,
+            evaluator=NetworkSweepEvaluator(fragile)).run(candidates)
+        assert report.mode == "batched"
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert isinstance(failure, CandidateFailure)
+        assert failure.stage == "build"
+        assert failure.message == "unbuildable candidate"
+        assert len(report.results) == 2
+
+
+class TestReportAndJournal:
+    def test_report_renders_batched_line(self):
+        batched, scalar = run_pair(make_grid(3))
+        document = render_sweep_document(batched)
+        assert "batched" in document
+        assert f"{batched.n_batched} candidates via topology-group" \
+            in document
+        assert "batched" not in render_sweep_document(scalar)
+
+    def test_journalled_batch_sweep_resumes(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        evaluator = NetworkSweepEvaluator(build_candidate_network)
+        fresh = SweepRunner(parallel=False, evaluator=evaluator).run(
+            make_grid(3), journal_path=path)
+        assert fresh.mode == "batched"
+        resumed = SweepRunner(parallel=False,
+                              evaluator=evaluator).resume(path)
+        assert resumed.durability.n_resumed == len(fresh.outcomes)
+        assert resumed.durability.n_recomputed == 0
+        # The batched flag survives the journal round-trip.
+        assert resumed.n_batched == fresh.n_batched
+        assert [o.index for o in resumed.ranked()] == \
+            [o.index for o in fresh.ranked()]
+
+
+class TestCacheSharing:
+    def test_scalar_run_hits_batch_written_entries(self, tmp_path):
+        candidates = make_grid(3)
+        cache_dir = str(tmp_path / "cache")
+        evaluator = NetworkSweepEvaluator(build_candidate_network)
+        first = SweepRunner(parallel=False, evaluator=evaluator,
+                            cache_dir=cache_dir).run(candidates)
+        assert first.mode == "batched"
+        assert first.cache.misses >= len(candidates)
+        second = SweepRunner(parallel=False, batch=False,
+                             evaluator=evaluator,
+                             cache_dir=cache_dir).run(candidates)
+        assert second.cache.hits == len(candidates)
+        assert second.cache.misses == 0
+
+    def test_second_batched_run_is_all_hits(self, tmp_path):
+        candidates = make_grid(3)
+        cache_dir = str(tmp_path / "cache")
+        evaluator = NetworkSweepEvaluator(build_candidate_network)
+        SweepRunner(parallel=False, evaluator=evaluator,
+                    cache_dir=cache_dir).run(candidates)
+        again = SweepRunner(parallel=False, evaluator=evaluator,
+                            cache_dir=cache_dir).run(candidates)
+        assert again.cache.hits == len(candidates)
+        # Cache answers are not batch answers: nothing reached the core.
+        assert again.n_batched == 0
+        assert [o.index for o in again.ranked()] == \
+            [o.index for o in SweepRunner(
+                parallel=False, batch=False, evaluator=evaluator,
+            ).run(candidates).ranked()]
+
+
+class TestProtocolAndValidation:
+    def test_batch_true_requires_capable_evaluator(self):
+        with pytest.raises(InputError, match="batch support"):
+            SweepRunner(batch=True, evaluator=lambda task: None)
+        runner = SweepRunner(
+            parallel=False, batch=True,
+            evaluator=NetworkSweepEvaluator(build_candidate_network))
+        report = runner.run(make_grid(2))
+        assert report.mode == "batched"
+
+    def test_default_evaluator_never_batches(self):
+        report = SweepRunner(parallel=False).run(
+            [Candidate(power_per_module=10.0)])
+        assert report.mode == "serial"
+        assert report.n_batched == 0
+
+    def test_evaluator_validates_settings(self):
+        with pytest.raises(InputError, match="callable"):
+            NetworkSweepEvaluator("not-a-function")
+        with pytest.raises(InputError, match="relaxation"):
+            NetworkSweepEvaluator(build_candidate_network,
+                                  relaxation=1.5)
+
+    def test_scalar_call_protocol_on_parallel_path(self):
+        """batch=False + parallel exercises the picklable __call__ path."""
+        report = SweepRunner(
+            max_workers=2, batch=False,
+            evaluator=NetworkSweepEvaluator(build_candidate_network),
+        ).run(make_grid(2))
+        assert len(report.outcomes) == 4
+        assert not report.failures
+        assert report.n_batched == 0
+        reference = SweepRunner(
+            parallel=False, batch=False,
+            evaluator=NetworkSweepEvaluator(build_candidate_network),
+        ).run(make_grid(2))
+        for a, b in zip(report.outcomes, reference.outcomes):
+            assert a.worst_board_c == pytest.approx(b.worst_board_c,
+                                                    abs=1e-9)

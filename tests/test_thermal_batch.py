@@ -1,0 +1,271 @@
+"""Batched multi-candidate solver core (:mod:`avipack.thermal.batch`).
+
+The batch path's contract is *bit-level trajectory parity* with the
+scalar solver: grouping by structural fingerprint, stacked assembly,
+shared factorizations and convergence masking are allowed to change
+the cost, never the answer — every candidate's temperatures, iteration
+count, flows and failure behaviour must match what a per-candidate
+:meth:`~avipack.thermal.network.ThermalNetwork.solve` produces.
+"""
+
+import numpy as np
+import pytest
+
+from avipack import perf
+from avipack.errors import ConvergenceError, InputError
+from avipack.thermal import ThermalNetwork
+from avipack.thermal.batch import (
+    BatchOutcome,
+    group_by_structure,
+    solve_batched,
+    structural_fingerprint,
+)
+
+REL = 1e-10
+
+
+def build_stack(power=10.0, g_tim=3.0, sink=300.0, nonlinear=False,
+                fn=None):
+    """A chip/case/board/sink candidate stack (one sweep topology)."""
+    net = ThermalNetwork()
+    net.add_node("chip", heat_load=power)
+    net.add_node("case", heat_load=0.2 * power)
+    net.add_node("board")
+    net.add_node("sink", fixed_temperature=sink)
+    net.add_conductance("chip", "case", g_tim, label="tim")
+    net.add_conductance("case", "board", 2.0)
+    net.add_conductance("board", "sink", 1.5)
+    if nonlinear:
+        net.add_conductance("case", "sink",
+                            fn or (lambda a, b: 0.05 + 1e-4 * (a - b)))
+    else:
+        net.add_conductance("case", "sink", 0.08)
+    return net
+
+
+def build_other_topology(power=5.0):
+    """A structurally different network (extra node, different links)."""
+    net = ThermalNetwork()
+    net.add_node("a", heat_load=power)
+    net.add_node("b")
+    net.add_node("amb", fixed_temperature=290.0)
+    net.add_conductance("a", "b", 1.0)
+    net.add_conductance("b", "amb", 0.5)
+    return net
+
+
+def assert_matches_scalar(network, outcome, rel=REL):
+    reference = network.solve()
+    assert outcome.ok
+    for name, expected in reference.temperatures.items():
+        got = outcome.solution.temperatures[name]
+        assert abs(got - expected) <= rel * max(1.0, abs(expected))
+    for key, expected in reference.heat_flows.items():
+        assert outcome.solution.heat_flows[key] == pytest.approx(
+            expected, abs=1e-8)
+    assert outcome.solution.iterations == reference.iterations
+    assert outcome.solution.residual == pytest.approx(
+        reference.residual, abs=1e-9)
+
+
+class TestStructuralFingerprint:
+    def test_parameter_values_do_not_change_the_fingerprint(self):
+        a = build_stack(power=5.0, g_tim=3.0, sink=290.0)
+        b = build_stack(power=25.0, g_tim=9.0, sink=330.0)
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+
+    def test_different_callables_share_a_structure(self):
+        a = build_stack(nonlinear=True, fn=lambda x, y: 0.1)
+        b = build_stack(nonlinear=True, fn=lambda x, y: 0.2 + 1e-3 * x)
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+
+    def test_callable_vs_constant_is_structural(self):
+        assert structural_fingerprint(build_stack()) != \
+            structural_fingerprint(build_stack(nonlinear=True))
+
+    def test_fixed_node_set_is_structural(self):
+        free_sink = build_stack()
+        object.__setattr__(free_sink._nodes["board"], "fixed_temperature",
+                           310.0)
+        assert structural_fingerprint(free_sink) != \
+            structural_fingerprint(build_stack())
+
+    def test_grouping_preserves_input_order(self):
+        nets = [build_stack(power=1.0), build_other_topology(),
+                build_stack(power=2.0), build_other_topology(),
+                build_stack(power=3.0)]
+        groups = group_by_structure(nets)
+        assert list(groups.values()) == [[0, 2, 4], [1, 3]]
+
+
+class TestLinearParity:
+    def test_grid_parity_and_rankings(self):
+        nets = [build_stack(power=p, g_tim=g)
+                for g in (2.0, 4.0) for p in np.linspace(4.0, 16.0, 8)]
+        outcomes = solve_batched(nets)
+        assert all(o.batched for o in outcomes)
+        for net, outcome in zip(nets, outcomes):
+            assert_matches_scalar(net, outcome)
+        batched_order = sorted(
+            range(len(nets)),
+            key=lambda i: outcomes[i].solution.temperature("chip"))
+        scalar_order = sorted(
+            range(len(nets)),
+            key=lambda i: nets[i].solve().temperature("chip"))
+        assert batched_order == scalar_order
+
+    def test_multi_rhs_grouping_counters(self):
+        # One conductance variant, many power levels: every candidate
+        # shares a single factorization.
+        nets = [build_stack(power=p) for p in np.linspace(2.0, 9.0, 12)]
+        perf.reset("network.batched")
+        outcomes = solve_batched(nets)
+        stats = perf.stats("network.batched")
+        assert all(o.ok and o.batched for o in outcomes)
+        assert stats.batched_solves == 1
+        assert stats.batch_width == 12
+        assert stats.solves == 12
+        assert stats.factorizations == 1
+        assert stats.factorization_reuses == 11
+        assert stats.assemblies == 1
+        assert stats.candidates_per_factorization == pytest.approx(12.0)
+
+    def test_mixed_topologies_solve_as_separate_groups(self):
+        nets = [build_stack(power=1.0), build_other_topology(1.0),
+                build_stack(power=2.0), build_other_topology(2.0)]
+        outcomes = solve_batched(nets)
+        assert all(o.ok and o.batched for o in outcomes)
+        for net, outcome in zip(nets, outcomes):
+            assert_matches_scalar(net, outcome)
+
+    def test_varying_sink_temperatures_batch(self):
+        nets = [build_stack(sink=s) for s in (280.0, 300.0, 320.0)]
+        outcomes = solve_batched(nets)
+        assert all(o.ok and o.batched for o in outcomes)
+        for net, outcome in zip(nets, outcomes):
+            assert_matches_scalar(net, outcome)
+
+
+class TestNonlinearParity:
+    def test_shared_callable_broadcasts(self):
+        nets = [build_stack(power=p, nonlinear=True)
+                for p in np.linspace(4.0, 16.0, 10)]
+        outcomes = solve_batched(nets)
+        assert all(o.ok and o.batched for o in outcomes)
+        for net, outcome in zip(nets, outcomes):
+            assert_matches_scalar(net, outcome)
+
+    def test_scalar_only_callable_falls_back_to_loop(self):
+        def scalar_only(a, b):
+            # Branches on its inputs: raises on arrays, so the batch
+            # path must detect it and evaluate per candidate.
+            return 0.08 if a > b else 0.02
+
+        nets = [build_stack(power=p, nonlinear=True, fn=scalar_only)
+                for p in (5.0, 8.0, 11.0)]
+        outcomes = solve_batched(nets)
+        assert all(o.ok and o.batched for o in outcomes)
+        for net, outcome in zip(nets, outcomes):
+            assert_matches_scalar(net, outcome)
+
+    def test_distinct_callables_per_candidate(self):
+        def make_fn(coefficient):
+            return lambda a, b: coefficient * (1.0 + 1e-3 * (a - b))
+
+        nets = [build_stack(power=8.0, nonlinear=True, fn=make_fn(c))
+                for c in (0.05, 0.08, 0.11)]
+        outcomes = solve_batched(nets)
+        assert all(o.ok and o.batched for o in outcomes)
+        for net, outcome in zip(nets, outcomes):
+            assert_matches_scalar(net, outcome)
+
+
+class TestMixedConvergence:
+    def test_straggler_falls_back_with_scalar_error(self):
+        oscillator = (lambda a, b:
+                      0.02 if int(a * 1e6) % 2 == 0 else 8.0)
+        good = [build_stack(power=p, nonlinear=True)
+                for p in (5.0, 8.0, 11.0)]
+        bad = build_stack(power=10.0, nonlinear=True, fn=oscillator)
+        outcomes = solve_batched(good + [bad], max_iterations=40)
+        for net, outcome in zip(good, outcomes[:3]):
+            assert outcome.ok and outcome.batched
+            assert_matches_scalar(net, outcome)
+        straggler = outcomes[3]
+        assert not straggler.ok and not straggler.batched
+        assert isinstance(straggler.error, ConvergenceError)
+        reference = build_stack(power=10.0, nonlinear=True,
+                                fn=oscillator)
+        with pytest.raises(ConvergenceError) as excinfo:
+            reference.solve(max_iterations=40)
+        assert str(straggler.error) == str(excinfo.value)
+        assert straggler.error.last_iterate.keys() == \
+            excinfo.value.last_iterate.keys()
+
+    def test_negative_callable_reproduces_scalar_input_error(self):
+        nets = [build_stack(power=5.0, nonlinear=True),
+                build_stack(power=7.0, nonlinear=True,
+                            fn=lambda a, b: -1.0),
+                build_stack(power=9.0, nonlinear=True)]
+        outcomes = solve_batched(nets)
+        assert outcomes[0].ok and outcomes[0].batched
+        assert outcomes[2].ok and outcomes[2].batched
+        failed = outcomes[1]
+        assert not failed.ok and not failed.batched
+        assert isinstance(failed.error, InputError)
+        assert "negative" in str(failed.error)
+        assert_matches_scalar(nets[0], outcomes[0])
+
+
+class TestScalarRouting:
+    def test_singleton_groups_take_the_scalar_path(self):
+        outcomes = solve_batched([build_stack(), build_other_topology()])
+        assert all(o.ok and not o.batched for o in outcomes)
+
+    def test_min_batch_forces_scalar(self):
+        nets = [build_stack(power=p) for p in (3.0, 6.0, 9.0)]
+        outcomes = solve_batched(nets, min_batch=4)
+        assert all(o.ok and not o.batched for o in outcomes)
+        for net, outcome in zip(nets, outcomes):
+            assert_matches_scalar(net, outcome)
+
+    def test_invalid_networks_fail_like_scalar(self):
+        empty = ThermalNetwork()
+        no_sink = ThermalNetwork()
+        no_sink.add_node("hot", heat_load=1.0)
+        floating = build_stack()
+        floating.add_node("orphan", heat_load=1.0)
+        outcomes = solve_batched([empty, no_sink, floating,
+                                  build_stack(2.0), build_stack(3.0)])
+        assert isinstance(outcomes[0].error, InputError)
+        assert "no nodes" in str(outcomes[0].error)
+        assert isinstance(outcomes[1].error, InputError)
+        assert "fixed-temperature" in str(outcomes[1].error)
+        assert isinstance(outcomes[2].error, InputError)
+        assert "orphan" in str(outcomes[2].error)
+        assert outcomes[3].ok and outcomes[4].ok
+
+    def test_floating_group_fails_every_member_by_name(self):
+        nets = []
+        for power in (1.0, 2.0):
+            net = build_stack(power)
+            net.add_node("orphan", heat_load=power)
+            nets.append(net)
+        outcomes = solve_batched(nets)
+        assert all(isinstance(o.error, InputError) for o in outcomes)
+        assert all("orphan" in str(o.error) for o in outcomes)
+
+    def test_settings_validated_eagerly(self):
+        with pytest.raises(InputError, match="at least one network"):
+            solve_batched([])
+        with pytest.raises(InputError, match="relaxation"):
+            solve_batched([build_stack(), build_stack()], relaxation=0.0)
+        with pytest.raises(InputError, match="min_batch"):
+            solve_batched([build_stack(), build_stack()], min_batch=1)
+
+
+class TestBatchOutcome:
+    def test_ok_reflects_solution_presence(self):
+        assert not BatchOutcome().ok
+        outcomes = solve_batched([build_stack(1.0), build_stack(2.0)])
+        assert outcomes[0].ok and outcomes[0].error is None
