@@ -1,0 +1,151 @@
+"""Job-service overhead benchmarks: latency, throughput, admission.
+
+The service exists for robustness, not speed — but its bookkeeping
+(socket round trips, event fan-out, journalling tee, manifests) must
+stay a small tax on top of the sweep it wraps.  Three loose gates:
+
+* request round-trip latency (``ping``) stays in the milliseconds;
+* a served 12-candidate campaign costs at most a bounded wall-clock
+  premium over the same candidates run directly through
+  :class:`~avipack.sweep.SweepRunner`;
+* the admission-rejection path (the hot path under overload) answers
+  well under the heartbeat period, so a saturated server stays
+  responsive.
+"""
+
+import os
+import shutil
+import statistics
+import tempfile
+import time
+
+import pytest
+
+from avipack.errors import ServiceError
+from avipack.service import (
+    AdmissionPolicy,
+    ServiceClient,
+    ServiceConfig,
+    ThreadedService,
+)
+from avipack.sweep import DesignSpace, SweepRunner
+
+AXES = {
+    "power_per_module": [8.0, 12.0, 16.0, 20.0, 24.0, 28.0],
+    "cooling": ["direct_air_flow", "air_flow_through"],
+}
+
+#: Median ping round trip must stay under this [s].
+PING_CEILING_S = 0.050
+
+#: Served campaign may cost at most this much extra wall clock [s]
+#: over the direct runner (absolute premium: the sweep itself is fast,
+#: so a ratio would just measure noise).
+SERVICE_PREMIUM_CEILING_S = 3.0
+
+#: Median admission rejection must answer under this [s].
+REJECTION_CEILING_S = 0.050
+
+
+def _serve(throttle_s=0.0):
+    sock_dir = tempfile.mkdtemp(prefix="avibench", dir="/tmp")
+    config = ServiceConfig(
+        socket_path=os.path.join(sock_dir, "bench.sock"),
+        journal_dir=os.path.join(sock_dir, "jobs"),
+        parallel=False,
+        heartbeat_s=0.5,
+        throttle_s=throttle_s,
+        admission=AdmissionPolicy(max_queued=1, max_jobs_per_client=1))
+    return sock_dir, ThreadedService(config), config.socket_path
+
+
+@pytest.fixture()
+def served():
+    sock_dir, service, socket_path = _serve()
+    service.start()
+    try:
+        yield ServiceClient(socket_path, timeout_s=30.0)
+    finally:
+        service.stop(timeout_s=60.0)
+        shutil.rmtree(sock_dir, ignore_errors=True)
+
+
+@pytest.fixture()
+def served_slow():
+    # Throttled sweeps keep the hog job alive for the whole rejection
+    # measurement, so every probe really exercises the refusal path.
+    sock_dir, service, socket_path = _serve(throttle_s=0.3)
+    service.start()
+    try:
+        yield ServiceClient(socket_path, timeout_s=30.0)
+    finally:
+        service.stop(timeout_s=60.0)
+        shutil.rmtree(sock_dir, ignore_errors=True)
+
+
+def test_ping_round_trip_latency(served, table_printer):
+    served.ping()  # connection warm-up
+    samples = []
+    for _ in range(50):
+        t0 = time.perf_counter()
+        served.ping()
+        samples.append(time.perf_counter() - t0)
+    median_s = statistics.median(samples)
+    table_printer(
+        "Service request latency (50 pings)",
+        ["metric", "value [ms]"],
+        [["median", f"{median_s * 1e3:.2f}"],
+         ["p90", f"{sorted(samples)[44] * 1e3:.2f}"],
+         ["max", f"{max(samples) * 1e3:.2f}"]])
+    assert median_s < PING_CEILING_S
+
+
+def test_served_campaign_overhead(served, table_printer):
+    space = DesignSpace(axes={name: tuple(values)
+                              for name, values in AXES.items()})
+    t0 = time.perf_counter()
+    direct = SweepRunner(parallel=False).run(space)
+    direct_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    job_id = served.submit(axes=AXES)["job_id"]
+    final = served.wait(job_id, timeout_s=120.0)
+    served_s = time.perf_counter() - t0
+
+    table_printer(
+        "Served campaign vs direct runner (12 candidates)",
+        ["path", "wall [s]", "candidates"],
+        [["direct", f"{direct_s:.3f}", direct.n_candidates],
+         ["served", f"{served_s:.3f}", final["done"]],
+         ["premium", f"{served_s - direct_s:.3f}", ""]])
+
+    assert final["state"] == "completed"
+    assert final["done"] == direct.n_candidates
+    assert served_s - direct_s < SERVICE_PREMIUM_CEILING_S
+
+
+def test_admission_rejection_stays_fast(served_slow, table_printer):
+    served = served_slow
+    # Saturate the 1-job queue + 1-job quota, then time the refusals.
+    running = served.submit(axes=AXES, client="hog")["job_id"]
+    samples = []
+    rejected = 0
+    for attempt in range(30):
+        t0 = time.perf_counter()
+        try:
+            served.submit(axes=AXES, sample=6, seed=attempt,
+                          client="hog")
+        except ServiceError as exc:
+            assert exc.code in ("quota_exceeded", "queue_full")
+            rejected += 1
+        samples.append(time.perf_counter() - t0)
+    served.cancel(running)
+    median_s = statistics.median(samples)
+    table_printer(
+        "Admission rejection latency (30 refused submissions)",
+        ["metric", "value"],
+        [["rejected", rejected],
+         ["median [ms]", f"{median_s * 1e3:.2f}"],
+         ["max [ms]", f"{max(samples) * 1e3:.2f}"]])
+    assert rejected == 30
+    assert median_s < REJECTION_CEILING_S

@@ -40,6 +40,8 @@ Subpackages
     Arrhenius/MIL-HDBK-217 style MTBF prediction.
 ``packaging``
     Components, PCBs, modules, racks and the COSEE SEB.
+``service``
+    The resilient sweep job server (asyncio, Unix socket) + client.
 ``core``
     The design procedure: levels, selection, qualification, reporting.
 ``experiments``
@@ -56,6 +58,7 @@ from . import (
     perf,
     reliability,
     resilience,
+    service,
     sweep,
     thermal,
     tim,
@@ -67,9 +70,11 @@ from .errors import (
     CacheCorruptionError,
     ConvergenceError,
     InputError,
+    DurabilityError,
     MaterialNotFoundError,
     ModelRangeError,
     OperatingLimitError,
+    ServiceError,
     SpecificationError,
     WatchdogTimeout,
     WorkerCrashError,
@@ -98,6 +103,7 @@ from .resilience import (
     SupervisionPolicy,
     Supervisor,
 )
+from .service import ServiceClient, SweepService
 from .sweep import (
     Candidate,
     DesignSpace,
@@ -116,6 +122,7 @@ __all__ = [
     "Candidate",
     "ConvergenceError",
     "DesignSpace",
+    "DurabilityError",
     "FaultPlan",
     "FaultSpec",
     "FrequencyAllocation",
@@ -132,12 +139,15 @@ __all__ = [
     "RecoveryTrail",
     "SeatElectronicsBox",
     "SebConfiguration",
+    "ServiceClient",
+    "ServiceError",
     "SolverCache",
     "SpecificationError",
     "Supervisor",
     "SupervisionPolicy",
     "SweepReport",
     "SweepRunner",
+    "SweepService",
     "ThermalNetwork",
     "Thermosyphon",
     "WatchdogTimeout",
@@ -151,6 +161,7 @@ __all__ = [
     "perf",
     "reliability",
     "resilience",
+    "service",
     "sweep",
     "thermal",
     "tim",

@@ -9,6 +9,8 @@ Usage::
     python -m avipack qual       # the virtual qualification campaign
     python -m avipack sweep --journal sweep.jsonl        # durable sweep
     python -m avipack sweep --journal sweep.jsonl --resume  # continue it
+    python -m avipack serve --socket /tmp/avipack.sock \\
+        --journal-dir jobs/                     # resilient job server
 """
 
 from __future__ import annotations
@@ -77,7 +79,15 @@ def _print_qualification() -> None:
 
 
 def _run_sweep(argv) -> int:
-    """``python -m avipack sweep`` — a durable design-space campaign."""
+    """``python -m avipack sweep`` — a durable design-space campaign.
+
+    Exit codes: 0 — sweep finished with compliant candidates; 1 —
+    sweep finished but nothing complied; 2 — usage error; 3 — the
+    ``--resume`` journal is unusable (missing, unreadable, or every
+    record quarantined).
+    """
+    from .durability import replay_journal
+    from .errors import JournalError
     from .sweep import DesignSpace, SweepRunner, render_sweep_document
 
     parser = argparse.ArgumentParser(
@@ -112,11 +122,110 @@ def _run_sweep(argv) -> int:
     runner = SweepRunner(parallel=not args.serial,
                          cache_dir=args.cache_dir)
     if args.resume:
-        report = runner.resume(args.journal)
+        try:
+            replay = replay_journal(args.journal, write_quarantine=True)
+        except JournalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+        if replay.n_records == 0:
+            print(
+                f"error: journal {args.journal} holds no usable records"
+                f" ({replay.n_quarantined} damaged record(s) quarantined"
+                f" to {args.journal}.quarantine); the campaign cannot be"
+                " resumed. Restore the journal from a backup, or re-run"
+                " without --resume to start fresh.",
+                file=sys.stderr)
+            return 3
+        try:
+            report = runner.resume(args.journal)
+        except JournalError as exc:
+            print(f"error: cannot resume from {args.journal}: {exc}",
+                  file=sys.stderr)
+            return 3
     else:
         report = runner.run(candidates, journal_path=args.journal)
     print(render_sweep_document(report, top=args.top))
     return 0 if report.n_compliant else 1
+
+
+def _run_serve(argv) -> int:
+    """``python -m avipack serve`` — the resilient sweep job server.
+
+    Serves JSON-lines requests over a local Unix socket until drained
+    (SIGTERM/SIGINT, or a client ``shutdown`` request); exits 0 after a
+    graceful drain, 2 on a usage/startup error.  On startup every
+    unfinished job found in ``--journal-dir`` is recovered and resumed.
+    """
+    import asyncio
+
+    from .errors import ServiceError
+    from .service import AdmissionPolicy, ServiceConfig, SweepService
+
+    parser = argparse.ArgumentParser(
+        prog="python -m avipack serve",
+        description="Serve sweep jobs over a local Unix socket "
+                    "(JSON lines; see the avipack.service docs).")
+    parser.add_argument("--socket", metavar="PATH", required=True,
+                        help="Unix-domain socket path to listen on")
+    parser.add_argument("--journal-dir", metavar="DIR", required=True,
+                        help="directory for per-job journals and "
+                             "manifests (created if missing; scanned "
+                             "for unfinished jobs at startup)")
+    parser.add_argument("--max-queued", type=int, default=16,
+                        help="bounded-queue size (default 16)")
+    parser.add_argument("--max-jobs-per-client", type=int, default=4,
+                        help="active-job quota per client (default 4)")
+    parser.add_argument("--max-candidates-per-job", type=int,
+                        default=100_000,
+                        help="per-submission size bound (default 100000)")
+    parser.add_argument("--heartbeat-s", type=float, default=1.0,
+                        metavar="S", help="heartbeat period (default 1)")
+    parser.add_argument("--stall-timeout-s", type=float, default=300.0,
+                        metavar="S",
+                        help="cancel a running job making no candidate "
+                             "progress for this long (default 300)")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        metavar="S",
+                        help="default per-job wall-clock deadline "
+                             "(submissions may set their own)")
+    parser.add_argument("--candidate-timeout-s", type=float,
+                        default=None, metavar="S",
+                        help="per-candidate watchdog handed to the "
+                             "sweep runner (parallel mode)")
+    parser.add_argument("--max-running", type=int, default=1,
+                        help="jobs executed concurrently (default 1)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run sweeps on the serial path (no "
+                             "process pool)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="sweep process-pool width")
+    parser.add_argument("--throttle-s", type=float, default=0.0,
+                        metavar="S",
+                        help="artificial per-candidate delay (pacing "
+                             "for demos and chaos drills; default 0)")
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        journal_dir=args.journal_dir,
+        admission=AdmissionPolicy(
+            max_queued=args.max_queued,
+            max_jobs_per_client=args.max_jobs_per_client,
+            max_candidates_per_job=args.max_candidates_per_job),
+        heartbeat_s=args.heartbeat_s,
+        stall_timeout_s=args.stall_timeout_s,
+        deadline_s=args.deadline_s,
+        candidate_timeout_s=args.candidate_timeout_s,
+        max_running=args.max_running,
+        parallel=not args.serial,
+        max_workers=args.max_workers,
+        throttle_s=args.throttle_s)
+    try:
+        asyncio.run(SweepService(config).serve())
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 #: Zero-argument report commands (legacy dispatch).
@@ -129,6 +238,7 @@ _COMMANDS = {
 
 #: Commands that parse their own argument vector.
 _ARG_COMMANDS = {
+    "serve": _run_serve,
     "sweep": _run_sweep,
 }
 

@@ -93,6 +93,7 @@ def rules_signature() -> str:
 
 # Import rule modules for their registration side effect.  Keep this at
 # the bottom so the base class exists when the modules load.
+from . import async_tasks  # noqa: E402,F401
 from . import atomic_writes  # noqa: E402,F401
 from . import determinism  # noqa: E402,F401
 from . import error_taxonomy  # noqa: E402,F401

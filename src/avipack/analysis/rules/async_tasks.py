@@ -1,0 +1,93 @@
+"""AVI007 — no fire-and-forget asyncio tasks.
+
+The event loop keeps only a *weak* reference to tasks created with
+``asyncio.create_task`` / ``asyncio.ensure_future`` / the loop method
+of the same name.  A task whose result is discarded can therefore be
+garbage-collected mid-flight, and any exception it raises is swallowed
+until interpreter shutdown prints an opaque "Task exception was never
+retrieved".  In a job server that pattern silently drops jobs.
+
+This rule flags task-creation calls used as bare expression statements
+— the result neither stored, awaited, returned nor passed on::
+
+    asyncio.create_task(self._run_job(job))        # flagged
+    loop.create_task(worker())                     # flagged
+
+and stays quiet on every referenced form::
+
+    task = asyncio.create_task(self._run_job(job)) # kept alive
+    await asyncio.create_task(worker())            # awaited
+    tasks.append(loop.create_task(worker()))       # stored
+    tg.create_task(worker())                       # TaskGroup owns it
+
+``TaskGroup.create_task`` is recognised by the receiver's name
+(``tg``, ``group``, ``task_group``, ``taskgroup``, ``nursery``): the
+group holds a strong reference and re-raises exceptions, which is the
+recommended idiom when structured concurrency fits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from . import Rule, register
+
+__all__ = ["AVI007FireAndForgetTask"]
+
+#: Call names that create an event-loop task.
+_TASK_FACTORIES = ("create_task", "ensure_future")
+
+#: Receiver names that denote a TaskGroup-style owner (holds a strong
+#: reference to the task and surfaces its exceptions).
+_GROUP_RECEIVERS = ("tg", "group", "task_group", "taskgroup", "nursery")
+
+_SUGGESTION = ("store the returned task (and await it, gather it, or "
+               "register a done callback) so it cannot be "
+               "garbage-collected and its exception is retrieved")
+
+
+def _task_factory_call(call: ast.Call) -> Optional[str]:
+    """The factory name when ``call`` creates an asyncio task."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _TASK_FACTORIES:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _TASK_FACTORIES:
+        receiver = func.value
+        if isinstance(receiver, ast.Name) \
+                and receiver.id in _GROUP_RECEIVERS:
+            return None
+        if isinstance(receiver, ast.Attribute) \
+                and receiver.attr in _GROUP_RECEIVERS:
+            return None
+        return func.attr
+    return None
+
+
+@register
+class AVI007FireAndForgetTask(Rule):
+    """Flag asyncio task creation whose result is discarded."""
+
+    rule_id = "AVI007"
+    name = "fire-and-forget-task"
+    severity = Severity.ERROR
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            factory = _task_factory_call(call)
+            if factory is None:
+                continue
+            yield self.finding(
+                ctx, call,
+                f"fire-and-forget {factory}(): the loop holds only a "
+                "weak reference, so the task can be garbage-collected "
+                "mid-flight and its exception is never retrieved",
+                suggestion=_SUGGESTION)

@@ -48,7 +48,12 @@ import pickle
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
-from ..errors import InputError, JournalError
+try:  # pragma: no cover - availability depends on the platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from ..errors import DurabilityError, InputError, JournalError
 from ..fingerprint import content_crc32, content_digest
 from ..resilience.faults import corrupts as _corrupts
 
@@ -70,6 +75,30 @@ _OUTCOME_KINDS = ("completed", "failed", "timeout")
 class _DamagedRecord(ValueError):
     """Internal verification signal; always caught by replay, never
     surfaced (a damaged record is quarantined, not raised)."""
+
+
+def _lock_exclusive(stream, path: str) -> None:
+    """Take a non-blocking advisory ``flock`` on an open journal stream.
+
+    Two processes appending to one journal interleave records — a
+    corruption the checksums can detect but never repair — so the
+    second writer is refused eagerly with :class:`DurabilityError`.
+    The lock lives on the open file description: closing the stream
+    (or the process dying, however violently) releases it.  On
+    platforms without ``fcntl`` the guard degrades to the previous
+    unlocked behaviour.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        return
+    try:
+        fcntl.flock(stream.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError as exc:
+        stream.close()
+        raise DurabilityError(
+            f"journal {path} is locked by another writer (advisory "
+            "flock contention): concurrent appends would interleave "
+            "records; wait for the other process to close the journal "
+            "or give this run its own --journal path") from exc
 
 
 def _canonical(body: Dict[str, Any]) -> str:
@@ -105,18 +134,33 @@ class SweepJournal:
     @classmethod
     def create(cls, path: str, candidates: Tuple["Candidate", ...],
                space_fingerprint: str = "") -> "SweepJournal":
-        """Start a fresh journal at ``path`` and write its plan record."""
-        stream = open(path, "wb")
+        """Start a fresh journal at ``path`` and write its plan record.
+
+        The journal is opened append-mode and locked *before* any
+        existing content is truncated, so creating over a journal
+        another process is still writing raises
+        :class:`~avipack.errors.DurabilityError` instead of silently
+        destroying the live journal.
+        """
+        stream = open(path, "ab")
+        _lock_exclusive(stream, path)
+        stream.truncate(0)
         journal = cls(path, stream)
         journal.record_plan(candidates, space_fingerprint)
         return journal
 
     @classmethod
     def append_to(cls, path: str, next_seq: int = 0) -> "SweepJournal":
-        """Open an existing journal for appending (resume path)."""
+        """Open an existing journal for appending (resume path).
+
+        Raises :class:`~avipack.errors.DurabilityError` when another
+        process holds the journal's advisory lock.
+        """
         if not os.path.exists(path):
             raise JournalError(f"journal not found: {path}")
-        return cls(path, open(path, "ab"), next_seq)
+        stream = open(path, "ab")
+        _lock_exclusive(stream, path)
+        return cls(path, stream, next_seq)
 
     def __enter__(self) -> "SweepJournal":
         return self

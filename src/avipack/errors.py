@@ -138,7 +138,36 @@ class CacheCorruptionError(AvipackError, RuntimeError):
     """
 
 
-class JournalError(AvipackError, RuntimeError):
+class DurabilityError(AvipackError, RuntimeError):
+    """A durability-layer invariant cannot be upheld.
+
+    Base of :class:`JournalError`; raised directly for cross-process
+    hazards such as advisory-lock contention on a journal file — two
+    processes appending to the same journal would interleave records,
+    which no checksum can repair, so the second writer is refused up
+    front instead.
+    """
+
+
+class ServiceError(AvipackError, RuntimeError):
+    """A sweep-service request failed with a structured reason.
+
+    Carries the machine-readable ``code`` the server attached to the
+    rejection (``"queue_full"``, ``"quota_exceeded"``, ``"draining"``,
+    ``"replay_gap"``, ...) so clients can branch on the reason without
+    parsing the human-readable message.
+    """
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (self.__class__, (self.args[0] if self.args else "",
+                                 self.code))
+
+
+class JournalError(DurabilityError):
     """A sweep write-ahead journal cannot support a resume.
 
     Individual damaged records never raise — they are quarantined to the

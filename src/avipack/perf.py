@@ -52,9 +52,12 @@ __all__ = [
     "timed",
 ]
 
-#: Kernel names used by the built-in solvers.
+#: Kernel names used by the built-in solvers, plus the sweep-service
+#: job kernel (``solves`` = jobs completed, ``iterations`` = candidates
+#: evaluated, ``wall_s`` = job wall-clock) the job server records so
+#: service throughput shows up in the same registry as solver work.
 KERNELS = ("network.steady", "network.transient", "network.batched",
-           "conduction.steady", "conduction.transient")
+           "conduction.steady", "conduction.transient", "service.job")
 
 
 @dataclass(frozen=True)

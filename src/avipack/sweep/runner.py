@@ -301,6 +301,40 @@ def evaluate_candidate(task, cache: Optional[SolverCache] = None
     )
 
 
+class _JournalObserver:
+    """Journal proxy that reports each outcome once it is durable.
+
+    Wraps the (possibly absent) :class:`~avipack.durability.SweepJournal`
+    the execution paths write to, forwarding every record verbatim and
+    invoking ``progress(outcome)`` *after* the outcome has been
+    journalled — so an observer that raises (the sweep service's
+    cooperative-cancellation hook) never loses the triggering outcome.
+    The callback runs in the main process, in the thread driving the
+    sweep, exactly once per outcome.
+    """
+
+    def __init__(self, journal, progress) -> None:
+        self._journal = journal
+        self._progress = progress
+
+    def record_plan(self, *args, **kwargs) -> None:
+        if self._journal is not None:
+            self._journal.record_plan(*args, **kwargs)
+
+    def record_dispatched(self, *args, **kwargs) -> None:
+        if self._journal is not None:
+            self._journal.record_dispatched(*args, **kwargs)
+
+    def record_outcome(self, outcome: CandidateOutcome) -> None:
+        if self._journal is not None:
+            self._journal.record_outcome(outcome)
+        self._progress(outcome)
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+
+
 def _watchdog_failure(index: int, candidate: Candidate,
                       timeout_s: float) -> CandidateFailure:
     """Synthesised failure for a candidate whose worker stopped responding."""
@@ -677,7 +711,8 @@ class SweepRunner:
         )
 
     def run(self, space: Union[DesignSpace, Iterable[Candidate]],
-            journal_path: Optional[str] = None) -> SweepReport:
+            journal_path: Optional[str] = None,
+            progress=None) -> SweepReport:
         """Evaluate every candidate and assemble a :class:`SweepReport`.
 
         Candidate order is preserved in the outcome list whichever
@@ -695,6 +730,14 @@ class SweepRunner:
         (SIGKILL, OOM, power loss), :meth:`resume` continues the
         campaign from the journal, recomputing only the candidates the
         journal cannot prove finished.
+
+        ``progress`` is an optional callable invoked with each
+        :data:`CandidateOutcome` in the main process the moment it is
+        held (and, when journalling, durably journalled) — the
+        streaming-telemetry hook the sweep service builds on.  An
+        exception raised by ``progress`` aborts the sweep at the next
+        outcome boundary; everything already journalled stays intact
+        and resumable (cooperative cancellation).
         """
         candidates = (list(space.grid()) if isinstance(space, DesignSpace)
                       else list(space))
@@ -710,9 +753,11 @@ class SweepRunner:
                 space_fingerprint=stable_fingerprint(tuple(candidates)))
             for index, candidate in enumerate(candidates):
                 journal.record_dispatched(index, candidate)
+        sink = (_JournalObserver(journal, progress)
+                if progress is not None else journal)
         start = time.perf_counter()
         try:
-            outcomes, mode, workers = self._execute(tasks, journal)
+            outcomes, mode, workers = self._execute(tasks, sink)
         finally:
             if journal is not None:
                 journal.close()
@@ -724,9 +769,13 @@ class SweepRunner:
         return self._assemble(outcomes, wall, mode, workers, durability)
 
     def resume(self, journal_path: str,
-               space: Union[DesignSpace, Iterable[Candidate], None] = None
-               ) -> SweepReport:
+               space: Union[DesignSpace, Iterable[Candidate], None] = None,
+               progress=None) -> SweepReport:
         """Continue a journalled sweep after a crash (or completion).
+
+        ``progress`` mirrors :meth:`run`: it fires for every outcome
+        *recomputed* by this resume (restored outcomes are already
+        durable and are not replayed through the callback).
 
         Replays the journal (:func:`~avipack.durability.replay_journal`
         — damaged records are quarantined to the ``.quarantine``
@@ -791,8 +840,10 @@ class SweepRunner:
                 journal.record_dispatched(index, candidate)
             if pending:
                 tasks = self._tasks(pending)
+                sink = (_JournalObserver(journal, progress)
+                        if progress is not None else journal)
                 outcomes, engine_mode, workers = self._execute(tasks,
-                                                               journal)
+                                                               sink)
                 fresh = {task[0]: outcome
                          for task, outcome in zip(tasks, outcomes)}
                 mode = f"resume ({engine_mode})"

@@ -44,10 +44,10 @@ def make_pkg(tmp_path, name_to_source):
 # Registry
 # ---------------------------------------------------------------------------
 
-def test_all_five_rules_registered():
+def test_all_rules_registered():
     ids = [rule.rule_id for rule in all_rules()]
     assert ids == ["AVI001", "AVI002", "AVI003", "AVI004", "AVI005",
-                   "AVI006"]
+                   "AVI006", "AVI007"]
 
 
 def test_rules_signature_stable():

@@ -1,4 +1,4 @@
-"""Per-rule fixtures for :mod:`avipack.analysis` (AVI001-AVI006).
+"""Per-rule fixtures for :mod:`avipack.analysis` (AVI001-AVI007).
 
 Every rule gets at least: one positive fixture proving it fires, one
 negative fixture proving it stays quiet on conforming code, and one
@@ -485,6 +485,96 @@ class TestAVI006:
         """, tmp_path=tmp_path)
         assert active == []
         assert rule_ids(suppressed) == ["AVI006"]
+
+
+# ---------------------------------------------------------------------------
+# AVI007 — fire-and-forget asyncio tasks
+# ---------------------------------------------------------------------------
+
+class TestAVI007:
+    def test_fires_on_bare_create_task(self):
+        findings = run_rules("""
+            import asyncio
+
+            def kick(coro):
+                asyncio.create_task(coro())
+        """)
+        assert rule_ids(findings) == ["AVI007"]
+        assert "fire-and-forget" in findings[0].message
+
+    def test_fires_on_bare_ensure_future(self):
+        findings = run_rules("""
+            import asyncio
+
+            def kick(coro):
+                asyncio.ensure_future(coro())
+        """)
+        assert rule_ids(findings) == ["AVI007"]
+
+    def test_fires_on_loop_create_task(self):
+        findings = run_rules("""
+            def kick(loop, coro):
+                loop.create_task(coro())
+        """)
+        assert rule_ids(findings) == ["AVI007"]
+
+    def test_fires_on_from_imported_create_task(self):
+        findings = run_rules("""
+            from asyncio import create_task
+
+            def kick(coro):
+                create_task(coro())
+        """)
+        assert rule_ids(findings) == ["AVI007"]
+
+    def test_quiet_when_result_is_stored(self):
+        findings = run_rules("""
+            import asyncio
+
+            def kick(tasks, coro):
+                task = asyncio.create_task(coro())
+                task.add_done_callback(tasks.discard)
+                tasks.add(task)
+        """)
+        assert findings == []
+
+    def test_quiet_when_awaited(self):
+        findings = run_rules("""
+            import asyncio
+
+            async def kick(coro):
+                await asyncio.create_task(coro())
+        """)
+        assert findings == []
+
+    def test_quiet_when_passed_or_returned(self):
+        findings = run_rules("""
+            import asyncio
+
+            def kick(tasks, coro):
+                tasks.append(asyncio.create_task(coro()))
+                return asyncio.create_task(coro())
+        """)
+        assert findings == []
+
+    def test_quiet_on_task_group_create_task(self):
+        findings = run_rules("""
+            async def run_all(coro):
+                import asyncio
+                async with asyncio.TaskGroup() as tg:
+                    tg.create_task(coro())
+        """)
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        active, suppressed = run_engine("""
+            import asyncio
+
+            def kick(coro):
+                asyncio.create_task(coro())  # avilint: disable=AVI007
+        """, tmp_path=tmp_path)
+        assert active == []
+        assert rule_ids(suppressed) == ["AVI007"]
 
 
 # ---------------------------------------------------------------------------

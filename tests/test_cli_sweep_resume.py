@@ -1,0 +1,48 @@
+"""CLI contract of ``python -m avipack sweep --resume``.
+
+A resume pointed at an unusable journal must fail *distinctly* (exit
+code 3, not the generic non-compliance 1 or the argparse 2) with an
+actionable message — naming the quarantine sidecar and the two ways
+out (restore a backup, or re-run without ``--resume``).
+"""
+
+import pytest
+
+from avipack.__main__ import main
+
+
+def test_missing_journal_exits_3(tmp_path, capsys):
+    rc = main(["sweep", "--resume",
+               "--journal", str(tmp_path / "absent.jsonl")])
+    assert rc == 3
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "absent.jsonl" in err
+
+
+def test_fully_quarantined_journal_exits_3_with_guidance(tmp_path,
+                                                        capsys):
+    journal = tmp_path / "garbage.jsonl"
+    journal.write_text("not json at all\n{\"torn\": \n\x00\x01\x02\n")
+    rc = main(["sweep", "--resume", "--journal", str(journal)])
+    assert rc == 3
+    err = capsys.readouterr().err
+    assert "no usable records" in err
+    assert ".quarantine" in err
+    assert "without --resume" in err
+    # The damage was quarantined to the sidecar for post-mortems.
+    assert (tmp_path / "garbage.jsonl.quarantine").exists()
+
+
+def test_empty_journal_exits_3(tmp_path, capsys):
+    journal = tmp_path / "empty.jsonl"
+    journal.write_text("")
+    rc = main(["sweep", "--resume", "--journal", str(journal)])
+    assert rc == 3
+    assert "no usable records" in capsys.readouterr().err
+
+
+def test_resume_without_journal_is_a_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--resume"])
+    assert excinfo.value.code == 2

@@ -20,7 +20,7 @@ from avipack.durability import (
     replay_journal,
 )
 from avipack.durability.journal import _canonical
-from avipack.errors import InputError, JournalError
+from avipack.errors import DurabilityError, InputError, JournalError
 from avipack.fingerprint import content_crc32, content_digest
 from avipack.resilience import FaultPlan, FaultSpec
 from avipack.resilience import faults as faults_mod
@@ -324,3 +324,49 @@ class TestInjectedFaultSites:
         assert first.n_quarantined == second.n_quarantined
         assert [q.line_number for q in first.quarantined] == \
             [q.line_number for q in second.quarantined]
+
+
+class TestJournalLocking:
+    """Advisory flock: one writer per journal, contention is loud."""
+
+    def test_append_while_create_holds_lock_raises(self, tmp_path):
+        path = str(tmp_path / "locked.jsonl")
+        journal = SweepJournal.create(path, make_candidates())
+        try:
+            with pytest.raises(DurabilityError) as excinfo:
+                SweepJournal.append_to(path)
+            assert "locked by another writer" in str(excinfo.value)
+        finally:
+            journal.close()
+
+    def test_create_over_held_journal_does_not_destroy_it(self, tmp_path):
+        path = str(tmp_path / "held.jsonl")
+        candidates = make_candidates()
+        journal = SweepJournal.create(path, candidates)
+        try:
+            size_before = os.path.getsize(path)
+            with pytest.raises(DurabilityError):
+                SweepJournal.create(path, make_candidates(1))
+            # The live journal's content survived the refused takeover.
+            assert os.path.getsize(path) == size_before
+        finally:
+            journal.close()
+        replay = replay_journal(path, write_quarantine=False)
+        assert replay.candidates == candidates
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = str(tmp_path / "released.jsonl")
+        SweepJournal.create(path, make_candidates()).close()
+        journal = SweepJournal.append_to(path)
+        journal.close()
+
+    def test_contention_error_is_a_durability_error(self, tmp_path):
+        from avipack.errors import AvipackError
+
+        path = str(tmp_path / "tax.jsonl")
+        journal = SweepJournal.create(path, make_candidates())
+        try:
+            with pytest.raises(AvipackError):
+                SweepJournal.append_to(path)
+        finally:
+            journal.close()

@@ -223,3 +223,72 @@ class TestRunnerValidation:
     def test_bad_chunksize_rejected(self):
         with pytest.raises(InputError):
             SweepRunner(chunksize=0)
+
+
+class TestProgressCallbacks:
+    """The journal-tee progress hook behind the job service."""
+
+    def test_progress_fires_once_per_outcome_in_order(self, tmp_path):
+        journal = str(tmp_path / "progress.jsonl")
+        seen = []
+        report = SweepRunner(parallel=False).run(
+            DesignSpace(SMALL_SPACE), journal_path=journal,
+            progress=seen.append)
+        assert len(seen) == report.n_candidates
+        assert [o.index for o in seen] == sorted(o.index for o in seen)
+        assert {o.fingerprint for o in seen} == \
+            {o.fingerprint for o in report.outcomes}
+
+    def test_progress_without_journal(self):
+        seen = []
+        report = SweepRunner(parallel=False).run(
+            DesignSpace(SMALL_SPACE), progress=seen.append)
+        assert len(seen) == report.n_candidates
+
+    def test_progress_exception_leaves_resumable_journal(self, tmp_path):
+        from avipack.durability import replay_journal
+
+        journal = str(tmp_path / "cancelled.jsonl")
+
+        class Stop(Exception):
+            pass
+
+        seen = []
+
+        def hook(outcome):
+            seen.append(outcome)
+            if len(seen) == 2:
+                raise Stop("enough")
+
+        with pytest.raises(Stop):
+            SweepRunner(parallel=False).run(
+                DesignSpace(SMALL_SPACE), journal_path=journal,
+                progress=hook)
+        # The triggering outcome was journalled before the hook ran:
+        # nothing acknowledged is lost, and the journal replays clean.
+        replay = replay_journal(journal, write_quarantine=False)
+        assert replay.n_quarantined == 0
+        assert len(replay.outcomes) == 2
+
+        resumed = SweepRunner(parallel=False).resume(journal)
+        assert resumed.n_candidates == 4
+        assert resumed.durability.n_resumed == 2
+
+    def test_resume_progress_covers_only_recomputed(self, tmp_path):
+        journal = str(tmp_path / "partial.jsonl")
+        first = []
+
+        def stop_after_two(outcome):
+            first.append(outcome)
+            if len(first) == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(parallel=False).run(
+                DesignSpace(SMALL_SPACE), journal_path=journal,
+                progress=stop_after_two)
+        resumed_seen = []
+        report = SweepRunner(parallel=False).resume(
+            journal, progress=resumed_seen.append)
+        # Restored outcomes arrive from the journal, not the hook.
+        assert len(resumed_seen) == report.n_candidates - 2
