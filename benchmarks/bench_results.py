@@ -1,0 +1,305 @@
+"""Committed result-store benchmark baseline: write and regression-compare.
+
+``BENCH_results.json`` at the repository root pins median timings and
+result-store counters for the columnar analytics path — ingest
+throughput, memory-mapped open, top-k ranking, histogram/marginal
+report rendering and lazy blob fetches.  CI re-measures and compares
+with a generous tolerance (timings may grow by the ``--tolerance``
+factor, default 3x, so shared-runner noise never fails a build), while
+the *counters* are compared exactly — a store that re-reads blobs
+during ranking, or seals the wrong number of shards, is a real
+regression no matter how fast the box.
+
+Usage::
+
+    python benchmarks/bench_results.py write     # refresh the baseline
+    python benchmarks/bench_results.py compare   # exit 1 on regression
+
+Run from the repository root (or pass ``--baseline`` explicitly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from avipack import perf
+from avipack.results import (
+    ResultStore,
+    ResultStoreWriter,
+    ranked_row_ids,
+    ranking_signature,
+    render_store_report,
+)
+from avipack.sweep.runner import CandidateResult
+from avipack.sweep.space import Candidate
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_results.json"
+
+#: Rows per benchmark campaign and per shard.  Pinned: the shard count
+#: (and therefore ``results.shards_written``) derives from them.
+N_ROWS = 20_000
+SHARD_ROWS = 4096
+TOP_K = 20
+N_FETCHES = 64
+
+_COOLING = ("free_convection", "direct_air_flow", "air_flow_through")
+_FORM_FACTORS = ("1/2_atr", "3/4_atr", "1_atr")
+_TIMS = ("standard_grease", "dry_joint")
+
+
+def synthetic_outcomes(n, seed=0, tie_classes=6, compliance=0.65):
+    """``n`` seeded :class:`CandidateResult` rows with tie-heavy costs.
+
+    The cost ranks are drawn from a handful of integer classes so the
+    top-k partition always faces the tie-resolution path it exercises
+    in production campaigns, and every candidate axis the marginal
+    queries group by is populated with several distinct values.
+    """
+    rng = np.random.default_rng(seed)
+    outcomes = []
+    for i in range(n):
+        candidate = Candidate(
+            power_per_module=float(rng.uniform(5.0, 45.0)),
+            n_modules=int(rng.integers(2, 9)),
+            cooling=_COOLING[int(rng.integers(0, len(_COOLING)))],
+            tim_name=_TIMS[int(rng.integers(0, len(_TIMS)))],
+            form_factor=_FORM_FACTORS[
+                int(rng.integers(0, len(_FORM_FACTORS)))],
+            n_components=int(rng.integers(4, 12)))
+        outcomes.append(CandidateResult(
+            index=i, candidate=candidate,
+            fingerprint=candidate.fingerprint,
+            compliant=bool(rng.random() < compliance), violations=(),
+            margins={"fundamental_hz": float(rng.uniform(60, 400)),
+                     "fatigue_margin": float(rng.uniform(0.1, 4.0)),
+                     "deflection_margin": float(rng.uniform(0.1, 4.0)),
+                     "mtbf_hours": float(rng.uniform(1e4, 1e6))},
+            worst_board_c=float(rng.uniform(45.0, 90.0)),
+            recommended_cooling=candidate.cooling,
+            declared_cooling_feasible=True,
+            cost_rank=float(rng.integers(0, tie_classes)),
+            elapsed_s=0.001, worker_pid=1,
+            cache_hits=0, cache_misses=1))
+    return outcomes
+
+
+def baseline_rank_and_report(store, top=TOP_K):
+    """The pre-columnar analytics path, against the same store files.
+
+    Unpickle every blob back into its dataclass, filter and sort in
+    Python, format a top table — what campaign reporting cost before
+    the typed columns existed.  Returns the ranking signature and the
+    rendered table so callers can check byte-identical ordering.
+    """
+    outcomes = [store.fetch_outcome(row) for row in range(store.n_rows)]
+    compliant = [o for o in outcomes if o.compliant]
+    ranked = sorted(compliant, key=lambda o: (o.cost_rank,
+                                              -o.thermal_headroom_c,
+                                              o.index))[:top]
+    lines = [f"{position:>4}  {o.fingerprint}  {o.cost_rank:6.1f}  "
+             f"{o.worst_board_c:7.2f}"
+             for position, o in enumerate(ranked, start=1)]
+    signature = [(o.fingerprint, o.cost_rank, o.worst_board_c)
+                 for o in ranked]
+    return signature, "\n".join(lines)
+
+
+def store_rank_and_report(store, top=TOP_K):
+    """The columnar path: partition-select the top, render from columns."""
+    signature = ranking_signature(store, top)
+    return signature, render_store_report(store, top=top)
+
+
+def build_store(directory, n_rows=N_ROWS, seed=17):
+    outcomes = synthetic_outcomes(n_rows, seed=seed)
+    writer = ResultStoreWriter(directory, shard_rows=SHARD_ROWS)
+    try:
+        writer.add_many(outcomes)
+    finally:
+        writer.close()
+    return outcomes
+
+
+def _median_ms(call, rounds):
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        call()
+        samples.append(time.perf_counter() - t0)
+    return round(statistics.median(samples) * 1e3, 4)
+
+
+def run_benches(rounds=9):
+    """Measure every pinned scenario; returns the baseline document."""
+    benches = {}
+    with tempfile.TemporaryDirectory(prefix="bench-results-") as tmp:
+        outcomes = synthetic_outcomes(N_ROWS, seed=17)
+
+        # Ingest: fresh directory per round, counters from a clean pass.
+        ingest_rounds = min(rounds, 3)
+        samples = []
+        for r in range(ingest_rounds):
+            directory = os.path.join(tmp, f"ingest-{r}")
+            perf.reset("results.rows_ingested")
+            perf.reset("results.shards_written")
+            t0 = time.perf_counter()
+            writer = ResultStoreWriter(directory, shard_rows=SHARD_ROWS)
+            try:
+                writer.add_many(outcomes)
+            finally:
+                writer.close()
+            samples.append(time.perf_counter() - t0)
+        benches["store_ingest_20k"] = {
+            "median_ms": round(statistics.median(samples) * 1e3, 4),
+            "counters": {
+                "results.rows_ingested":
+                    perf.counter("results.rows_ingested"),
+                "results.shards_written":
+                    perf.counter("results.shards_written"),
+            },
+        }
+
+        directory = os.path.join(tmp, "ingest-0")
+        benches["store_open_verify"] = {
+            "median_ms": _median_ms(
+                lambda: ResultStore.open(directory), rounds),
+            "counters": {
+                "results.shards_quarantined": 0,
+                "shards": math.ceil(N_ROWS / SHARD_ROWS),
+            },
+        }
+
+        store = ResultStore.open(directory)
+        store.column("cost_rank")  # warm the column cache once
+        benches["topk_20_of_20k"] = {
+            "median_ms": _median_ms(
+                lambda: ranked_row_ids(store, TOP_K), rounds),
+            "counters": {"results.blob_fetches": 0,
+                         "rows": int(store.n_rows)},
+        }
+        benches["columnar_report_20k"] = {
+            "median_ms": _median_ms(
+                lambda: render_store_report(store, top=TOP_K), rounds),
+            "counters": {"results.blob_fetches": 0},
+        }
+
+        perf.reset("results.blob_fetches")
+        top_rows = ranked_row_ids(store, N_FETCHES)
+        benches["lazy_fetch_64_blobs"] = {
+            "median_ms": _median_ms(
+                lambda: [store.fetch_outcome(int(row))
+                         for row in top_rows[:N_FETCHES]], 1),
+            "counters": {"results.blob_fetches":
+                         perf.counter("results.blob_fetches")},
+        }
+
+    return {
+        "schema": 1,
+        "unit": "median wall milliseconds over warm rounds",
+        "rounds": rounds,
+        "n_rows": N_ROWS,
+        "shard_rows": SHARD_ROWS,
+        "benches": benches,
+    }
+
+
+def write_baseline(path, rounds):
+    document = run_benches(rounds)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    print(f"wrote {path} ({len(document['benches'])} benches)")
+    return 0
+
+
+def compare_baseline(path, rounds, tolerance, report_path=None):
+    if not path.exists():
+        print(f"ERROR: baseline {path} not found; run "
+              "`python benchmarks/bench_results.py write` and commit it")
+        return 2
+    baseline = json.loads(path.read_text())
+    current = run_benches(rounds)
+    failures = []
+    comparison = {"schema": 1, "tolerance": tolerance, "rounds": rounds,
+                  "benches": {}}
+    for name, pinned in sorted(baseline["benches"].items()):
+        measured = current["benches"].get(name)
+        if measured is None:
+            failures.append(f"{name}: bench disappeared")
+            comparison["benches"][name] = {"verdict": "MISSING",
+                                           "baseline": pinned}
+            continue
+        limit = pinned["median_ms"] * tolerance
+        verdict = "ok"
+        if measured["median_ms"] > limit:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {measured['median_ms']:.3f} ms exceeds "
+                f"{tolerance:g}x baseline {pinned['median_ms']:.3f} ms")
+        counter_names = sorted(set(pinned["counters"])
+                               | set(measured["counters"]))
+        for counter in counter_names:
+            expected = pinned["counters"].get(counter)
+            got = measured["counters"].get(counter)
+            if got != expected:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: counter {counter} drifted: baseline "
+                    f"{expected} -> measured {got} "
+                    "(store discipline broken)")
+        comparison["benches"][name] = {
+            "verdict": verdict,
+            "baseline_ms": pinned["median_ms"],
+            "measured_ms": measured["median_ms"],
+            "limit_ms": round(limit, 4),
+            "baseline_counters": pinned["counters"],
+            "measured_counters": measured["counters"],
+        }
+        print(f"{name:<28} {measured['median_ms']:>9.3f} ms "
+              f"(baseline {pinned['median_ms']:.3f}, "
+              f"limit {limit:.3f})  {verdict}")
+    comparison["failures"] = failures
+    comparison["ok"] = not failures
+    if report_path is not None:
+        tmp = report_path.parent / f"{report_path.name}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(comparison, indent=2, sort_keys=True)
+                       + "\n")
+        os.replace(tmp, report_path)
+        print(f"comparison written to {report_path}")
+    if failures:
+        print("\n" + "\n".join(f"FAIL: {line}" for line in failures))
+        return 1
+    print("\nall benches within tolerance, counters exact")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", choices=("write", "compare"))
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE)
+    parser.add_argument("--rounds", type=int, default=9)
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed slow-down factor (default 3x)")
+    parser.add_argument("--report", type=pathlib.Path, default=None,
+                        help="write the comparison document (JSON) here "
+                             "(compare mode only)")
+    args = parser.parse_args(argv)
+    if args.mode == "write":
+        return write_baseline(args.baseline, args.rounds)
+    return compare_baseline(args.baseline, args.rounds, args.tolerance,
+                            args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

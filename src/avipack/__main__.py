@@ -9,6 +9,9 @@ Usage::
     python -m avipack qual       # the virtual qualification campaign
     python -m avipack sweep --journal sweep.jsonl        # durable sweep
     python -m avipack sweep --journal sweep.jsonl --resume  # continue it
+    python -m avipack sweep --store-dir results/ \\
+        --report-json report.json     # columnar store + JSON report
+    python -m avipack results --store results/   # store analytics
     python -m avipack serve --socket /tmp/avipack.sock \\
         --journal-dir jobs/                     # resilient job server
 """
@@ -78,6 +81,68 @@ def _print_qualification() -> None:
     print(render_qualification_report(report))
 
 
+def _report_json_payload(report, top: int) -> dict:
+    """Machine-readable projection of a sweep report (ranked top-k)."""
+    ranking = [
+        {
+            "position": position,
+            "index": result.index,
+            "fingerprint": result.fingerprint,
+            "label": result.candidate.label,
+            "cost_rank": result.cost_rank,
+            "worst_board_c": result.worst_board_c,
+            "thermal_headroom_c": result.thermal_headroom_c,
+        }
+        for position, result in enumerate(report.top(top), start=1)]
+    payload = {
+        "n_candidates": report.n_candidates,
+        "n_compliant": report.n_compliant,
+        "n_failures": len(report.failures),
+        "mode": report.mode,
+        "workers": report.workers,
+        "wall_time_s": report.wall_time_s,
+        "ranking": ranking,
+    }
+    if report.durability is not None:
+        payload["durability"] = {
+            "journal_path": report.durability.journal_path,
+            "n_resumed": report.durability.n_resumed,
+            "n_recomputed": report.durability.n_recomputed,
+            "n_quarantined": report.durability.n_quarantined,
+            "n_audit_failures": report.durability.n_audit_failures,
+        }
+    if report.result_store is not None:
+        payload["result_store"] = {
+            "directory": report.result_store.directory,
+            "rows_added": report.result_store.rows_added,
+            "shards_sealed": report.result_store.shards_sealed,
+        }
+    return payload
+
+
+def _write_report_json(path: str, report, top: int) -> None:
+    """Atomically publish the ranked report as JSON (tmp + os.replace)."""
+    import json
+    import os
+    import tempfile
+
+    payload = _report_json_payload(report, top)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".tmp.")
+    try:
+        with os.fdopen(fd, "w", encoding="ascii") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
 def _run_sweep(argv) -> int:
     """``python -m avipack sweep`` — a durable design-space campaign.
 
@@ -112,6 +177,14 @@ def _run_sweep(argv) -> int:
                         help="force the serial execution path")
     parser.add_argument("--top", type=int, default=10,
                         help="ranked-table length (default 10)")
+    parser.add_argument("--store-dir", metavar="DIR", default=None,
+                        help="columnar result-store directory: stream "
+                             "every outcome into memory-mapped shards "
+                             "for zero-unpickle analytics "
+                             "(python -m avipack results)")
+    parser.add_argument("--report-json", metavar="PATH", default=None,
+                        help="additionally publish the ranked report "
+                             "as JSON at PATH (atomic write)")
     args = parser.parse_args(argv)
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
@@ -120,7 +193,8 @@ def _run_sweep(argv) -> int:
     candidates = (space.sample(args.sample, seed=args.seed)
                   if args.sample is not None else space)
     runner = SweepRunner(parallel=not args.serial,
-                         cache_dir=args.cache_dir)
+                         cache_dir=args.cache_dir,
+                         result_store=args.store_dir)
     if args.resume:
         try:
             replay = replay_journal(args.journal, write_quarantine=True)
@@ -145,7 +219,44 @@ def _run_sweep(argv) -> int:
     else:
         report = runner.run(candidates, journal_path=args.journal)
     print(render_sweep_document(report, top=args.top))
+    if args.report_json is not None:
+        _write_report_json(args.report_json, report, args.top)
     return 0 if report.n_compliant else 1
+
+
+def _run_results(argv) -> int:
+    """``python -m avipack results`` — analytics over a result store.
+
+    Everything is computed from the store's typed columns (no outcome
+    payload is unpickled).  Exit codes: 0 — store served and holds
+    compliant candidates; 1 — store served but nothing complied; 2 —
+    usage error or missing/unreadable store.
+    """
+    from .errors import InputError, ResultStoreError
+    from .results import ResultStore, render_store_report
+
+    parser = argparse.ArgumentParser(
+        prog="python -m avipack results",
+        description="Render zero-unpickle analytics for a columnar "
+                    "result store written by `sweep --store-dir`.")
+    parser.add_argument("--store", metavar="DIR", required=True,
+                        help="result-store directory")
+    parser.add_argument("--top", type=int, default=10,
+                        help="ranked-table length (default 10)")
+    parser.add_argument("--bins", type=int, default=12,
+                        help="headroom-histogram bins (default 12)")
+    args = parser.parse_args(argv)
+    try:
+        store = ResultStore.open(args.store)
+        document = render_store_report(store, top=args.top,
+                                       histogram_bins=args.bins)
+        n_compliant = int((store.live_mask()
+                           & store.column("compliant")).sum())
+    except (ResultStoreError, InputError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(document)
+    return 0 if n_compliant else 1
 
 
 def _run_serve(argv) -> int:
@@ -238,6 +349,7 @@ _COMMANDS = {
 
 #: Commands that parse their own argument vector.
 _ARG_COMMANDS = {
+    "results": _run_results,
     "serve": _run_serve,
     "sweep": _run_sweep,
 }

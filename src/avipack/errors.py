@@ -167,6 +167,18 @@ class ServiceError(AvipackError, RuntimeError):
                                  self.code))
 
 
+class ResultStoreError(DurabilityError):
+    """A columnar result store cannot be written or served.
+
+    Individual damaged *shards* never raise — they are renamed to a
+    ``.quarantine`` sidecar at open and their rows recomputed or
+    re-ingested from the journal (see :mod:`avipack.results.store`).
+    This error is reserved for the cases the store cannot work around:
+    writer-lock contention, a missing blob pool behind a lazy fetch, or
+    a blob whose checksum no longer matches its row.
+    """
+
+
 class JournalError(DurabilityError):
     """A sweep write-ahead journal cannot support a resume.
 

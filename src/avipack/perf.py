@@ -44,7 +44,10 @@ from .errors import InputError
 __all__ = [
     "SolveStats",
     "aggregate",
+    "counter",
+    "counters",
     "delta_since",
+    "increment",
     "record",
     "reset",
     "snapshot",
@@ -178,6 +181,11 @@ class SolveStats:
 
 
 _REGISTRY: Dict[str, SolveStats] = {}
+
+#: Named scalar counters for subsystems whose events do not fit the
+#: :class:`SolveStats` shape (dotted names, e.g. ``results.rows_ingested``,
+#: ``results.shards_written``, ``results.blob_fetches``).
+_COUNTERS: Dict[str, int] = {}
 _LOCK = threading.Lock()
 
 
@@ -211,12 +219,48 @@ def snapshot() -> Dict[str, SolveStats]:
 
 
 def reset(kernel: Optional[str] = None) -> None:
-    """Zero one kernel's counters, or the whole registry."""
+    """Zero one kernel's (or named counter's) records, or everything.
+
+    With a name, both registries are consulted: kernel names and named
+    scalar counters share the reset vocabulary so call sites need not
+    care which family an instrumentation point belongs to.
+    """
     with _LOCK:
         if kernel is None:
             _REGISTRY.clear()
+            _COUNTERS.clear()
         else:
             _REGISTRY.pop(kernel, None)
+            _COUNTERS.pop(kernel, None)
+
+
+def increment(name: str, amount: int = 1) -> None:
+    """Add ``amount`` to the named scalar counter (created at zero).
+
+    The dotted-name companion to :func:`record` for subsystems — the
+    columnar result store, notably — whose events are simple tallies
+    rather than solver-shaped counter records.
+    """
+    with _LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + amount
+
+
+def counter(name: str) -> int:
+    """Current value of one named scalar counter (0 if never bumped)."""
+    with _LOCK:
+        return _COUNTERS.get(name, 0)
+
+
+def counters(prefix: Optional[str] = None) -> Dict[str, int]:
+    """Copy of the named scalar counters, optionally prefix-filtered.
+
+    ``counters("results.")`` returns every result-store counter; the
+    mapping is sorted by name so renderings are deterministic.
+    """
+    with _LOCK:
+        items = sorted(_COUNTERS.items())
+    return {name: value for name, value in items
+            if prefix is None or name.startswith(prefix)}
 
 
 def delta_since(before: Dict[str, SolveStats]) -> Tuple[SolveStats, ...]:

@@ -138,6 +138,14 @@ class ServiceClient:
         return self._request({"op": "cancel", "job_id": job_id,
                               "reason": reason})
 
+    def results(self, job_id: str, k: int = 20) -> Dict[str, Any]:
+        """Top-``k`` ranking + headroom analytics from the job's
+        columnar result store (served zero-unpickle; raises
+        :class:`~avipack.errors.ServiceError` with code
+        ``"no_results"`` when the job has no store)."""
+        return self._request({"op": "results", "job_id": job_id,
+                              "k": k})
+
     def jobs(self) -> List[Dict[str, Any]]:
         return self._request({"op": "jobs"})["jobs"]
 

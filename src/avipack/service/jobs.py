@@ -185,6 +185,11 @@ class JobStore:
     def journal_path(self, job_id: str) -> str:
         return os.path.join(self.journal_dir, job_id + _JOURNAL_SUFFIX)
 
+    def result_dir(self, job_id: str) -> str:
+        """Per-job columnar result-store directory (sibling of the
+        journal, so a job's durable state lives under one root)."""
+        return os.path.join(self.journal_dir, job_id + ".results")
+
     def _manifest_path(self, job_id: str) -> str:
         return os.path.join(self.journal_dir, job_id + _MANIFEST_SUFFIX)
 

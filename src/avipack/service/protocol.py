@@ -41,8 +41,8 @@ __all__ = [
 ]
 
 #: Requests the server understands.
-REQUEST_OPS = ("submit", "status", "stream", "cancel", "jobs", "stats",
-               "ping", "shutdown")
+REQUEST_OPS = ("submit", "status", "stream", "cancel", "results", "jobs",
+               "stats", "ping", "shutdown")
 
 #: Machine-readable rejection/failure codes a response may carry.
 ERROR_CODES = (
@@ -57,6 +57,7 @@ ERROR_CODES = (
     "duplicate",        # informational: submission matched an active job
     "replay_gap",       # requested event seq outside the replay buffer
     "not_cancellable",  # job already terminal
+    "no_results",       # job has no columnar result store (yet)
 )
 
 #: Event types that end a stream (the job reached a final state).
@@ -128,7 +129,7 @@ def validate_request(message: Dict[str, Any]
         raise ProtocolError(
             f"unknown op {op!r}; known: {', '.join(REQUEST_OPS)}",
             code="unknown_op")
-    if op in ("status", "stream", "cancel"):
+    if op in ("status", "stream", "cancel", "results"):
         job_id = message.get("job_id")
         if not isinstance(job_id, str) or not job_id:
             raise ProtocolError(f"{op} requires a 'job_id' string")
@@ -136,6 +137,10 @@ def validate_request(message: Dict[str, Any]
         from_seq = message.get("from_seq", 0)
         if not isinstance(from_seq, int) or from_seq < 0:
             raise ProtocolError("'from_seq' must be a non-negative int")
+    if op == "results":
+        k = message.get("k", 20)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError("'k' must be a positive int")
     return op, message
 
 

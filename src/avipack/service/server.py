@@ -96,6 +96,10 @@ class ServiceConfig:
     #: Artificial per-candidate delay [s] — pacing hook for demos and
     #: the drain/chaos tests (0 disables).
     throttle_s: float = 0.0
+    #: Stream each job's outcomes into a per-job columnar result store
+    #: (``<journal_dir>/<job_id>.results``) so ``results`` requests are
+    #: answered from typed columns without unpickling any payload.
+    result_store: bool = True
     #: Events buffered per job for reconnect-and-replay.
     event_buffer: int = 10_000
     #: Install SIGTERM/SIGINT drain handlers (main-thread loops only).
@@ -351,7 +355,9 @@ class SweepService:
             parallel=self.config.parallel,
             max_workers=self.config.max_workers,
             timeout_s=self.config.candidate_timeout_s,
-            evaluator=evaluator)
+            evaluator=evaluator,
+            result_store=(self.store.result_dir(job.job_id)
+                          if self.config.result_store else None))
         hook = _LoopProgressHook(self, job)
         if job.resume and os.path.exists(job.journal_path):
             return runner.resume(job.journal_path, progress=hook)
@@ -368,8 +374,9 @@ class SweepService:
 
     @staticmethod
     def _summarize(report) -> Dict[str, Any]:
+        # Top-k selection, not a full-population sort (O(n log k)).
         ranking = [[o.fingerprint, o.cost_rank, round(o.worst_board_c, 9)]
-                   for o in report.ranked()[:1000]]
+                   for o in report.top(1000)]
         summary: Dict[str, Any] = {
             "n_candidates": report.n_candidates,
             "n_compliant": report.n_compliant,
@@ -487,9 +494,13 @@ class SweepService:
             if job is None:
                 return error_response(
                     "unknown_job", f"no job {params['job_id']!r}")
-            return {"ok": True, **job.status()}
+            return {"ok": True, **job.status(),
+                    "result_store": os.path.isdir(
+                        self.store.result_dir(job.job_id))}
         if op == "cancel":
             return self._handle_cancel(params)
+        if op == "results":
+            return self._handle_results(params)
         if op == "jobs":
             return {"ok": True, "jobs": [
                 {"job_id": job.job_id, "state": job.state,
@@ -575,6 +586,64 @@ class SweepService:
             job.cancel_reason = reason
             self._emit(job, "cancelling", reason=reason)
         return {"ok": True, "job_id": job.job_id, "state": job.state}
+
+    def _handle_results(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve top-k + headroom analytics from the job's result store.
+
+        Everything is read from the store's typed columns — no outcome
+        payload is unpickled, whatever the campaign size — so this
+        answers "top 20 of a million-candidate job" without loading
+        the world into the event loop's process.
+        """
+        job = self._jobs.get(params["job_id"])
+        if job is None:
+            return error_response("unknown_job",
+                                  f"no job {params['job_id']!r}")
+        directory = self.store.result_dir(job.job_id)
+        if not os.path.isdir(directory):
+            return error_response(
+                "no_results",
+                f"job {job.job_id} has no columnar result store "
+                "(stores disabled, or no outcome produced yet)")
+        from ..errors import ResultStoreError
+        from ..results import ResultStore, headroom_histogram, \
+            ranked_row_ids
+        k = int(params.get("k", 20))
+        try:
+            store = ResultStore.open(directory)
+            live = store.live_mask()
+            n_live = int(live.sum())
+            n_compliant = int((live & store.column("compliant")).sum())
+            ids = ranked_row_ids(store, k)
+            columns = {name: store.column(name)[ids]
+                       for name in ("index", "fingerprint", "label",
+                                    "cost_rank", "worst_board_c",
+                                    "thermal_headroom_c")}
+            counts, edges = headroom_histogram(store, bins=12)
+        except ResultStoreError as exc:
+            return error_response("no_results", str(exc))
+        top = [
+            {
+                "position": position + 1,
+                "index": int(columns["index"][position]),
+                "fingerprint":
+                    columns["fingerprint"][position].decode("ascii"),
+                "label": columns["label"][position].decode("utf-8"),
+                "cost_rank": float(columns["cost_rank"][position]),
+                "worst_board_c":
+                    float(columns["worst_board_c"][position]),
+                "thermal_headroom_c":
+                    float(columns["thermal_headroom_c"][position]),
+            }
+            for position in range(len(ids))]
+        return {"ok": True, "job_id": job.job_id, "state": job.state,
+                "n_rows": store.n_rows, "n_shards": store.n_shards,
+                "n_live": n_live, "n_compliant": n_compliant,
+                "quarantined_shards": list(store.quarantined),
+                "top": top,
+                "headroom_histogram": {
+                    "counts": [int(count) for count in counts],
+                    "edges": [float(edge) for edge in edges]}}
 
     async def _handle_stream(self, params: Dict[str, Any],
                              writer: asyncio.StreamWriter) -> bool:

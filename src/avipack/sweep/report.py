@@ -12,6 +12,7 @@ furniture from :mod:`avipack.core.report`.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -20,6 +21,7 @@ from ..perf import SolveStats, format_stats
 from .cache import CacheStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..results.store import ResultStoreStats
     from .runner import CandidateFailure, CandidateOutcome, CandidateResult
 
 __all__ = ["DurabilityStats", "SweepReport", "render_sweep_document"]
@@ -74,6 +76,10 @@ class SweepReport:
         every candidate and worker (empty when no solver kernel ran).
     durability:
         Journal/resume accounting (``None`` for unjournalled sweeps).
+    result_store:
+        Columnar result-store accounting when the run streamed outcomes
+        into an :class:`~avipack.results.store.ResultStoreWriter`
+        (``None`` otherwise).
     """
 
     outcomes: Tuple["CandidateOutcome", ...]
@@ -83,6 +89,7 @@ class SweepReport:
     cache: CacheStats
     perf: Tuple[SolveStats, ...] = ()
     durability: Optional[DurabilityStats] = None
+    result_store: Optional["ResultStoreStats"] = None
 
     # -- outcome views -------------------------------------------------------
 
@@ -127,10 +134,27 @@ class SweepReport:
                       key=lambda o: (o.cost_rank, -o.thermal_headroom_c,
                                      o.index))
 
+    def top(self, k: int) -> List["CandidateResult"]:
+        """The ``k`` best compliant candidates, in :meth:`ranked` order.
+
+        Equivalent to ``self.ranked()[:k]`` element for element
+        (:func:`heapq.nsmallest` is documented to match a sorted slice,
+        including stability), but O(n log k): rendering the top 10 of a
+        10^5-candidate campaign no longer sorts the whole population.
+        """
+        compliant = [o for o in self.results if o.compliant]
+        if k >= len(compliant):
+            return sorted(compliant,
+                          key=lambda o: (o.cost_rank,
+                                         -o.thermal_headroom_c, o.index))
+        return heapq.nsmallest(
+            k, compliant,
+            key=lambda o: (o.cost_rank, -o.thermal_headroom_c, o.index))
+
     def best(self) -> Optional["CandidateResult"]:
         """The minimum-cost compliant candidate, if any."""
-        ranked = self.ranked()
-        return ranked[0] if ranked else None
+        top = self.top(1)
+        return top[0] if top else None
 
     # -- recovery ------------------------------------------------------------
 
@@ -226,6 +250,11 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
     if report.n_batched:
         lines.append(f"   batched              : {report.n_batched} "
                      "candidates via topology-group solves")
+    if report.result_store is not None:
+        store = report.result_store
+        lines.append(f"   result store         : {store.directory} "
+                     f"({store.rows_added} rows, "
+                     f"{store.shards_sealed} shards)")
     lines.append("")
     lines.append("2. OUTCOMES")
     lines.append(f"   evaluated            : {len(report.results)}")
@@ -238,16 +267,18 @@ def render_sweep_document(report: SweepReport, top: int = 10) -> str:
         lines.append(f"   ... and {len(report.failures) - 5} more")
     lines.append("")
     lines.append("3. RANKED COMPLIANT CANDIDATES (cheapest first)")
-    ranked = report.ranked()
+    # Selection, not a full sort: only the rendered rows are ranked.
+    ranked = report.top(top)
     if not ranked:
         lines.append("   NONE - no candidate met the specification")
-    for position, result in enumerate(ranked[:top], start=1):
+    for position, result in enumerate(ranked, start=1):
         lines.append(
             f"   {position:>2}. {result.candidate.label:<48} "
             f"board {result.worst_board_c:5.1f} degC  "
             f"cost {result.cost_rank:g}")
-    if len(ranked) > top:
-        lines.append(f"   ... and {len(ranked) - top} more compliant")
+    if report.n_compliant > top:
+        lines.append(
+            f"   ... and {report.n_compliant - top} more compliant")
     trails = report.recovery_trails()
     section = 4
     if trails or report.n_degraded or report.n_timeouts:

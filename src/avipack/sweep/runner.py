@@ -302,20 +302,23 @@ def evaluate_candidate(task, cache: Optional[SolverCache] = None
 
 
 class _JournalObserver:
-    """Journal proxy that reports each outcome once it is durable.
+    """Journal proxy that fans each outcome out once it is durable.
 
     Wraps the (possibly absent) :class:`~avipack.durability.SweepJournal`
-    the execution paths write to, forwarding every record verbatim and
-    invoking ``progress(outcome)`` *after* the outcome has been
-    journalled — so an observer that raises (the sweep service's
-    cooperative-cancellation hook) never loses the triggering outcome.
-    The callback runs in the main process, in the thread driving the
-    sweep, exactly once per outcome.
+    the execution paths write to, forwarding every record verbatim, then
+    appending the outcome to the (possibly absent) columnar result-store
+    writer, then invoking ``progress(outcome)`` — strictly *after* the
+    outcome has been journalled, so an observer that raises (the sweep
+    service's cooperative-cancellation hook) never loses the triggering
+    outcome, and a crash mid-store-append is repaired by re-ingesting
+    from the journal.  The callback runs in the main process, in the
+    thread driving the sweep, exactly once per outcome.
     """
 
-    def __init__(self, journal, progress) -> None:
+    def __init__(self, journal, progress, store=None) -> None:
         self._journal = journal
         self._progress = progress
+        self._store = store
 
     def record_plan(self, *args, **kwargs) -> None:
         if self._journal is not None:
@@ -328,7 +331,10 @@ class _JournalObserver:
     def record_outcome(self, outcome: CandidateOutcome) -> None:
         if self._journal is not None:
             self._journal.record_outcome(outcome)
-        self._progress(outcome)
+        if self._store is not None:
+            self._store.add(outcome)
+        if self._progress is not None:
+            self._progress(outcome)
 
     def close(self) -> None:
         if self._journal is not None:
@@ -398,6 +404,16 @@ class SweepRunner:
         :class:`~avipack.durability.DiskSolverCache` shared by every
         worker (and across resumed runs) instead of the per-process
         in-memory cache.  ``None`` (default) keeps caching in memory.
+    result_store:
+        Directory for a columnar
+        :class:`~avipack.results.store.ResultStoreWriter`: every
+        outcome is appended to memory-mapped, checksummed shards as it
+        arrives (after journalling, when both are enabled), so ranking
+        and report analytics run zero-unpickle afterwards.  On
+        :meth:`resume`, outcomes restored from the journal that the
+        store does not yet hold are backfilled, keeping store and
+        report in lockstep.  ``None`` (default) keeps results
+        in-memory only.
     batch:
         Batch-scheduler switch.  ``None`` (default) batches whenever
         the evaluator declares batch support (a truthy
@@ -420,6 +436,7 @@ class SweepRunner:
                  faults: Optional[FaultPlan] = None,
                  evaluator=None,
                  cache_dir: Optional[str] = None,
+                 result_store: Optional[str] = None,
                  batch: Optional[bool] = None) -> None:
         if max_workers is not None and max_workers < 0:
             raise InputError("max_workers must be >= 0")
@@ -437,6 +454,7 @@ class SweepRunner:
         self.evaluator = evaluator if evaluator is not None \
             else evaluate_candidate
         self.cache_dir = cache_dir
+        self.result_store = result_store
         self.batch = batch
         if batch is True and not self._evaluator_batches():
             raise InputError(
@@ -684,10 +702,17 @@ class SweepRunner:
                 _faults.uninstall()
         return outcomes, mode, workers if mode.startswith("parallel") else 1
 
+    def _open_store_writer(self):
+        """The columnar store writer for this run (None when disabled)."""
+        if self.result_store is None:
+            return None
+        from ..results.store import ResultStoreWriter
+        return ResultStoreWriter(self.result_store)
+
     def _assemble(self, outcomes: List[CandidateOutcome], wall: float,
                   mode: str, workers: int,
-                  durability: Optional[DurabilityStats] = None
-                  ) -> SweepReport:
+                  durability: Optional[DurabilityStats] = None,
+                  store_stats=None) -> SweepReport:
         hits = sum(o.cache_hits for o in outcomes
                    if isinstance(o, CandidateResult))
         misses = sum(o.cache_misses for o in outcomes
@@ -708,6 +733,7 @@ class SweepRunner:
             cache=cache_stats,
             perf=perf_records,
             durability=durability,
+            result_store=store_stats,
         )
 
     def run(self, space: Union[DesignSpace, Iterable[Candidate]],
@@ -753,20 +779,27 @@ class SweepRunner:
                 space_fingerprint=stable_fingerprint(tuple(candidates)))
             for index, candidate in enumerate(candidates):
                 journal.record_dispatched(index, candidate)
-        sink = (_JournalObserver(journal, progress)
-                if progress is not None else journal)
+        store_writer = self._open_store_writer()
+        sink = (_JournalObserver(journal, progress, store_writer)
+                if progress is not None or store_writer is not None
+                else journal)
         start = time.perf_counter()
         try:
             outcomes, mode, workers = self._execute(tasks, sink)
         finally:
             if journal is not None:
                 journal.close()
+            if store_writer is not None:
+                store_writer.close()
         wall = time.perf_counter() - start
         durability = None
         if journal_path is not None:
             durability = DurabilityStats(journal_path=journal_path,
                                          n_recomputed=len(candidates))
-        return self._assemble(outcomes, wall, mode, workers, durability)
+        store_stats = (store_writer.stats()
+                       if store_writer is not None else None)
+        return self._assemble(outcomes, wall, mode, workers, durability,
+                              store_stats)
 
     def resume(self, journal_path: str,
                space: Union[DesignSpace, Iterable[Candidate], None] = None,
@@ -829,6 +862,15 @@ class SweepRunner:
         mode = "resume"
         workers = 1
         fresh: Dict[int, CandidateOutcome] = {}
+        # Fingerprints the store already holds must be read *before*
+        # this resume appends to it, so the backfill below adds each
+        # restored outcome at most once across repeated resumes.
+        stored_fingerprints: set = set()
+        if self.result_store is not None:
+            from ..results.store import ResultStore
+            stored_fingerprints = ResultStore.live_fingerprints(
+                self.result_store)
+        store_writer = self._open_store_writer()
         journal = SweepJournal.append_to(journal_path,
                                          next_seq=replay.next_seq)
         try:
@@ -840,13 +882,18 @@ class SweepRunner:
                 journal.record_dispatched(index, candidate)
             if pending:
                 tasks = self._tasks(pending)
-                sink = (_JournalObserver(journal, progress)
-                        if progress is not None else journal)
+                sink = (_JournalObserver(journal, progress, store_writer)
+                        if progress is not None or store_writer is not None
+                        else journal)
                 outcomes, engine_mode, workers = self._execute(tasks,
                                                                sink)
                 fresh = {task[0]: outcome
                          for task, outcome in zip(tasks, outcomes)}
                 mode = f"resume ({engine_mode})"
+        except BaseException:
+            if store_writer is not None:
+                store_writer.close()
+            raise
         finally:
             journal.close()
         wall = time.perf_counter() - start
@@ -861,6 +908,19 @@ class SweepRunner:
                 outcome = dataclasses.replace(outcome, index=index)
             merged.append(outcome)
             n_resumed += 1
+        store_stats = None
+        if store_writer is not None:
+            # Backfill journal-restored outcomes the store has never
+            # seen (fresh ones streamed through the observer already).
+            try:
+                for outcome in merged:
+                    if (outcome.fingerprint not in stored_fingerprints
+                            and outcome.fingerprint
+                            not in store_writer.added_fingerprints):
+                        store_writer.add(outcome)
+            finally:
+                store_writer.close()
+            store_stats = store_writer.stats()
         durability = DurabilityStats(
             journal_path=journal_path,
             n_resumed=n_resumed,
@@ -869,4 +929,5 @@ class SweepRunner:
             n_audit_failures=len(flagged),
             audit_issues=tuple(sorted(flagged.items())),
         )
-        return self._assemble(merged, wall, mode, workers, durability)
+        return self._assemble(merged, wall, mode, workers, durability,
+                              store_stats)

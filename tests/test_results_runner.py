@@ -1,0 +1,142 @@
+"""SweepRunner(result_store=...) integration and report top-k parity."""
+
+import os
+
+import pytest
+
+from avipack import perf
+from avipack.results import ResultStore, ranking_signature
+from avipack.sweep import DesignSpace, SweepRunner, render_sweep_document
+from avipack.sweep.space import Candidate
+
+
+def small_space():
+    return DesignSpace(axes={
+        "power_per_module": [10.0, 25.0, 40.0],
+        "n_modules": [2, 4],
+        "cooling": ["free_convection", "direct_air_flow"],
+    })
+
+
+def signature(report):
+    return [(o.fingerprint, o.cost_rank, o.worst_board_c)
+            for o in report.ranked()]
+
+
+def test_run_streams_outcomes_into_the_store(tmp_path):
+    store_dir = str(tmp_path / "store")
+    perf.reset()
+    runner = SweepRunner(parallel=False, result_store=store_dir)
+    report = runner.run(small_space())
+    assert report.result_store is not None
+    assert report.result_store.rows_added == report.n_candidates
+    assert report.result_store.shards_sealed >= 1
+    assert perf.counter("results.rows_ingested") == report.n_candidates
+    store = ResultStore.open(store_dir)
+    assert store.n_rows == report.n_candidates
+    assert ranking_signature(store) == signature(report)
+    document = render_sweep_document(report)
+    assert "result store" in document
+
+
+def test_run_without_store_keeps_report_unchanged(tmp_path):
+    report = SweepRunner(parallel=False).run(small_space())
+    assert report.result_store is None
+    assert "result store" not in render_sweep_document(report)
+
+
+def test_resume_backfills_restored_outcomes(tmp_path):
+    journal_path = str(tmp_path / "sweep.journal.jsonl")
+    first_dir = str(tmp_path / "first")
+    # Journalled run WITHOUT a store...
+    baseline = SweepRunner(parallel=False).run(
+        small_space(), journal_path=journal_path)
+    # ...then a full resume WITH a store: nothing pending, everything
+    # restored from the journal must be backfilled into the store.
+    resumed = SweepRunner(parallel=False,
+                          result_store=first_dir).resume(journal_path)
+    assert resumed.result_store.rows_added == resumed.n_candidates
+    store = ResultStore.open(first_dir)
+    assert store.n_rows == resumed.n_candidates
+    assert ranking_signature(store) == signature(resumed)
+    assert signature(resumed) == signature(baseline)
+
+
+def test_resume_into_same_store_adds_nothing_new(tmp_path):
+    journal_path = str(tmp_path / "sweep.journal.jsonl")
+    store_dir = str(tmp_path / "store")
+    report = SweepRunner(parallel=False, result_store=store_dir).run(
+        small_space(), journal_path=journal_path)
+    resumed = SweepRunner(parallel=False,
+                          result_store=store_dir).resume(journal_path)
+    assert resumed.result_store.rows_added == 0
+    store = ResultStore.open(store_dir)
+    assert store.n_rows == report.n_candidates
+    assert int(store.live_mask().sum()) == resumed.n_candidates
+    assert ranking_signature(store) == signature(resumed)
+
+
+def test_store_and_journal_rank_identically_with_failures(tmp_path):
+    store_dir = str(tmp_path / "store")
+    candidates = list(small_space().grid())
+    # An impossible candidate fails at evaluation and must land in the
+    # store as a row with NaN metrics, not poison the ranking.
+    candidates.append(Candidate(power_per_module=1.0e6, n_modules=2))
+    report = SweepRunner(parallel=False,
+                         result_store=store_dir).run(candidates)
+    assert len(report.failures) >= 1
+    store = ResultStore.open(store_dir)
+    assert store.n_rows == len(candidates)
+    assert ranking_signature(store) == signature(report)
+
+
+# -- SweepReport.top(): the O(n log k) satellite -----------------------------
+
+
+def sweep_report():
+    return SweepRunner(parallel=False).run(small_space())
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 100])
+def test_top_k_equals_ranked_prefix(k):
+    report = sweep_report()
+    assert report.top(k) == report.ranked()[:k]
+
+
+def test_top_breaks_cost_and_headroom_ties_by_index():
+    report = sweep_report()
+    full = report.ranked()
+    keys = [(o.cost_rank, -o.thermal_headroom_c, o.index) for o in full]
+    assert keys == sorted(keys)
+    assert report.best() == (full[0] if full else None)
+
+
+def test_render_uses_selection_not_full_sort():
+    report = sweep_report()
+    document = render_sweep_document(report, top=2)
+    remaining = report.n_compliant - 2
+    assert f"... and {remaining} more compliant" in document
+
+
+def test_run_closes_writer_on_progress_abort(tmp_path):
+    store_dir = str(tmp_path / "store")
+
+    class Stop(Exception):
+        pass
+
+    seen = []
+
+    def progress(outcome):
+        seen.append(outcome)
+        if len(seen) == 3:
+            raise Stop()
+
+    runner = SweepRunner(parallel=False, result_store=store_dir)
+    with pytest.raises(Stop):
+        runner.run(small_space(), progress=progress)
+    # The writer was closed (partial shard sealed): the journalled
+    # prefix of 3 outcomes is already durable and queryable.
+    store = ResultStore.open(store_dir)
+    assert store.n_rows == 3
+    assert not any(name.endswith(".lock.tmp")
+                   for name in os.listdir(store_dir))
