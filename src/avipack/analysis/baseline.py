@@ -72,6 +72,8 @@ class Baseline:
         with open(tmp, "w", encoding="utf-8") as stream:
             json.dump(self.to_payload(), stream, indent=1, sort_keys=True)
             stream.write("\n")
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(tmp, path)
 
     @classmethod

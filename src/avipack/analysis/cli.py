@@ -22,7 +22,8 @@ from ..errors import AvipackError
 from .baseline import Baseline
 from .cache import AnalysisCache
 from .engine import AnalysisEngine
-from .rules import all_rules, rules_signature
+from .rules import all_rules, rule_range, rules_signature
+from .sarif import to_sarif
 
 __all__ = ["main"]
 
@@ -36,11 +37,15 @@ DEFAULT_CACHE = ".avilint-cache.json"
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m avipack.analysis",
-        description="avipack domain-aware static analysis (AVI001-AVI006)")
+        description=("avipack domain-aware static analysis "
+                     f"({rule_range()})"))
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to analyze (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for summarize/check "
+                             "phases (0 = one per CPU; default: 1)")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help=f"baseline file of grandfathered findings "
                              f"(default: {DEFAULT_BASELINE} if it exists)")
@@ -84,7 +89,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         baseline = _resolve_baseline(args)
-        engine = AnalysisEngine(cache=cache, baseline=baseline)
+        engine = AnalysisEngine(cache=cache, baseline=baseline,
+                                jobs=args.jobs)
         result = engine.analyze_paths(args.paths)
     except AvipackError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -105,6 +111,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         print(json.dumps(result.to_payload(), indent=1, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(result, engine.rules), indent=1,
+                         sort_keys=True))
     else:
         print(result.render_text())
     return 0 if result.clean else 1

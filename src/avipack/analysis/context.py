@@ -30,6 +30,13 @@ class FileContext:
     package_parts: Tuple[str, ...] = ()
     _parents: Dict[int, ast.AST] = field(default_factory=dict, repr=False)
     _symbols: Dict[int, str] = field(default_factory=dict, repr=False)
+    #: Attached by the engine when running project-wide: the
+    #: :class:`~avipack.analysis.project.ProjectGraph` and this file's
+    #: :class:`~avipack.analysis.project.ModuleSummary`.  ``None`` when
+    #: a rule is driven standalone (rules fall back to a single-file
+    #: graph via :func:`~avipack.analysis.project.graph_of`).
+    project: Optional[object] = field(default=None, repr=False)
+    summary: Optional[object] = field(default=None, repr=False)
 
     @classmethod
     def parse(cls, rel_path: str, source: str) -> "FileContext":

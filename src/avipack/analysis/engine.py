@@ -1,30 +1,53 @@
-"""Analysis engine: file discovery, rule dispatch, result assembly.
+"""Analysis engine: project graph, rule dispatch, result assembly.
 
-The engine is deliberately small: discover ``.py`` files, parse each one
-once into a :class:`~avipack.analysis.context.FileContext`, run every
-registered rule (or a cached result for unchanged content), then filter
-raw findings through inline suppressions and the baseline.  Everything
-stateful (cache, baseline) is injected, so tests drive the engine
-directly on fixture trees.
+Since PR 9 the engine runs in two phases over the whole tree:
+
+1. **Summarize** — every file is parsed once and lowered into a
+   picklable :class:`~avipack.analysis.project.ModuleSummary` (imports,
+   call sites, blocking ops, perf events).  Summaries are cached on
+   the file's content hash, so a warm run re-parses only edited files.
+   The summaries assemble into a :class:`~avipack.analysis.project.
+   ProjectGraph`: import closure, conservative call graph, dependency
+   fingerprints.
+2. **Check** — file-scope rules run per file with the graph attached
+   to the context; results are cached on ``(content_fp, dep_fp)`` so a
+   file re-checks exactly when it or something it imports changed.
+   Project-scope rules (registry-wide invariants like AVI011) run once
+   over the graph, uncached.  Raw findings then flow through inline
+   suppressions and the baseline as before.
+
+Both phases fan out over a process pool when ``jobs > 1``; workers
+re-parse from source (AST parent maps don't pickle) and ship findings
+back as plain dicts.  Serial and parallel runs produce byte-identical
+results — the parity test in ``tests/test_analysis_engine.py`` holds
+the engine to that.
+
+The engine reports itself to :mod:`avipack.perf`: wall time on the
+``analysis.engine`` kernel and ``analysis.*`` counters for files,
+cache hits and graph edges.
 """
 
 from __future__ import annotations
 
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import perf as _perf
 from ..errors import InputError
+from ..fingerprint import stable_fingerprint
 from .baseline import Baseline
 from .cache import AnalysisCache
 from .context import FileContext
 from .findings import Finding
-from .rules import Rule, all_rules, rules_signature
+from .project import ModuleSummary, ProjectGraph, summarize
+from .rules import Rule, all_rules, get_rule, rules_signature
 from .suppress import line_suppressions, suppresses
 
 __all__ = ["AnalysisEngine", "AnalysisResult"]
 
-_RESULT_VERSION = 1
+_RESULT_VERSION = 2
 
 
 @dataclass
@@ -37,6 +60,8 @@ class AnalysisResult:
     errors: List[str] = field(default_factory=list)
     files_analyzed: int = 0
     cache_hits: int = 0
+    import_edges: int = 0
+    call_edges: int = 0
 
     @property
     def clean(self) -> bool:
@@ -50,6 +75,8 @@ class AnalysisResult:
             "rules_signature": rules_signature(),
             "files_analyzed": self.files_analyzed,
             "cache_hits": self.cache_hits,
+            "import_edges": self.import_edges,
+            "call_edges": self.call_edges,
             "clean": self.clean,
             "errors": list(self.errors),
             "findings": [finding.to_dict() for finding in self.findings],
@@ -70,6 +97,8 @@ class AnalysisResult:
             errors=[str(e) for e in payload.get("errors", [])],
             files_analyzed=int(payload.get("files_analyzed", 0)),
             cache_hits=int(payload.get("cache_hits", 0)),
+            import_edges=int(payload.get("import_edges", 0)),
+            call_edges=int(payload.get("call_edges", 0)),
         )
 
     def render_text(self) -> str:
@@ -87,10 +116,60 @@ class AnalysisResult:
                          f"inline (# avilint: disable=...)")
         lines.append(
             f"analyzed {self.files_analyzed} file(s) "
-            f"({self.cache_hits} cached): "
+            f"({self.cache_hits} cached, {self.import_edges} import / "
+            f"{self.call_edges} call edges): "
             f"{len(self.findings)} active, {len(self.baselined)} baselined, "
             f"{len(self.suppressed)} suppressed")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Pool workers (top-level for pickling; state arrives via initializer)
+# ---------------------------------------------------------------------------
+
+_WORKER_GRAPH: Optional[ProjectGraph] = None
+_WORKER_RULE_IDS: Tuple[str, ...] = ()
+
+
+def _summarize_worker(task: Tuple[str, str]) -> Tuple[str, str, object]:
+    """Parse + summarize one file: ('ok', path, dict) / ('error', ...)."""
+    rel_path, source = task
+    try:
+        ctx = FileContext.parse(rel_path, source)
+    except InputError as exc:
+        return ("error", rel_path, str(exc))
+    return ("ok", rel_path, summarize(ctx).to_dict())
+
+
+def _init_check_worker(graph: ProjectGraph,
+                       rule_ids: Tuple[str, ...]) -> None:
+    global _WORKER_GRAPH, _WORKER_RULE_IDS
+    _WORKER_GRAPH = graph
+    _WORKER_RULE_IDS = rule_ids
+
+
+def _check_worker(task: Tuple[str, str]) -> Tuple[str, str, object]:
+    """Run file-scope rules on one file inside a pool worker."""
+    rel_path, source = task
+    assert _WORKER_GRAPH is not None
+    rules = tuple(get_rule(rule_id) for rule_id in _WORKER_RULE_IDS)
+    try:
+        findings = _check_one(rel_path, source, rules, _WORKER_GRAPH)
+    except InputError as exc:
+        return ("error", rel_path, str(exc))
+    return ("ok", rel_path, [finding.to_dict() for finding in findings])
+
+
+def _check_one(rel_path: str, source: str, rules: Sequence[Rule],
+               graph: ProjectGraph) -> Tuple[Finding, ...]:
+    """Parse one file, attach the graph, run the file-scope rules."""
+    ctx = FileContext.parse(rel_path, source)
+    ctx.project = graph
+    ctx.summary = graph.files.get(rel_path)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    return tuple(sorted(findings, key=_finding_order))
 
 
 class AnalysisEngine:
@@ -98,11 +177,15 @@ class AnalysisEngine:
 
     def __init__(self, rules: Optional[Sequence[Rule]] = None,
                  cache: Optional[AnalysisCache] = None,
-                 baseline: Optional[Baseline] = None) -> None:
+                 baseline: Optional[Baseline] = None,
+                 jobs: int = 1) -> None:
         self.rules: Tuple[Rule, ...] = (tuple(rules) if rules is not None
                                         else all_rules())
         self.cache = cache
         self.baseline = baseline
+        if jobs < 0:
+            raise InputError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs if jobs else (os.cpu_count() or 1)
 
     # -- discovery -----------------------------------------------------------
 
@@ -133,23 +216,62 @@ class AnalysisEngine:
         return self.analyze_files(self.discover(paths))
 
     def analyze_files(self, files: Sequence[str]) -> AnalysisResult:
+        with _perf.timed("analysis.engine"):
+            result = self._analyze_files(files)
+        _perf.increment("analysis.files", result.files_analyzed)
+        _perf.increment("analysis.cache_hits", result.cache_hits)
+        _perf.increment("analysis.import_edges", result.import_edges)
+        _perf.increment("analysis.call_edges", result.call_edges)
+        return result
+
+    def _analyze_files(self, files: Sequence[str]) -> AnalysisResult:
         result = AnalysisResult()
-        raw: List[Finding] = []
+        sources: Dict[str, str] = {}
         for rel_path in files:
             try:
                 with open(rel_path, encoding="utf-8") as stream:
-                    source = stream.read()
+                    sources[rel_path] = stream.read()
             except OSError as exc:
                 result.errors.append(f"{rel_path}: {exc}")
-                continue
-            result.files_analyzed += 1
-            file_findings = self._analyze_source(rel_path, source, result)
-            if file_findings is None:
-                continue
+        result.files_analyzed = len(sources)
+        content_fps = {rel_path: stable_fingerprint(source)
+                       for rel_path, source in sources.items()}
+
+        # Phase 1: module summaries (cached on content, else parsed).
+        summaries = self._summarize_phase(sources, content_fps, result)
+        graph = ProjectGraph(list(summaries.values()), content_fps)
+        result.import_edges = graph.n_import_edges
+        result.call_edges = graph.n_call_edges
+
+        # Phase 2: file-scope findings (cached on content + deps).
+        dep_fps = {rel_path: graph.dependency_fingerprint(rel_path)
+                   for rel_path in summaries}
+        raw_by_file, to_check = self._collect_cached(
+            summaries, content_fps, dep_fps, result)
+        checked = self._check_phase(
+            {rel_path: sources[rel_path] for rel_path in to_check},
+            graph, result)
+        raw_by_file.update(checked)
+        if self.cache is not None:
+            for rel_path in checked:
+                self.cache.put(rel_path, content_fps[rel_path],
+                               dep_fps[rel_path], summaries[rel_path],
+                               checked[rel_path])
+
+        # Phase 3: project-scope rules over the whole graph (uncached).
+        project_raw = self._project_phase(graph)
+
+        # Suppressions, baseline, ordering.
+        raw: List[Finding] = []
+        for rel_path in sorted(raw_by_file):
+            file_raw = list(raw_by_file[rel_path])
+            file_raw.extend(project_raw.pop(rel_path, ()))
             active, suppressed = self._apply_suppressions(
-                source, file_findings)
+                sources[rel_path], file_raw)
             raw.extend(active)
             result.suppressed.extend(suppressed)
+        for rel_path in sorted(project_raw):  # findings outside the tree
+            raw.extend(project_raw[rel_path])
         if self.baseline is not None:
             result.findings, result.baselined = self.baseline.partition(raw)
         else:
@@ -157,29 +279,114 @@ class AnalysisEngine:
         result.findings.sort(key=_finding_order)
         result.baselined.sort(key=_finding_order)
         result.suppressed.sort(key=_finding_order)
+        result.errors.sort()
         return result
 
-    def _analyze_source(self, rel_path: str, source: str,
-                        result: AnalysisResult
-                        ) -> Optional[Tuple[Finding, ...]]:
-        """Raw rule output for one file (cache-aware); None on parse error."""
-        if self.cache is not None:
-            cached = self.cache.get(rel_path, source)
+    # -- phase helpers -------------------------------------------------------
+
+    def _summarize_phase(self, sources: Dict[str, str],
+                         content_fps: Dict[str, str],
+                         result: AnalysisResult
+                         ) -> Dict[str, ModuleSummary]:
+        summaries: Dict[str, ModuleSummary] = {}
+        to_parse: List[str] = []
+        for rel_path in sorted(sources):
+            cached = (self.cache.get_summary(rel_path,
+                                             content_fps[rel_path])
+                      if self.cache is not None else None)
             if cached is not None:
+                summaries[rel_path] = cached
+            else:
+                to_parse.append(rel_path)
+        tasks = [(rel_path, sources[rel_path]) for rel_path in to_parse]
+        if self._parallel(len(tasks)):
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                outcomes = list(pool.map(_summarize_worker, tasks,
+                                         chunksize=4))
+        else:
+            outcomes = [_summarize_worker(task) for task in tasks]
+        for status, rel_path, payload in outcomes:
+            if status == "error":
+                result.errors.append(str(payload))
+                continue
+            summary = ModuleSummary.from_dict(payload)  # type: ignore
+            if summary is not None:
+                summaries[rel_path] = summary
+        return summaries
+
+    def _collect_cached(self, summaries: Dict[str, ModuleSummary],
+                        content_fps: Dict[str, str],
+                        dep_fps: Dict[str, str], result: AnalysisResult
+                        ) -> Tuple[Dict[str, Tuple[Finding, ...]],
+                                   List[str]]:
+        raw_by_file: Dict[str, Tuple[Finding, ...]] = {}
+        to_check: List[str] = []
+        for rel_path in sorted(summaries):
+            cached = (self.cache.get_findings(
+                rel_path, content_fps[rel_path], dep_fps[rel_path])
+                if self.cache is not None else None)
+            if cached is not None:
+                raw_by_file[rel_path] = cached
                 result.cache_hits += 1
-                return cached
-        try:
-            ctx = FileContext.parse(rel_path, source)
-        except InputError as exc:
-            result.errors.append(str(exc))
-            return None
-        findings: List[Finding] = []
+            else:
+                to_check.append(rel_path)
+        return raw_by_file, to_check
+
+    def _check_phase(self, sources: Dict[str, str], graph: ProjectGraph,
+                     result: AnalysisResult
+                     ) -> Dict[str, Tuple[Finding, ...]]:
+        file_rules = tuple(rule for rule in self.rules
+                           if rule.scope == "file")
+        tasks = [(rel_path, sources[rel_path])
+                 for rel_path in sorted(sources)]
+        checked: Dict[str, Tuple[Finding, ...]] = {}
+        if self._parallel(len(tasks)) and self._rules_portable():
+            rule_ids = tuple(rule.rule_id for rule in file_rules)
+            with ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_check_worker,
+                    initargs=(graph, rule_ids)) as pool:
+                outcomes = list(pool.map(_check_worker, tasks,
+                                         chunksize=4))
+            for status, rel_path, payload in outcomes:
+                if status == "error":
+                    result.errors.append(str(payload))
+                    continue
+                checked[rel_path] = tuple(
+                    Finding.from_dict(record)
+                    for record in payload)  # type: ignore[union-attr]
+        else:
+            for rel_path, source in tasks:
+                try:
+                    checked[rel_path] = _check_one(
+                        rel_path, source, file_rules, graph)
+                except InputError as exc:
+                    result.errors.append(str(exc))
+        return checked
+
+    def _project_phase(self, graph: ProjectGraph
+                       ) -> Dict[str, List[Finding]]:
+        by_file: Dict[str, List[Finding]] = {}
         for rule in self.rules:
-            findings.extend(rule.check(ctx))
-        packed = tuple(sorted(findings, key=_finding_order))
-        if self.cache is not None:
-            self.cache.put(rel_path, source, packed)
-        return packed
+            if rule.scope != "project":
+                continue
+            for finding in rule.check_project(graph):
+                by_file.setdefault(finding.path, []).append(finding)
+        return by_file
+
+    def _parallel(self, n_tasks: int) -> bool:
+        return self.jobs > 1 and n_tasks > 1
+
+    def _rules_portable(self) -> bool:
+        """True when every rule is the registered singleton, so a pool
+        worker can reconstruct the exact rule set from ids alone."""
+        try:
+            return all(get_rule(rule.rule_id) is rule
+                       for rule in self.rules)
+        except InputError:
+            return False
+
+    # -- filtering -----------------------------------------------------------
 
     @staticmethod
     def _apply_suppressions(source: str, findings: Iterable[Finding]

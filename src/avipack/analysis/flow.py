@@ -1,0 +1,264 @@
+"""Intra-function ordering and dataflow primitives.
+
+The flow-sensitive rules (AVI009/AVI010/AVI012) need answers to
+questions a plain AST walk cannot give: *does the fsync happen before
+the replace on every path?*, *is the lock released even when the body
+raises?*, *is the handle used after it was closed?*  This module
+answers them with **bounded path enumeration**: a function body is
+lowered into the set of event sequences its control flow can produce,
+and the ordering predicates are evaluated per path.
+
+Control flow is modelled conservatively:
+
+* ``if`` explores both branches;
+* loops run zero and exactly one iteration (event *ordering* inside a
+  loop body is iteration-invariant for the patterns we check);
+* ``try`` produces the normal path plus one path per handler —
+  handlers are entered with an *empty* body prefix (the exception may
+  fire before any body statement completed), which under-approximates
+  occurrences but never invents an ordering that cannot happen;
+* ``finally`` is appended to every path through the statement;
+* ``return`` / ``raise`` / ``break`` / ``continue`` terminate a path.
+
+Enumeration is capped (default 512 paths).  On overflow the caller
+receives ``None`` and is expected to stay silent — a missed finding is
+acceptable, a false positive in the CI gate is not.
+
+Events are caller-defined opaque objects produced by an ``events_of``
+extractor invoked on every simple statement and on the header
+expressions of compound statements (``if`` tests, ``with`` items,
+loop iterables).  The predicates below then classify them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "enumerate_paths",
+    "event_after",
+    "must_precede",
+    "name_escapes",
+]
+
+#: Default cap on enumerated paths; beyond it analysis goes silent.
+MAX_PATHS = 512
+
+Path = Tuple[Any, ...]
+_EventsOf = Callable[[ast.AST], Iterable[Any]]
+
+
+class _Overflow(Exception):
+    """Raised internally when the path product exceeds the cap."""
+
+
+def _cross(prefixes: List[Tuple[Path, bool]],
+           suffixes: List[Tuple[Path, bool]],
+           cap: int) -> List[Tuple[Path, bool]]:
+    """Sequence ``suffixes`` after every *live* prefix."""
+    out: List[Tuple[Path, bool]] = []
+    for prefix, dead in prefixes:
+        if dead:
+            out.append((prefix, True))
+            continue
+        for suffix, sdead in suffixes:
+            out.append((prefix + suffix, sdead))
+            if len(out) > cap:
+                raise _Overflow
+    return out
+
+
+def _paths_of_block(stmts: Sequence[ast.stmt], events_of: _EventsOf,
+                    cap: int) -> List[Tuple[Path, bool]]:
+    paths: List[Tuple[Path, bool]] = [((), False)]
+    for stmt in stmts:
+        paths = _cross(paths, _paths_of_stmt(stmt, events_of, cap), cap)
+    return paths
+
+
+def _header_events(nodes: Iterable[Optional[ast.AST]],
+                   events_of: _EventsOf) -> Path:
+    events: List[Any] = []
+    for node in nodes:
+        if node is not None:
+            events.extend(events_of(node))
+    return tuple(events)
+
+
+def _paths_of_stmt(stmt: ast.stmt, events_of: _EventsOf,
+                   cap: int) -> List[Tuple[Path, bool]]:
+    if isinstance(stmt, ast.If):
+        head = _header_events([stmt.test], events_of)
+        branches = []
+        for body in (stmt.body, stmt.orelse):
+            for path, dead in _paths_of_block(body, events_of, cap):
+                branches.append((head + path, dead))
+        return branches
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        head = _header_events([stmt.iter], events_of)
+        once = _paths_of_block(list(stmt.body) + list(stmt.orelse),
+                               events_of, cap)
+        skip = _paths_of_block(stmt.orelse, events_of, cap)
+        out = [(head + p, d) for p, d in skip]
+        out.extend((head + p, _break_absorbed(d)) for p, d in once)
+        return out
+    if isinstance(stmt, ast.While):
+        head = _header_events([stmt.test], events_of)
+        once = _paths_of_block(list(stmt.body) + list(stmt.orelse),
+                               events_of, cap)
+        skip = _paths_of_block(stmt.orelse, events_of, cap)
+        out = [(head + p, d) for p, d in skip]
+        out.extend((head + p, _break_absorbed(d)) for p, d in once)
+        return out
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        head = _header_events(
+            [item.context_expr for item in stmt.items], events_of)
+        return [(head + p, d)
+                for p, d in _paths_of_block(stmt.body, events_of, cap)]
+    if isinstance(stmt, ast.Try):
+        final = _paths_of_block(stmt.finalbody, events_of, cap)
+        normal = _cross(
+            _paths_of_block(list(stmt.body) + list(stmt.orelse),
+                            events_of, cap),
+            final, cap)
+        out = list(normal)
+        for handler in stmt.handlers:
+            # Exception may fire before any body statement completed:
+            # enter the handler with an empty body prefix.
+            handled = _cross(
+                _paths_of_block(handler.body, events_of, cap), final, cap)
+            out.extend(handled)
+            if len(out) > cap:
+                raise _Overflow
+        return out
+    if isinstance(stmt, (ast.Return, ast.Raise)):
+        events = _header_events(
+            [stmt.value if isinstance(stmt, ast.Return) else stmt.exc],
+            events_of)
+        return [(tuple(events), True)]
+    if isinstance(stmt, (ast.Break, ast.Continue)):
+        return [((), True)]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return [((), False)]  # nested definitions are separate scopes
+    return [(tuple(events_of(stmt)), False)]
+
+
+def _break_absorbed(dead: bool) -> bool:
+    # A break/continue ends the loop iteration, not the function; but
+    # we cannot distinguish it from return here without more state.
+    # Treating it as path-terminating is conservative for ordering
+    # checks (shorter paths have fewer events to mis-order).
+    return dead
+
+
+def enumerate_paths(stmts: Sequence[ast.stmt], events_of: _EventsOf,
+                    max_paths: int = MAX_PATHS) -> Optional[Tuple[Path, ...]]:
+    """All bounded event sequences through ``stmts``.
+
+    Returns ``None`` when the path product exceeds ``max_paths`` —
+    callers must treat that as "unknown" and stay silent.
+    """
+    try:
+        paths = _paths_of_block(stmts, events_of, max_paths)
+    except _Overflow:
+        return None
+    return tuple(path for path, _ in paths)
+
+
+def must_precede(paths: Iterable[Path],
+                 is_earlier: Callable[[Any], bool],
+                 is_later: Callable[[Any], bool]) -> Optional[Any]:
+    """Check "A precedes B on every path where B occurs".
+
+    Returns the first violating B event, or ``None`` when the
+    ordering holds everywhere.
+    """
+    for path in paths:
+        seen_earlier = False
+        for event in path:
+            if is_earlier(event):
+                seen_earlier = True
+            elif is_later(event) and not seen_earlier:
+                return event
+    return None
+
+
+def event_after(paths: Iterable[Path],
+                is_marker: Callable[[Any], bool],
+                is_use: Callable[[Any], bool],
+                is_reset: Optional[Callable[[Any], bool]] = None,
+                ) -> Optional[Any]:
+    """First "use after marker" event on any path, else ``None``.
+
+    ``is_reset`` events (a rebind of the closed name, say) clear the
+    marker again.
+    """
+    for path in paths:
+        marked = False
+        for event in path:
+            if is_reset is not None and is_reset(event):
+                marked = False
+                continue
+            if is_use(event) and marked:
+                return event
+            if is_marker(event):
+                marked = True
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Escape analysis
+# ---------------------------------------------------------------------------
+
+def name_escapes(func: ast.AST, name: str,
+                 ignore_calls: Tuple[str, ...] = ()) -> bool:
+    """Does local ``name`` escape the function?
+
+    Escape means ownership (and thus the release obligation) transfers
+    elsewhere: the value is returned or yielded, stored into an
+    attribute/subscript/container, rebound to another name, or passed
+    bare into a call — except calls whose dotted head is listed in
+    ``ignore_calls`` (release primitives like ``fcntl.flock`` must not
+    count as escapes).  Attribute access (``name.fileno()``) is a use,
+    not an escape.
+    """
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _mentions_bare(node.value, name):
+                return True
+        elif isinstance(node, ast.Assign):
+            if _mentions_bare(node.value, name):
+                return True
+        elif isinstance(node, ast.Call):
+            head = _call_head(node)
+            if head in ignore_calls:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+        elif isinstance(node, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.Name) and child.id == name:
+                    return True
+    return False
+
+
+def _mentions_bare(node: ast.expr, name: str) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == name
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return any(_mentions_bare(e, name) for e in node.elts)
+    return False
+
+
+def _call_head(call: ast.Call) -> str:
+    parts: List[str] = []
+    node: ast.expr = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))

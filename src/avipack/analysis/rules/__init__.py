@@ -19,7 +19,8 @@ from ...fingerprint import stable_fingerprint
 from ..context import FileContext
 from ..findings import Finding, Severity
 
-__all__ = ["Rule", "all_rules", "get_rule", "register", "rules_signature"]
+__all__ = ["Rule", "all_rules", "get_rule", "register", "rule_range",
+           "rules_signature"]
 
 
 class Rule:
@@ -33,9 +34,18 @@ class Rule:
     severity: Severity = Severity.ERROR
     #: Bump to invalidate cached results after a behaviour change.
     version: int = 1
+    #: ``"file"`` rules are pure functions of one file (plus its import
+    #: closure) and cache per file; ``"project"`` rules need the whole
+    #: graph at once — the engine runs them once per run, uncached,
+    #: via :meth:`check_project`.
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         """Yield findings for one file."""
+        raise NotImplementedError
+
+    def check_project(self, graph: object) -> Iterable[Finding]:
+        """Yield findings for a whole project graph (project scope)."""
         raise NotImplementedError
 
     def finding(self, ctx: FileContext, node: ast.AST, message: str,
@@ -80,6 +90,20 @@ def get_rule(rule_id: str) -> Rule:
         raise InputError(f"unknown rule id {rule_id!r}") from exc
 
 
+def rule_range() -> str:
+    """Human-readable id range of the registry, e.g. ``AVI001-AVI012``.
+
+    Derived, never hardcoded: CLI help, CI job names and docs all pull
+    from here so a new rule cannot leave a stale range behind.
+    """
+    rules = all_rules()
+    if not rules:
+        return "none"
+    if len(rules) == 1:
+        return rules[0].rule_id
+    return f"{rules[0].rule_id}-{rules[-1].rule_id}"
+
+
 def rules_signature() -> str:
     """Fingerprint of the active rule set (ids + versions).
 
@@ -93,10 +117,15 @@ def rules_signature() -> str:
 
 # Import rule modules for their registration side effect.  Keep this at
 # the bottom so the base class exists when the modules load.
+from . import async_blocking  # noqa: E402,F401
 from . import async_tasks  # noqa: E402,F401
 from . import atomic_writes  # noqa: E402,F401
 from . import determinism  # noqa: E402,F401
 from . import error_taxonomy  # noqa: E402,F401
+from . import lock_discipline  # noqa: E402,F401
+from . import perf_counters  # noqa: E402,F401
+from . import persist_ordering  # noqa: E402,F401
 from . import pickle_safety  # noqa: E402,F401
+from . import resource_leaks  # noqa: E402,F401
 from . import solver_mutation  # noqa: E402,F401
 from . import unit_suffix  # noqa: E402,F401

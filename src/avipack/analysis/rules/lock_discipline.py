@@ -1,0 +1,238 @@
+"""AVI010 — advisory locks pair with releases; no use after close.
+
+The durability layer serialises journal and shard writers with
+``fcntl`` advisory locks (PR 7/8).  An acquire whose release can be
+skipped — an exception between ``flock(LOCK_EX)`` and the unlock, an
+early return — wedges every later writer on that path *silently*:
+advisory locks don't crash, they queue.  The mirror-image hazard is
+temporal: touching a shard's ``mmap`` or a writer after ``close()`` /
+``seal()`` reads through a mapping the kernel may already have torn
+down.
+
+Two checks per function:
+
+**Release pairing.**  For each ``fcntl.flock``/``lockf`` acquire whose
+subject is a *local* stream (parameters are owned by the caller, which
+carries the obligation), the lock must provably outlive the function's
+error paths.  That means one of:
+
+* the subject *escapes* — returned, stored on an object, or handed to
+  another callable (ownership transfer; ``_lock_writer``-style helpers
+  that return the locked stream are the idiom here), or
+* a release (``LOCK_UN`` or ``subject.close()``) sits in a ``finally``
+  block, the only construct Python guarantees to run on every exit.
+
+A release that only exists on the happy path is reported.
+
+**Use after close.**  Along every enumerated path
+(:mod:`avipack.analysis.flow`), a method call or subscript on a local
+name after its ``close()``/``seal()`` — without an intervening rebind
+— is reported.  Plain attribute reads stay legal (``writer.path`` after
+close is fine); it is I/O-shaped access that dies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from .. import flow
+from . import Rule, register
+
+__all__ = ["AVI010LockDiscipline"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+_RELEASE_SUGGESTION = ("release the lock in a finally block (or return "
+                       "the locked stream to transfer ownership)")
+_USE_SUGGESTION = "finish all access to the handle before closing it"
+
+#: Callables allowed to receive the lock subject without counting as
+#: an ownership transfer (they *are* the lock machinery).
+_LOCK_CALLS = ("fcntl.flock", "fcntl.lockf", "flock", "lockf")
+
+#: Methods that are *meant* to run after close: shutdown-completion
+#: waits and summary accessors read bookkeeping, not the torn-down
+#: handle (``server.close(); await server.wait_closed()`` is the
+#: canonical asyncio sequence; ``writer.stats()`` after close reports
+#: the sealed totals).
+_POST_CLOSE_OK = ("wait_closed", "stats", "join")
+
+
+def _call_parts(call: ast.Call) -> Tuple[str, ...]:
+    parts: List[str] = []
+    node: ast.expr = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _is_lock_call(call: ast.Call) -> bool:
+    parts = _call_parts(call)
+    return parts in (("fcntl", "flock"), ("fcntl", "lockf")) \
+        or parts in (("flock",), ("lockf",))
+
+
+def _mentions_unlock(node: ast.expr) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr == "LOCK_UN":
+            return True
+        if isinstance(child, ast.Name) and child.id == "LOCK_UN":
+            return True
+    return False
+
+
+def _subject_name(arg: ast.expr) -> Optional[str]:
+    """Local name a flock subject resolves to (``s`` / ``s.fileno()``)."""
+    if isinstance(arg, ast.Name):
+        return arg.id
+    if isinstance(arg, ast.Call) and isinstance(arg.func, ast.Attribute) \
+            and arg.func.attr == "fileno" \
+            and isinstance(arg.func.value, ast.Name):
+        return arg.func.value.id
+    return None
+
+
+def _param_names(func: ast.AST) -> Set[str]:
+    args = func.args
+    names = {a.arg for a in args.args + args.kwonlyargs
+             + args.posonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _releases(func: ast.AST, subject: str) -> List[Tuple[ast.Call, bool]]:
+    """(release call, is_in_finally) pairs for ``subject``."""
+    finally_spans: List[Tuple[int, int]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try) and node.finalbody:
+            first, last = node.finalbody[0], node.finalbody[-1]
+            finally_spans.append(
+                (first.lineno, getattr(last, "end_lineno", last.lineno)))
+    out: List[Tuple[ast.Call, bool]] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        released = False
+        if _is_lock_call(node) and node.args \
+                and _subject_name(node.args[0]) == subject \
+                and len(node.args) > 1 and _mentions_unlock(node.args[1]):
+            released = True
+        parts = _call_parts(node)
+        if parts == (subject, "close"):
+            released = True
+        if released:
+            in_finally = any(lo <= node.lineno <= hi
+                             for lo, hi in finally_spans)
+            out.append((node, in_finally))
+    return out
+
+
+# -- use-after-close events --------------------------------------------------
+
+def _close_events(node: ast.AST):
+    """(kind, name, node) events for the use-after-close check."""
+    events = []
+    for child in ast.walk(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        if isinstance(child, ast.Call):
+            parts = _call_parts(child)
+            if len(parts) == 2:
+                name, method = parts
+                if method in ("close", "seal"):
+                    events.append(("close", name, child))
+                elif method not in _POST_CLOSE_OK:
+                    events.append(("use", name, child))
+        elif isinstance(child, ast.Subscript) \
+                and isinstance(child.value, ast.Name):
+            events.append(("use", child.value.id, child))
+        elif isinstance(child, ast.Assign):
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    events.append(("rebind", target.id, child))
+    return events
+
+
+@register
+class AVI010LockDiscipline(Rule):
+    """Flag skippable lock releases and use-after-close access."""
+
+    rule_id = "AVI010"
+    name = "lock-discipline"
+    severity = Severity.ERROR
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            yield from self._check_release_pairing(ctx, node)
+            yield from self._check_use_after_close(ctx, node)
+
+    # -- release pairing -----------------------------------------------------
+
+    def _check_release_pairing(self, ctx: FileContext,
+                               func: ast.AST) -> Iterable[Finding]:
+        params = _param_names(func)
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call) and _is_lock_call(node)
+                    and node.args):
+                continue
+            if len(node.args) > 1 and _mentions_unlock(node.args[1]):
+                continue  # this *is* a release
+            subject = _subject_name(node.args[0])
+            if subject is None or subject in params:
+                continue  # unresolvable or caller-owned
+            if flow.name_escapes(func, subject, ignore_calls=_LOCK_CALLS):
+                continue  # ownership transferred
+            releases = _releases(func, subject)
+            if not releases:
+                yield self.finding(
+                    ctx, node,
+                    f"advisory lock on {subject!r} is never released in "
+                    f"this function and the stream does not escape: "
+                    f"every later writer queues forever",
+                    suggestion=_RELEASE_SUGGESTION)
+            elif not any(in_finally for _, in_finally in releases):
+                yield self.finding(
+                    ctx, node,
+                    f"advisory lock on {subject!r} is released only on "
+                    f"the happy path: an exception before the release "
+                    f"leaves the lock held",
+                    suggestion=_RELEASE_SUGGESTION)
+
+    # -- use after close -----------------------------------------------------
+
+    def _check_use_after_close(self, ctx: FileContext,
+                               func: ast.AST) -> Iterable[Finding]:
+        paths = flow.enumerate_paths(func.body, _close_events)
+        if paths is None:
+            return
+        reported: Set[int] = set()
+        # ``self.close()`` delegates to the object's own lifecycle —
+        # only plain local/parameter handles are tracked.
+        names = {event[1] for path in paths for event in path
+                 if event[0] == "close" and event[1] not in ("self", "cls")}
+        for name in sorted(names):
+            use = flow.event_after(
+                paths,
+                is_marker=lambda e, n=name: e[0] == "close" and e[1] == n,
+                is_use=lambda e, n=name: e[0] == "use" and e[1] == n,
+                is_reset=lambda e, n=name: e[0] == "rebind" and e[1] == n)
+            if use is not None and id(use[2]) not in reported:
+                reported.add(id(use[2]))
+                yield self.finding(
+                    ctx, use[2],
+                    f"{name!r} is used after close()/seal() on this "
+                    f"path: the handle (or mapping) is already torn "
+                    f"down", suggestion=_USE_SUGGESTION)

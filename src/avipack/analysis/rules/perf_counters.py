@@ -1,0 +1,135 @@
+"""AVI011 — the perf registry and its call sites must agree.
+
+:mod:`avipack.perf` is the system's single pane of glass: benchmarks,
+the sweep report and the service's ``stats`` op all read it.  Its two
+registry tuples (``KERNELS``, ``COUNTERS``) declare what exists.  Two
+drift modes silently corrupt that contract:
+
+* a counter stays registered after the code that incremented it was
+  refactored away — dashboards render an eternal zero and regressions
+  in the metric it used to carry go unnoticed;
+* code increments (or records into) a name the registry never
+  declared — the value accumulates but nothing that enumerates the
+  registry will surface it.
+
+This is inherently a *project* property: registration lives in one
+module, increments in any other.  The rule therefore runs at project
+scope over the summaries' counter events.  Names are resolved through
+literals, same-module constants and cross-module constant imports; a
+*dynamic* name (``perf.record(kernel, ...)`` with a runtime value)
+disables the dead-registration check for that family — the dynamic
+site might be feeding any registered name — while the
+unregistered-name check keeps running on the sites that did resolve.
+Events inside :mod:`avipack.perf` itself are registry machinery, not
+instrumentation, and are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from ..project import PERF_MODULE, ProjectGraph, graph_of
+from . import Rule, register
+
+__all__ = ["AVI011PerfCounterHygiene"]
+
+_REGISTER_SUGGESTION = ("add the name to the matching registry tuple in "
+                        "avipack/perf.py (KERNELS for record/timed, "
+                        "COUNTERS for increment)")
+_REMOVE_SUGGESTION = ("drop the dead registry entry or restore the "
+                      "instrumentation that fed it")
+
+
+@register
+class AVI011PerfCounterHygiene(Rule):
+    """Flag registry/call-site drift in the perf counter registry."""
+
+    rule_id = "AVI011"
+    name = "perf-counter-hygiene"
+    severity = Severity.WARNING
+    scope = "project"
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Standalone invocation: judge the single-file graph (useful
+        # for fixtures where one file plays the perf module).
+        graph, _ = graph_of(ctx)
+        yield from self.check_project(graph)
+
+    def check_project(self, graph: object) -> Iterable[Finding]:
+        if not isinstance(graph, ProjectGraph):
+            return
+        perf = graph.modules.get(PERF_MODULE)
+        if perf is None:
+            return  # tree without a perf registry: nothing to check
+
+        records: List[Tuple[str, str, int, int, str]] = []
+        increments: List[Tuple[str, str, int, int, str]] = []
+        dynamic_records = dynamic_increments = 0
+        for summary in graph.files.values():
+            if summary.module == PERF_MODULE:
+                continue  # registry machinery, not instrumentation
+            for event in summary.counter_events:
+                name = graph.resolve_counter_name(summary, event.name)
+                entry = (summary.rel_path, name, event.line,
+                         event.column, summary.module)
+                if event.kind == "record":
+                    if name:
+                        records.append(entry)
+                    else:
+                        dynamic_records += 1
+                elif event.kind == "increment":
+                    if name:
+                        increments.append(entry)
+                    else:
+                        dynamic_increments += 1
+
+        kernels = set(perf.kernel_registry)
+        counters = set(perf.counter_registry)
+
+        # Unregistered names at resolved call sites.
+        for rel_path, name, line, column, module in records:
+            if kernels and name not in kernels:
+                yield Finding(
+                    rule_id=self.rule_id, severity=self.severity,
+                    path=rel_path, line=line, column=column,
+                    message=(f"kernel {name!r} is recorded here but not "
+                             f"declared in perf.KERNELS: registry "
+                             f"consumers will never surface it"),
+                    suggestion=_REGISTER_SUGGESTION, symbol=module)
+        for rel_path, name, line, column, module in increments:
+            if name not in counters:
+                yield Finding(
+                    rule_id=self.rule_id, severity=self.severity,
+                    path=rel_path, line=line, column=column,
+                    message=(f"counter {name!r} is incremented here but "
+                             f"not declared in perf.COUNTERS: registry "
+                             f"consumers will never surface it"),
+                    suggestion=_REGISTER_SUGGESTION, symbol=module)
+
+        # Dead registrations (skipped per family when a dynamic call
+        # site could be feeding any name).
+        if not dynamic_records:
+            recorded = {name for _, name, _, _, _ in records}
+            for name in sorted(kernels - recorded):
+                yield Finding(
+                    rule_id=self.rule_id, severity=self.severity,
+                    path=perf.rel_path, line=perf.kernel_registry_line,
+                    column=0,
+                    message=(f"kernel {name!r} is declared in "
+                             f"perf.KERNELS but nothing records into "
+                             f"it: the metric reads as an eternal zero"),
+                    suggestion=_REMOVE_SUGGESTION, symbol="KERNELS")
+        if not dynamic_increments:
+            bumped = {name for _, name, _, _, _ in increments}
+            for name in sorted(counters - bumped):
+                yield Finding(
+                    rule_id=self.rule_id, severity=self.severity,
+                    path=perf.rel_path, line=perf.counter_registry_line,
+                    column=0,
+                    message=(f"counter {name!r} is declared in "
+                             f"perf.COUNTERS but nothing increments "
+                             f"it: the metric reads as an eternal zero"),
+                    suggestion=_REMOVE_SUGGESTION, symbol="COUNTERS")

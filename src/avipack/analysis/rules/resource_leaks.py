@@ -1,0 +1,170 @@
+"""AVI012 — acquired handles must survive their error paths.
+
+The result store memory-maps shards and keeps blob-pool file handles
+open for lazy reads (PR 8); the service opens per-job stores on every
+``results`` op.  A handle acquired into a local and closed only on the
+straight-line path leaks on the *error* path — and a long-lived server
+process turns that trickle into fd exhaustion, which then fails
+unrelated accepts and shard publishes far from the leak site.
+
+For every ``handle = open(...)`` / ``os.fdopen`` / ``mmap.mmap`` /
+``numpy.memmap`` assigned to a local name, one of the following must
+hold:
+
+* the acquisition happens in a ``with`` header (not an ``Assign``, so
+  it never reaches this check);
+* ownership *escapes* — the handle is returned/yielded, stored on an
+  object or in a container, rebound, or passed bare into another
+  callable (constructors and helpers take over the obligation; the
+  rule never guesses across that boundary);
+* a ``handle.close()`` sits in a ``finally`` or an ``except`` body —
+  the two places an error path can reach;
+* or the close is the *immediately next* statement, leaving no room
+  for an exception between acquire and release.
+
+Anything else is reported: either the handle is never closed at all,
+or every close can be skipped by an exception in between.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from ..flow import name_escapes
+from . import Rule, register
+
+__all__ = ["AVI012ResourceLeaks"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+_SUGGESTION = ("use a with-statement, or close the handle in a "
+               "finally/except block")
+
+
+def _call_parts(call: ast.Call) -> Tuple[str, ...]:
+    parts: List[str] = []
+    node: ast.expr = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def _acquires_handle(call: ast.Call) -> Optional[str]:
+    """Short description when ``call`` acquires an OS-level handle."""
+    parts = _call_parts(call)
+    if parts == ("open",):
+        return "file handle from open()"
+    if parts == ("os", "fdopen"):
+        return "file handle from os.fdopen()"
+    if parts == ("mmap", "mmap"):
+        return "memory mapping from mmap.mmap()"
+    if len(parts) == 2 and parts[1] == "memmap":
+        return f"memory mapping from {parts[0]}.memmap()"
+    return None
+
+
+def _passed_to_call(func: ast.AST, name: str) -> bool:
+    """Is ``name`` handed bare into any callable (ownership transfer)?"""
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name) and arg.id == name:
+                return True
+    return False
+
+
+@register
+class AVI012ResourceLeaks(Rule):
+    """Flag handles that leak on error paths."""
+
+    rule_id = "AVI012"
+    name = "resource-leak"
+    severity = Severity.ERROR
+    version = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.AST) -> Iterable[Finding]:
+        for stmt in ast.walk(func):
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)):
+                continue
+            what = _acquires_handle(stmt.value)
+            if what is None:
+                continue
+            name = stmt.targets[0].id
+            if name_escapes(func, name) or _passed_to_call(func, name):
+                continue
+            closes = self._closes(ctx, func, name)
+            if not closes:
+                yield self.finding(
+                    ctx, stmt.value,
+                    f"{what} assigned to {name!r} is never closed in "
+                    f"this function and never escapes it",
+                    suggestion=_SUGGESTION)
+            elif not any(protected for _, protected in closes) \
+                    and not self._closes_immediately(ctx, stmt, name):
+                yield self.finding(
+                    ctx, stmt.value,
+                    f"{what} assigned to {name!r} is closed only on the "
+                    f"straight-line path: an exception in between "
+                    f"leaks the handle",
+                    suggestion=_SUGGESTION)
+
+    def _closes(self, ctx: FileContext, func: ast.AST,
+                name: str) -> List[Tuple[ast.Call, bool]]:
+        """(close call, is_on_an_error_path) pairs for ``name``."""
+        out: List[Tuple[ast.Call, bool]] = []
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and _call_parts(node) == (name, "close")):
+                continue
+            protected = False
+            child: ast.AST = node
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, _FUNCTION_NODES):
+                    break
+                if isinstance(ancestor, ast.ExceptHandler):
+                    protected = True
+                    break
+                if isinstance(ancestor, ast.Try) \
+                        and self._within(ancestor.finalbody, child):
+                    protected = True
+                    break
+                child = ancestor
+            out.append((node, protected))
+        return out
+
+    @staticmethod
+    def _within(body: List[ast.stmt], node: ast.AST) -> bool:
+        return any(stmt is node for stmt in body)
+
+    @staticmethod
+    def _closes_immediately(ctx: FileContext, acquire: ast.Assign,
+                            name: str) -> bool:
+        """Is ``name.close()`` the statement right after the acquire?"""
+        parent = ctx.parent(acquire)
+        body = getattr(parent, "body", None)
+        for field_name in ("body", "orelse", "finalbody"):
+            body = getattr(parent, field_name, None) or []
+            for index, stmt in enumerate(body):
+                if stmt is acquire and index + 1 < len(body):
+                    nxt = body[index + 1]
+                    if isinstance(nxt, ast.Expr) \
+                            and isinstance(nxt.value, ast.Call) \
+                            and _call_parts(nxt.value) == (name, "close"):
+                        return True
+        return False

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 emitter for analysis results.
+
+SARIF (Static Analysis Results Interchange Format) is what code-hosting
+CI understands natively: uploading a run via
+``github/codeql-action/upload-sarif`` turns every finding into an
+inline annotation on the pull request diff, at the offending line,
+with the rule's help text attached — instead of a wall of job-log
+text someone has to cross-reference by hand.
+
+The encoding is deliberately minimal but schema-valid:
+
+* one ``run`` with the full rule table in ``tool.driver.rules`` (id,
+  name, short description from the rule class docstring, default
+  level), so viewers can render rule metadata even for rules that
+  produced no findings this run;
+* one ``result`` per active finding — ``ruleIndex`` into the driver
+  table, severity mapped onto SARIF levels (``info`` becomes
+  ``note``), the suggestion folded into the message, and a
+  ``physicalLocation`` with 1-based line/column;
+* parse errors become ``tool.driver`` notifications so a SARIF-only
+  consumer still sees that the run was degraded.
+
+Baselined and suppressed findings are *not* emitted: the SARIF
+document mirrors exactly what gates CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .. import __version__
+from .engine import AnalysisResult
+from .findings import Severity
+from .rules import Rule
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_entry(rule: Rule) -> Dict[str, object]:
+    doc = (type(rule).__doc__ or rule.name or rule.rule_id).strip()
+    short = doc.splitlines()[0].rstrip(".")
+    return {
+        "id": rule.rule_id,
+        "name": rule.name or rule.rule_id,
+        "shortDescription": {"text": short},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def to_sarif(result: AnalysisResult,
+             rules: Sequence[Rule]) -> Dict[str, object]:
+    """Encode one analysis run as a SARIF 2.1.0 document (a dict)."""
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = []
+    for finding in result.findings:
+        message = finding.message
+        if finding.suggestion:
+            message = f"{message} ({finding.suggestion})"
+        entry: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.column + 1,
+                    },
+                },
+            }],
+        }
+        index = rule_index.get(finding.rule_id)
+        if index is not None:
+            entry["ruleIndex"] = index
+        results.append(entry)
+    notifications = [{
+        "level": "error",
+        "message": {"text": error},
+    } for error in result.errors]
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": "avilint",
+                "informationUri": "https://example.invalid/avipack",
+                "version": __version__,
+                "rules": [_rule_entry(rule) for rule in rules],
+            },
+        },
+        "columnKind": "unicodeCodePoints",
+        "results": results,
+    }
+    if notifications:
+        run["invocations"] = [{
+            "executionSuccessful": False,
+            "toolExecutionNotifications": notifications,
+        }]
+    else:
+        run["invocations"] = [{"executionSuccessful": True}]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

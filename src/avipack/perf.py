@@ -58,9 +58,21 @@ __all__ = [
 #: Kernel names used by the built-in solvers, plus the sweep-service
 #: job kernel (``solves`` = jobs completed, ``iterations`` = candidates
 #: evaluated, ``wall_s`` = job wall-clock) the job server records so
-#: service throughput shows up in the same registry as solver work.
+#: service throughput shows up in the same registry as solver work,
+#: plus the static-analysis engine's own wall-clock kernel.
 KERNELS = ("network.steady", "network.transient", "network.batched",
-           "conduction.steady", "conduction.transient", "service.job")
+           "conduction.steady", "conduction.transient", "service.job",
+           "analysis.engine")
+
+#: Registry of the named scalar counters (:func:`increment` family).
+#: Declaring a counter here is the contract the AVI011 lint rule
+#: enforces both ways: every entry must have a live increment site,
+#: and every increment site must name an entry — so dashboards can
+#: enumerate this tuple and trust that each name is real and fed.
+COUNTERS = ("analysis.cache_hits", "analysis.call_edges",
+            "analysis.files", "analysis.import_edges",
+            "results.blob_fetches", "results.rows_ingested",
+            "results.shards_quarantined", "results.shards_written")
 
 
 @dataclass(frozen=True)

@@ -195,10 +195,20 @@ class JobStore:
 
     def save(self, job: Job) -> None:
         """Atomically (re)write one job manifest (tmp + ``os.replace``)."""
-        path = self._manifest_path(job.job_id)
+        self.save_manifest(job.job_id, job.to_manifest())
+
+    def save_manifest(self, job_id: str,
+                      manifest: Dict[str, Any]) -> None:
+        """Write a pre-snapshotted manifest document.
+
+        Split out from :meth:`save` so the event loop can snapshot the
+        job synchronously (the bytes reflect its state at the call
+        site) and hand only this blocking write to a worker thread.
+        """
+        path = self._manifest_path(job_id)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as stream:
-            json.dump(job.to_manifest(), stream, sort_keys=True)
+            json.dump(manifest, stream, sort_keys=True)
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(tmp, path)

@@ -177,6 +177,12 @@ class SweepService:
         self._executor = ThreadPoolExecutor(
             max_workers=config.max_running,
             thread_name_prefix="avipack-job")
+        #: Dedicated single worker for manifest writes and result-store
+        #: reads.  Separate from ``_executor`` (saves must never queue
+        #: behind long sweeps) and single-threaded so manifest writes
+        #: for one job retain their submission order.
+        self._io_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="avipack-io")
         #: threading.Event other threads may wait on for readiness.
         self.ready = threading.Event()
 
@@ -186,8 +192,14 @@ class SweepService:
         """Run until drained; returns (exit 0) after a graceful stop."""
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
-        self._recover()
-        self._claim_socket()
+        # Startup I/O (manifest replay, socket probe) runs on the IO
+        # worker: nothing else touches loop state yet, and the loop
+        # stays responsive to signals while a large manifest directory
+        # replays.
+        await self._loop.run_in_executor(self._io_executor,
+                                         self._recover)
+        await self._loop.run_in_executor(self._io_executor,
+                                         self._claim_socket)
         server = await asyncio.start_unix_server(
             self._handle_client, path=self.config.socket_path)
         self._install_signal_handlers()
@@ -207,6 +219,7 @@ class SweepService:
             with contextlib.suppress(asyncio.CancelledError):
                 await heartbeat
             self._executor.shutdown(wait=True)
+            self._io_executor.shutdown(wait=True)
             with contextlib.suppress(OSError):
                 os.unlink(self.config.socket_path)
 
@@ -259,6 +272,20 @@ class SweepService:
                       default=-1)
         self._order = itertools.count(highest + 1)
 
+    async def _save_job(self, job: Job) -> None:
+        """Persist one job manifest without blocking the event loop.
+
+        The manifest is snapshotted *synchronously* — the written bytes
+        reflect the job's state at this call site even if the loop
+        mutates the job during the await — and the fsync'd write runs
+        on the single IO worker, which serialises saves in issue order.
+        """
+        manifest = job.to_manifest()
+        assert self._loop is not None
+        await self._loop.run_in_executor(
+            self._io_executor, self.store.save_manifest,
+            job.job_id, manifest)
+
     def begin_drain(self, reason: str = "drain") -> None:
         """Stop admission, interrupt running jobs, exit when quiet."""
         if self._draining:
@@ -298,7 +325,7 @@ class SweepService:
         job.state = "running"
         job.started_monotonic = time.monotonic()
         job.last_progress_monotonic = job.started_monotonic
-        self.store.save(job)
+        await self._save_job(job)
         self.stats.started += 1
         self._emit(job, "started", resume=job.resume, total=job.total)
         try:
@@ -341,7 +368,7 @@ class SweepService:
                        n_failed=len(report.failures),
                        restored=job.restored,
                        wall_s=round(report.wall_time_s, 6))
-        self.store.save(job)
+        await self._save_job(job)
         self._running.discard(job.job_id)
         self._schedule()
         self._maybe_finish_drain()
@@ -466,7 +493,8 @@ class SweepService:
                     if await self._handle_stream(params, writer):
                         break
                     continue
-                await self._send(writer, self._dispatch(op, params))
+                await self._send(writer,
+                                 await self._dispatch(op, params))
                 if op == "shutdown":
                     self.begin_drain("shutdown request")
                     break
@@ -482,13 +510,13 @@ class SweepService:
         writer.write(encode_line(payload))
         await writer.drain()
 
-    def _dispatch(self, op: str, params: Dict[str, Any]
-                  ) -> Dict[str, Any]:
+    async def _dispatch(self, op: str, params: Dict[str, Any]
+                        ) -> Dict[str, Any]:
         if op == "ping":
             return {"ok": True, "pong": True,
                     "draining": self._draining}
         if op == "submit":
-            return self._handle_submit(params)
+            return await self._handle_submit(params)
         if op == "status":
             job = self._jobs.get(params["job_id"])
             if job is None:
@@ -498,9 +526,9 @@ class SweepService:
                     "result_store": os.path.isdir(
                         self.store.result_dir(job.job_id))}
         if op == "cancel":
-            return self._handle_cancel(params)
+            return await self._handle_cancel(params)
         if op == "results":
-            return self._handle_results(params)
+            return await self._handle_results(params)
         if op == "jobs":
             return {"ok": True, "jobs": [
                 {"job_id": job.job_id, "state": job.state,
@@ -519,7 +547,8 @@ class SweepService:
             return {"ok": True, "draining": True}
         return error_response("unknown_op", f"unhandled op {op!r}")
 
-    def _handle_submit(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    async def _handle_submit(self, params: Dict[str, Any]
+                             ) -> Dict[str, Any]:
         self.stats.submitted += 1
         try:
             submission = normalize_submission(params)
@@ -554,18 +583,23 @@ class SweepService:
                   journal_path=self.store.journal_path(job_id),
                   submit_order=order,
                   total=submission["n_candidates"])
+        # Register *before* awaiting persistence: a concurrent submit
+        # with the same fingerprint must dedup against this job, and a
+        # concurrent cancel must be able to find it.
         self._jobs[job_id] = job
-        self.store.save(job)
-        self._queue.push(job_id, job.priority, job.submit_order)
         self.stats.accepted += 1
-        self._emit(job, "queued", priority=job.priority,
-                   total=job.total)
-        self._schedule()
+        await self._save_job(job)
+        if job.state == "queued":  # a cancel may land during the await
+            self._queue.push(job_id, job.priority, job.submit_order)
+            self._emit(job, "queued", priority=job.priority,
+                       total=job.total)
+            self._schedule()
         return {"ok": True, "job_id": job_id, "state": job.state,
                 "fingerprint": fingerprint,
                 "n_candidates": job.total}
 
-    def _handle_cancel(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    async def _handle_cancel(self, params: Dict[str, Any]
+                             ) -> Dict[str, Any]:
         job = self._jobs.get(params["job_id"])
         if job is None:
             return error_response("unknown_job",
@@ -580,20 +614,21 @@ class SweepService:
             job.state = "cancelled"
             job.error = f"cancelled: {reason}"
             self.stats.cancelled += 1
-            self.store.save(job)
+            await self._save_job(job)
             self._emit(job, "cancelled", terminal=True, reason=reason)
         elif job.cancel_reason is None:
             job.cancel_reason = reason
             self._emit(job, "cancelling", reason=reason)
         return {"ok": True, "job_id": job.job_id, "state": job.state}
 
-    def _handle_results(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    async def _handle_results(self, params: Dict[str, Any]
+                              ) -> Dict[str, Any]:
         """Serve top-k + headroom analytics from the job's result store.
 
         Everything is read from the store's typed columns — no outcome
-        payload is unpickled, whatever the campaign size — so this
-        answers "top 20 of a million-candidate job" without loading
-        the world into the event loop's process.
+        payload is unpickled, whatever the campaign size — and the
+        file I/O runs on the IO worker so a multi-shard read never
+        stalls the event loop.
         """
         job = self._jobs.get(params["job_id"])
         if job is None:
@@ -605,10 +640,17 @@ class SweepService:
                 "no_results",
                 f"job {job.job_id} has no columnar result store "
                 "(stores disabled, or no outcome produced yet)")
+        assert self._loop is not None
+        return await self._loop.run_in_executor(
+            self._io_executor, self._read_results, job, directory,
+            int(params.get("k", 20)))
+
+    def _read_results(self, job: Job, directory: str,
+                      k: int) -> Dict[str, Any]:
+        """Blocking half of ``results`` (runs on the IO worker)."""
         from ..errors import ResultStoreError
         from ..results import ResultStore, headroom_histogram, \
             ranked_row_ids
-        k = int(params.get("k", 20))
         try:
             store = ResultStore.open(directory)
             live = store.live_mask()

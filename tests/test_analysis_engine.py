@@ -14,6 +14,7 @@ from avipack.analysis import (
     Finding,
     Severity,
     all_rules,
+    rule_range,
     rules_signature,
 )
 from avipack.analysis.cli import main
@@ -47,7 +48,12 @@ def make_pkg(tmp_path, name_to_source):
 def test_all_rules_registered():
     ids = [rule.rule_id for rule in all_rules()]
     assert ids == ["AVI001", "AVI002", "AVI003", "AVI004", "AVI005",
-                   "AVI006", "AVI007"]
+                   "AVI006", "AVI007", "AVI008", "AVI009", "AVI010",
+                   "AVI011", "AVI012"]
+
+
+def test_rule_range_is_derived_from_registry():
+    assert rule_range() == "AVI001-AVI012"
 
 
 def test_rules_signature_stable():
@@ -155,6 +161,92 @@ def test_discover_missing_path_raises():
 
 
 # ---------------------------------------------------------------------------
+# Dependency-hash invalidation
+# ---------------------------------------------------------------------------
+
+CALLER = (
+    "from avipack.helper import save\n"
+    "\n"
+    "async def persist(path):\n"
+    "    save(path)\n"
+)
+HELPER_V1 = (
+    "def save(path):\n"
+    "    return path\n"
+)
+HELPER_V2 = (
+    "import os\n"
+    "\n"
+    "def save(path):\n"
+    "    os.replace(path, path)\n"
+)
+
+
+def test_changed_import_invalidates_dependents(tmp_path, monkeypatch):
+    """Editing helper.py must re-check caller.py even though caller.py's
+    own bytes are unchanged — the cached verdict keys on the dependency
+    fingerprint, not just the content hash."""
+    src = make_pkg(tmp_path, {"caller.py": CALLER, "helper.py": HELPER_V1,
+                              "other.py": CLEAN})
+    monkeypatch.chdir(tmp_path)
+    cache = AnalysisCache(rules_signature())
+    engine = AnalysisEngine(cache=cache)
+
+    first = engine.analyze_paths([str(src)])
+    assert first.findings == []
+
+    warm = engine.analyze_paths([str(src)])
+    assert warm.cache_hits == 3
+
+    # helper.save now blocks; the async caller becomes a finding even
+    # though caller.py itself did not change.
+    (src / "avipack" / "helper.py").write_text(HELPER_V2)
+    third = engine.analyze_paths([str(src)])
+    assert [f.rule_id for f in third.findings] == ["AVI008"]
+    assert third.findings[0].path == "src/avipack/caller.py"
+    # other.py imports nothing that changed: still served from cache.
+    assert third.cache_hits == 1
+
+
+def test_unrelated_edit_keeps_dependents_cached(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {"caller.py": CALLER, "helper.py": HELPER_V1,
+                              "other.py": CLEAN})
+    monkeypatch.chdir(tmp_path)
+    cache = AnalysisCache(rules_signature())
+    engine = AnalysisEngine(cache=cache)
+    engine.analyze_paths([str(src)])
+
+    (src / "avipack" / "other.py").write_text(CLEAN + "\nX = 1\n")
+    warm = engine.analyze_paths([str(src)])
+    # caller + helper untouched and not importing other: both cached.
+    assert warm.cache_hits == 2
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+
+def test_parallel_matches_serial(tmp_path, monkeypatch):
+    src = make_pkg(tmp_path, {
+        "caller.py": CALLER,
+        "helper.py": HELPER_V2,
+        "bad.py": VIOLATION,
+        "good.py": CLEAN,
+        "broken.py": "def f(:\n",
+    })
+    monkeypatch.chdir(tmp_path)
+    serial = AnalysisEngine(jobs=1).analyze_paths([str(src)])
+    parallel = AnalysisEngine(jobs=2).analyze_paths([str(src)])
+    assert parallel.to_payload() == serial.to_payload()
+    assert not serial.clean  # the comparison covers real findings
+
+
+def test_negative_jobs_rejected():
+    with pytest.raises(InputError):
+        AnalysisEngine(jobs=-1)
+
+
+# ---------------------------------------------------------------------------
 # Baseline
 # ---------------------------------------------------------------------------
 
@@ -204,7 +296,8 @@ def test_result_payload_round_trip(tmp_path, monkeypatch):
 
     payload = json.loads(json.dumps(result.to_payload()))
     assert set(payload) == {"version", "rules_signature", "files_analyzed",
-                            "cache_hits", "clean", "errors", "findings",
+                            "cache_hits", "import_edges", "call_edges",
+                            "clean", "errors", "findings",
                             "baselined", "suppressed"}
     for record in payload["findings"]:
         assert set(record) == {"rule_id", "severity", "path", "line",
@@ -288,7 +381,7 @@ def test_cli_cache_file_round_trip(tmp_path, monkeypatch, capsys):
     assert cache_file.exists()
     capsys.readouterr()
     assert main(["--cache", str(cache_file), str(src)]) == 0
-    assert "(1 cached)" in capsys.readouterr().out
+    assert "(1 cached," in capsys.readouterr().out
 
 
 def test_cli_list_rules(capsys):

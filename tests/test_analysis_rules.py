@@ -1,4 +1,4 @@
-"""Per-rule fixtures for :mod:`avipack.analysis` (AVI001-AVI007).
+"""Per-rule fixtures for :mod:`avipack.analysis` (AVI001-AVI012).
 
 Every rule gets at least: one positive fixture proving it fires, one
 negative fixture proving it stays quiet on conforming code, and one
@@ -441,6 +441,7 @@ class TestAVI006:
         assert rule_ids(findings) == ["AVI006"]
 
     def test_quiet_on_tmp_file_plus_os_replace(self):
+        # flush + fsync included: the durable idiom satisfies AVI009 too.
         findings = run_rules("""
             import json
             import os
@@ -449,6 +450,8 @@ class TestAVI006:
                 tmp = f"{path}.tmp.{os.getpid()}"
                 with open(tmp, "w", encoding="utf-8") as stream:
                     json.dump(payload, stream)
+                    stream.flush()
+                    os.fsync(stream.fileno())
                 os.replace(tmp, path)
         """)
         assert findings == []
@@ -575,6 +578,504 @@ class TestAVI007:
         """, tmp_path=tmp_path)
         assert active == []
         assert rule_ids(suppressed) == ["AVI007"]
+
+
+# ---------------------------------------------------------------------------
+# AVI008 — blocking calls reachable from async code
+# ---------------------------------------------------------------------------
+
+class TestAVI008:
+    def test_fires_on_direct_blocking_call(self):
+        findings = run_rules("""
+            import time
+
+            async def tick():
+                time.sleep(0.1)
+        """)
+        assert rule_ids(findings) == ["AVI008"]
+        assert "time.sleep" in findings[0].message
+        assert findings[0].symbol == "tick"
+
+    def test_fires_on_builtin_open_in_async(self):
+        findings = run_rules("""
+            async def slurp(path):
+                with open(path) as stream:
+                    return stream.read()
+        """)
+        assert rule_ids(findings) == ["AVI008"]
+        assert "open()" in findings[0].message
+
+    def test_fires_through_a_sync_helper(self):
+        findings = run_rules("""
+            import os
+
+            def _publish(tmp, path):
+                os.replace(tmp, path)
+
+            async def persist(tmp, path):
+                _publish(tmp, path)
+        """)
+        assert rule_ids(findings) == ["AVI008"]
+        assert "_publish" in findings[0].message
+        assert "os.replace" in findings[0].message
+        assert findings[0].symbol == "persist"
+
+    def test_fires_through_a_method_chain(self):
+        findings = run_rules("""
+            import os
+
+            class Store:
+                def save(self, path):
+                    os.fsync(3)
+
+            class Service:
+                def __init__(self, path):
+                    self.store = Store()
+
+                async def run(self, path):
+                    self.store.save(path)
+        """)
+        assert rule_ids(findings) == ["AVI008"]
+        assert "self.store.save" in findings[0].message
+
+    def test_quiet_on_executor_handoff(self):
+        findings = run_rules("""
+            import time
+
+            def _work():
+                time.sleep(1.0)
+
+            async def handler(loop):
+                await loop.run_in_executor(None, _work)
+        """)
+        assert findings == []
+
+    def test_quiet_on_sync_caller(self):
+        findings = run_rules("""
+            import time
+
+            def pace():
+                time.sleep(0.1)
+        """)
+        assert findings == []
+
+    def test_quiet_on_await_of_async_callee(self):
+        findings = run_rules("""
+            async def _helper():
+                return 1
+
+            async def outer():
+                return await _helper()
+        """)
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        active, suppressed = run_engine("""
+            import time
+
+            async def tick():
+                time.sleep(0.1)  # avilint: disable=AVI008
+        """, tmp_path=tmp_path)
+        assert active == []
+        assert rule_ids(suppressed) == ["AVI008"]
+
+
+# ---------------------------------------------------------------------------
+# AVI009 — flow-sensitive atomic-persist ordering
+# ---------------------------------------------------------------------------
+
+class TestAVI009:
+    def test_fires_when_a_branch_skips_the_fsync(self):
+        findings = run_rules("""
+            import json
+            import os
+
+            def publish(path, payload, durable):
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream)
+                    stream.flush()
+                    if durable:
+                        os.fsync(stream.fileno())
+                os.replace(tmp, path)
+        """)
+        assert "AVI009" in rule_ids(findings)
+        messages = [f.message for f in findings
+                    if f.rule_id == "AVI009"]
+        assert any("no os.fsync()" in m for m in messages)
+
+    def test_fires_on_fsync_without_flush(self):
+        findings = run_rules("""
+            import json
+            import os
+
+            def publish(path, payload):
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream)
+                    os.fsync(stream.fileno())
+                os.replace(tmp, path)
+        """)
+        assert "AVI009" in rule_ids(findings)
+        messages = [f.message for f in findings
+                    if f.rule_id == "AVI009"]
+        assert any("without a preceding flush" in m for m in messages)
+
+    def test_quiet_on_the_full_durable_idiom(self):
+        findings = run_rules("""
+            import json
+            import os
+
+            def publish(path, payload):
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream)
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                os.replace(tmp, path)
+        """)
+        assert findings == []
+
+    def test_quiet_on_rename_only_use_of_replace(self):
+        findings = run_rules("""
+            import os
+
+            def quarantine(shard, graveyard):
+                os.replace(shard, graveyard)
+        """)
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        active, suppressed = run_engine("""
+            import json
+            import os
+
+            def publish(path, payload):
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as stream:
+                    json.dump(payload, stream)
+                    stream.flush()
+                os.replace(tmp, path)  # avilint: disable=AVI009
+        """, tmp_path=tmp_path)
+        assert active == []
+        assert rule_ids(suppressed) == ["AVI009"]
+
+
+# ---------------------------------------------------------------------------
+# AVI010 — lock discipline and use-after-close
+# ---------------------------------------------------------------------------
+
+class TestAVI010:
+    def test_fires_when_lock_is_never_released(self):
+        findings = run_rules("""
+            import fcntl
+
+            def wedge(path):
+                stream = open(path, "w")
+                fcntl.flock(stream, fcntl.LOCK_EX)
+                stream.write("x")
+        """)
+        assert rule_ids(findings) == ["AVI010"]
+        assert "never released" in findings[0].message
+
+    def test_fires_on_happy_path_only_release(self):
+        findings = run_rules("""
+            import fcntl
+
+            def racy(path):
+                stream = open(path, "w")
+                fcntl.flock(stream, fcntl.LOCK_EX)
+                stream.write("x")
+                fcntl.flock(stream, fcntl.LOCK_UN)
+                stream.close()
+        """)
+        assert rule_ids(findings) == ["AVI010"]
+        assert "happy path" in findings[0].message
+
+    def test_fires_on_use_after_close(self):
+        findings = run_rules("""
+            def finish(writer):
+                writer.close()
+                writer.flush()
+        """)
+        assert rule_ids(findings) == ["AVI010"]
+        assert "after close()" in findings[0].message
+
+    def test_quiet_on_release_in_finally(self):
+        findings = run_rules("""
+            import fcntl
+
+            def safe(path):
+                stream = open(path, "w")
+                fcntl.flock(stream, fcntl.LOCK_EX)
+                try:
+                    stream.write("x")
+                finally:
+                    fcntl.flock(stream, fcntl.LOCK_UN)
+                    stream.close()
+        """)
+        assert findings == []
+
+    def test_quiet_when_locked_stream_escapes(self):
+        findings = run_rules("""
+            import fcntl
+
+            def lock_writer(path):
+                stream = open(path, "w")
+                fcntl.flock(stream, fcntl.LOCK_EX)
+                return stream
+        """)
+        assert findings == []
+
+    def test_quiet_on_caller_owned_subject(self):
+        findings = run_rules("""
+            import fcntl
+
+            def hold(stream):
+                fcntl.flock(stream.fileno(), fcntl.LOCK_EX)
+        """)
+        assert findings == []
+
+    def test_quiet_on_stats_after_close(self):
+        # Sealed-totals accessors are the documented post-close API.
+        findings = run_rules("""
+            def finish(writer):
+                writer.close()
+                return writer.stats()
+        """)
+        assert findings == []
+
+    def test_quiet_when_name_is_rebound_after_close(self):
+        findings = run_rules("""
+            def rotate(writer, factory):
+                writer.close()
+                writer = factory()
+                writer.write("b")
+        """)
+        assert findings == []
+
+    def test_quiet_on_branch_where_close_never_happened(self):
+        findings = run_rules("""
+            def maybe(writer, seal):
+                if seal:
+                    writer.close()
+                else:
+                    writer.write("x")
+        """)
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        active, suppressed = run_engine("""
+            def finish(writer):
+                writer.close()
+                writer.flush()  # avilint: disable=AVI010
+        """, tmp_path=tmp_path)
+        assert active == []
+        assert rule_ids(suppressed) == ["AVI010"]
+
+
+# ---------------------------------------------------------------------------
+# AVI011 — perf-counter hygiene (project scope)
+# ---------------------------------------------------------------------------
+
+PERF_PATH = "src/avipack/perf.py"
+
+
+def analyze_pkg(tmp_path, monkeypatch, files):
+    """Run the full engine over a synthetic package tree."""
+    pkg = tmp_path / "src" / "avipack"
+    pkg.mkdir(parents=True, exist_ok=True)
+    for name, source in files.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    monkeypatch.chdir(tmp_path)
+    return AnalysisEngine().analyze_paths([str(tmp_path / "src")])
+
+
+class TestAVI011:
+    def test_fires_on_dead_registrations_standalone(self):
+        findings = run_rules("""
+            KERNELS = ("solver.solve",)
+            COUNTERS = ("results.rows",)
+        """, path=PERF_PATH)
+        assert rule_ids(findings) == ["AVI011"]
+        symbols = sorted(f.symbol for f in findings)
+        assert symbols == ["COUNTERS", "KERNELS"]
+
+    def test_fires_on_unregistered_increment(self, tmp_path, monkeypatch):
+        result = analyze_pkg(tmp_path, monkeypatch, {
+            "perf.py": 'COUNTERS = ("results.rows",)\n',
+            "ingest.py": """
+                from avipack import perf
+
+                def ingest(n):
+                    perf.increment("results.rows", n)
+                    perf.increment("results.ghost", n)
+            """,
+        })
+        unregistered = [f for f in result.findings
+                        if f.rule_id == "AVI011"
+                        and "not declared" in f.message]
+        assert len(unregistered) == 1
+        assert "results.ghost" in unregistered[0].message
+        assert unregistered[0].path == "src/avipack/ingest.py"
+
+    def test_fires_on_registered_but_never_incremented(
+            self, tmp_path, monkeypatch):
+        result = analyze_pkg(tmp_path, monkeypatch, {
+            "perf.py": 'COUNTERS = ("results.rows", "results.unused")\n',
+            "ingest.py": """
+                from avipack import perf
+
+                def ingest(n):
+                    perf.increment("results.rows", n)
+            """,
+        })
+        dead = [f for f in result.findings
+                if f.rule_id == "AVI011" and "eternal zero" in f.message]
+        assert len(dead) == 1
+        assert "results.unused" in dead[0].message
+        assert dead[0].path == "src/avipack/perf.py"
+        assert dead[0].symbol == "COUNTERS"
+
+    def test_constant_fed_name_resolves_across_modules(
+            self, tmp_path, monkeypatch):
+        result = analyze_pkg(tmp_path, monkeypatch, {
+            "perf.py": 'COUNTERS = ("results.rows",)\n',
+            "names.py": 'ROWS = "results.rows"\n',
+            "ingest.py": """
+                from avipack import perf
+                from avipack.names import ROWS
+
+                def ingest(n):
+                    perf.increment(ROWS, n)
+            """,
+        })
+        assert [f for f in result.findings
+                if f.rule_id == "AVI011"] == []
+
+    def test_dynamic_record_disables_dead_kernel_check(
+            self, tmp_path, monkeypatch):
+        result = analyze_pkg(tmp_path, monkeypatch, {
+            "perf.py": 'KERNELS = ("solver.solve", "solver.assemble")\n',
+            "solver.py": """
+                from avipack import perf
+
+                def run(kernel_name, wall):
+                    perf.record(kernel_name, wall)
+            """,
+        })
+        assert [f for f in result.findings
+                if f.rule_id == "AVI011"] == []
+
+    def test_suppressed_inline(self, tmp_path, monkeypatch):
+        result = analyze_pkg(tmp_path, monkeypatch, {
+            "perf.py": "COUNTERS = ()\n",
+            "ingest.py": """
+                from avipack import perf
+
+                def ingest(n):
+                    perf.increment("results.ghost", n)  # avilint: disable=AVI011
+            """,
+        })
+        assert [f for f in result.findings
+                if f.rule_id == "AVI011"] == []
+        assert rule_ids(result.suppressed) == ["AVI011"]
+
+
+# ---------------------------------------------------------------------------
+# AVI012 — resource-handle leaks on error paths
+# ---------------------------------------------------------------------------
+
+class TestAVI012:
+    def test_fires_when_handle_is_never_closed(self):
+        findings = run_rules("""
+            def read_header(path):
+                stream = open(path, "rb")
+                data = stream.read(16)
+                return data
+        """)
+        assert rule_ids(findings) == ["AVI012"]
+        assert "never closed" in findings[0].message
+
+    def test_fires_on_straight_line_only_close(self):
+        findings = run_rules("""
+            def copy(path, sink):
+                stream = open(path, "rb")
+                sink.write(stream.read())
+                stream.close()
+        """)
+        assert rule_ids(findings) == ["AVI012"]
+        assert "error" in findings[0].message or \
+            "straight-line" in findings[0].message
+
+    def test_fires_on_leaked_mmap(self):
+        findings = run_rules("""
+            import mmap
+
+            def peek(fileno):
+                mapping = mmap.mmap(fileno, 0)
+                return bytes(mapping[:16])
+        """)
+        assert rule_ids(findings) == ["AVI012"]
+        assert "mmap.mmap()" in findings[0].message
+
+    def test_quiet_on_close_in_finally(self):
+        findings = run_rules("""
+            def copy(path, sink):
+                stream = open(path, "rb")
+                try:
+                    sink.write(stream.read())
+                finally:
+                    stream.close()
+        """)
+        assert findings == []
+
+    def test_quiet_on_close_in_except(self):
+        findings = run_rules("""
+            def load(path, parse):
+                stream = open(path, "rb")
+                try:
+                    return parse(stream)
+                except ValueError:
+                    stream.close()
+                    raise
+        """)
+        assert findings == []
+
+    def test_quiet_on_with_statement(self):
+        findings = run_rules("""
+            def read_all(path):
+                with open(path, "rb") as stream:
+                    return stream.read()
+        """)
+        assert findings == []
+
+    def test_quiet_on_ownership_transfer(self):
+        findings = run_rules("""
+            import io
+
+            def wrap(path):
+                stream = open(path, "rb")
+                return io.BufferedReader(stream)
+        """)
+        assert findings == []
+
+    def test_quiet_on_immediate_close(self):
+        findings = run_rules("""
+            def touch(path):
+                stream = open(path, "w")
+                stream.close()
+        """)
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        active, suppressed = run_engine("""
+            def read_header(path):
+                stream = open(path, "rb")  # avilint: disable=AVI012
+                return stream.read(16)
+        """, tmp_path=tmp_path)
+        assert active == []
+        assert rule_ids(suppressed) == ["AVI012"]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""SARIF 2.1.0 emitter tests (:mod:`avipack.analysis.sarif`)."""
+
+from __future__ import annotations
+
+import json
+
+from avipack.analysis import (
+    AnalysisEngine,
+    AnalysisResult,
+    Finding,
+    Severity,
+    all_rules,
+)
+from avipack.analysis.cli import main
+from avipack.analysis.sarif import SARIF_VERSION, to_sarif
+
+VIOLATION = (
+    "def f(x):\n"
+    "    raise ValueError('bad')\n"
+)
+
+
+def make_finding(**overrides):
+    base = dict(rule_id="AVI002", severity=Severity.ERROR,
+                path="src/avipack/bad.py", line=2, column=4,
+                message="bare builtin raise",
+                suggestion="raise an avipack.errors type", symbol="f")
+    base.update(overrides)
+    return Finding(**base)
+
+
+def make_result(**overrides):
+    result = AnalysisResult(files_analyzed=1)
+    for key, value in overrides.items():
+        setattr(result, key, value)
+    return result
+
+
+def test_document_skeleton():
+    doc = to_sarif(make_result(), all_rules())
+    assert doc["version"] == SARIF_VERSION
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert len(doc["runs"]) == 1
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "avilint"
+    assert run["columnKind"] == "unicodeCodePoints"
+    # The document is pure JSON (no enums or custom objects leak in).
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_driver_rules_cover_the_registry():
+    doc = to_sarif(make_result(), all_rules())
+    entries = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert [e["id"] for e in entries] \
+        == [rule.rule_id for rule in all_rules()]
+    for entry in entries:
+        assert entry["shortDescription"]["text"]
+        assert entry["defaultConfiguration"]["level"] \
+            in ("error", "warning", "note")
+
+
+def test_result_entries_index_into_the_rule_table():
+    rules = all_rules()
+    findings = [make_finding(),
+                make_finding(rule_id="AVI004", severity=Severity.WARNING,
+                             line=7, column=0, suggestion="")]
+    doc = to_sarif(make_result(findings=findings), rules)
+    results = doc["runs"][0]["results"]
+    table = doc["runs"][0]["tool"]["driver"]["rules"]
+    assert len(results) == 2
+    for entry in results:
+        assert table[entry["ruleIndex"]]["id"] == entry["ruleId"]
+
+
+def test_level_mapping_and_message_folding():
+    findings = [make_finding(severity=Severity.ERROR),
+                make_finding(severity=Severity.WARNING, suggestion=""),
+                make_finding(severity=Severity.INFO)]
+    doc = to_sarif(make_result(findings=findings), all_rules())
+    levels = [r["level"] for r in doc["runs"][0]["results"]]
+    assert levels == ["error", "warning", "note"]
+    messages = [r["message"]["text"] for r in doc["runs"][0]["results"]]
+    assert messages[0] == "bare builtin raise (raise an avipack.errors type)"
+    assert messages[1] == "bare builtin raise"  # no suggestion, no parens
+
+
+def test_locations_are_one_based():
+    findings = [make_finding(line=0, column=0)]
+    doc = to_sarif(make_result(findings=findings), all_rules())
+    region = doc["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["region"]
+    assert region["startLine"] == 1  # clamped
+    assert region["startColumn"] == 1  # 0-based AST column + 1
+    location = doc["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"]["artifactLocation"]
+    assert location["uri"] == "src/avipack/bad.py"
+    assert location["uriBaseId"] == "%SRCROOT%"
+
+
+def test_clean_run_reports_success():
+    doc = to_sarif(make_result(), all_rules())
+    invocation = doc["runs"][0]["invocations"][0]
+    assert invocation["executionSuccessful"] is True
+    assert "toolExecutionNotifications" not in invocation
+
+
+def test_parse_errors_become_notifications():
+    doc = to_sarif(make_result(errors=["src/avipack/broken.py: bad syntax"]),
+                   all_rules())
+    invocation = doc["runs"][0]["invocations"][0]
+    assert invocation["executionSuccessful"] is False
+    notes = invocation["toolExecutionNotifications"]
+    assert notes[0]["level"] == "error"
+    assert "broken.py" in notes[0]["message"]["text"]
+
+
+def test_baselined_and_suppressed_are_not_emitted():
+    doc = to_sarif(make_result(baselined=[make_finding()],
+                               suppressed=[make_finding(line=9)]),
+                   all_rules())
+    assert doc["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+def test_cli_sarif_output(tmp_path, monkeypatch, capsys):
+    pkg = tmp_path / "src" / "avipack"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(VIOLATION)
+    monkeypatch.chdir(tmp_path)
+
+    code = main(["--no-cache", "--format", "sarif", str(tmp_path / "src")])
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 1  # findings still gate, whatever the format
+    assert doc["version"] == SARIF_VERSION
+    results = doc["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["AVI002"]
+    assert results[0]["locations"][0]["physicalLocation"][
+        "artifactLocation"]["uri"] == "src/avipack/bad.py"
+
+
+def test_cli_sarif_matches_direct_encoding(tmp_path, monkeypatch, capsys):
+    pkg = tmp_path / "src" / "avipack"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(VIOLATION)
+    monkeypatch.chdir(tmp_path)
+
+    main(["--no-cache", "--format", "sarif", str(tmp_path / "src")])
+    from_cli = json.loads(capsys.readouterr().out)
+    direct = to_sarif(
+        AnalysisEngine().analyze_paths([str(tmp_path / "src")]),
+        all_rules())
+    assert from_cli == direct

@@ -46,6 +46,7 @@ def test_src_analysis_covers_the_package(result):
     assert result.files_analyzed >= 50
 
 
-def test_checked_in_baseline_stays_small(result):
-    # Satellite requirement: keep the grandfathered debt under 10 entries.
-    assert len(Baseline.load(str(BASELINE))) < 10
+def test_checked_in_baseline_is_empty(result):
+    # PR 9 fixed every real finding instead of grandfathering it; the
+    # gate must stay at zero debt (new findings get fixed, not listed).
+    assert len(Baseline.load(str(BASELINE))) == 0
