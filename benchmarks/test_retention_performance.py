@@ -1,0 +1,110 @@
+"""Retention acceptance: compaction must reclaim, never slow resume.
+
+Not a paper figure: this is the retention-PR acceptance benchmark.  A
+1000-candidate journal churned by three resume generations must fold
+to a single checkpoint that reclaims the majority of its bytes and
+replays decisively faster than the line-per-record original; a
+half-superseded 20k-row store must shed exactly its dead rows while
+answering ``ranking_signature`` byte-identically.  Timing assertions use conservative factors so
+shared-runner noise never fails a build — the *fractions* and row
+counts are exact.
+"""
+
+import os
+import shutil
+import statistics
+import time
+
+import pytest
+
+from avipack.durability import replay_journal
+from avipack.results import ResultStore, ranking_signature
+from avipack.retention import compact_journal, compact_store
+from bench_retention import (
+    JOURNAL_CHURN,
+    N_JOURNAL,
+    build_half_superseded_store,
+    build_journal,
+)
+
+#: Compacted replay must beat full replay by at least this factor.
+MIN_REPLAY_SPEEDUP = 2.0
+#: The fold must reclaim at least this fraction of the journal bytes.
+MIN_RECLAIMED_FRACTION = 0.60
+
+
+def _median_s(call, rounds=5):
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        call()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+@pytest.fixture(scope="module")
+def journals(tmp_path_factory):
+    """The same campaign journal, full and compacted."""
+    root = tmp_path_factory.mktemp("journals")
+    full = str(root / "full.jsonl")
+    build_journal(full, churn=JOURNAL_CHURN)
+    compacted = str(root / "compacted.jsonl")
+    shutil.copy(full, compacted)
+    compaction = compact_journal(compacted)
+    return {"full": full, "compacted": compacted,
+            "compaction": compaction}
+
+
+def test_fold_reclaims_the_overwhelming_share(journals):
+    compaction = journals["compaction"]
+    assert compaction.n_folded == 1 + (2 + JOURNAL_CHURN) * N_JOURNAL
+    assert compaction.n_quarantined == 0
+    fraction = compaction.bytes_reclaimed / compaction.bytes_before
+    assert fraction >= MIN_RECLAIMED_FRACTION, (
+        f"checkpoint fold reclaimed only {fraction:.1%} of "
+        f"{compaction.bytes_before} journal bytes")
+
+
+def test_compacted_replay_is_decisively_faster(journals):
+    full_s = _median_s(lambda: replay_journal(
+        journals["full"], write_quarantine=False))
+    compact_s = _median_s(lambda: replay_journal(
+        journals["compacted"], write_quarantine=False))
+    speedup = full_s / max(compact_s, 1e-9)
+    assert speedup >= MIN_REPLAY_SPEEDUP, (
+        f"compacted replay only {speedup:.2f}x faster "
+        f"({full_s * 1e3:.1f} ms -> {compact_s * 1e3:.1f} ms)")
+
+
+def test_compacted_replay_restores_identical_state(journals):
+    full = replay_journal(journals["full"], write_quarantine=False)
+    folded = replay_journal(journals["compacted"],
+                            write_quarantine=False)
+    assert folded.candidates == full.candidates
+    assert folded.outcomes == full.outcomes
+    assert folded.dispatched == full.dispatched
+    assert folded.next_seq == full.next_seq
+    assert folded.n_records == full.n_records
+
+
+def test_store_compaction_sheds_exactly_the_dead_rows(tmp_path):
+    directory = str(tmp_path / "store")
+    n_dead = build_half_superseded_store(directory)
+    before = ResultStore.open(directory)
+    signature = ranking_signature(before)
+    n_live = int(before.live_mask().sum())
+    size_before = sum(
+        os.path.getsize(os.path.join(directory, name))
+        for name in os.listdir(directory))
+
+    compaction = compact_store(directory)
+    assert compaction.rows_dropped == n_dead
+    assert compaction.bytes_reclaimed > 0
+
+    after = ResultStore.open(directory)
+    assert after.n_rows == n_live
+    assert ranking_signature(after) == signature
+    size_after = sum(
+        os.path.getsize(os.path.join(directory, name))
+        for name in os.listdir(directory))
+    assert size_after < size_before

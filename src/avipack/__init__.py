@@ -42,6 +42,9 @@ Subpackages
     Components, PCBs, modules, racks and the COSEE SEB.
 ``service``
     The resilient sweep job server (asyncio, Unix socket) + client.
+``retention``
+    Crash-safe space governance: journal/store compaction, disk
+    budgets and eviction policies.
 ``core``
     The design procedure: levels, selection, qualification, reporting.
 ``experiments``
@@ -58,6 +61,7 @@ from . import (
     perf,
     reliability,
     resilience,
+    retention,
     service,
     sweep,
     thermal,
@@ -161,6 +165,7 @@ __all__ = [
     "perf",
     "reliability",
     "resilience",
+    "retention",
     "service",
     "sweep",
     "thermal",

@@ -12,6 +12,8 @@ Usage::
     python -m avipack sweep --store-dir results/ \\
         --report-json report.json     # columnar store + JSON report
     python -m avipack results --store results/   # store analytics
+    python -m avipack compact --journal sweep.jsonl \\
+        --store results/              # crash-safe space reclamation
     python -m avipack serve --socket /tmp/avipack.sock \\
         --journal-dir jobs/                     # resilient job server
 """
@@ -259,6 +261,55 @@ def _run_results(argv) -> int:
     return 0 if n_compliant else 1
 
 
+def _run_compact(argv) -> int:
+    """``python -m avipack compact`` — crash-safe space reclamation.
+
+    Folds a journal's verified prefix into one checkpoint record
+    and/or rewrites a result store's shards dropping superseded rows —
+    both atomic, both ranking-preserving.  Exit codes: 0 — every
+    requested compaction succeeded; 2 — usage error or a target that
+    cannot be compacted (missing file, lock contention, no intact
+    plan record).
+    """
+    from .errors import DurabilityError
+    from .retention import compact_journal, compact_store
+
+    parser = argparse.ArgumentParser(
+        prog="python -m avipack compact",
+        description="Compact a sweep journal (fold into a checkpoint "
+                    "record) and/or a columnar result store (drop "
+                    "superseded rows and orphaned blobs); resume and "
+                    "rankings are byte-identical afterwards.")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="write-ahead journal to compact in place")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store directory to compact")
+    args = parser.parse_args(argv)
+    if args.journal is None and args.store is None:
+        parser.error("nothing to compact: give --journal and/or --store")
+    try:
+        if args.journal is not None:
+            folded = compact_journal(args.journal)
+            print(f"journal {args.journal}: folded {folded.n_folded} "
+                  f"record(s) into one checkpoint "
+                  f"({folded.bytes_before} -> {folded.bytes_after} "
+                  f"bytes, {folded.bytes_reclaimed} reclaimed, "
+                  f"{folded.n_quarantined} quarantined)")
+        if args.store is not None:
+            rewritten = compact_store(args.store)
+            print(f"store {args.store}: rewrote "
+                  f"{rewritten.shards_rewritten} shard(s) into "
+                  f"{rewritten.shards_published}, dropped "
+                  f"{rewritten.rows_dropped} superseded row(s), swept "
+                  f"{rewritten.orphan_blobs_removed} orphan blob "
+                  f"pool(s) ({rewritten.bytes_reclaimed} bytes "
+                  "reclaimed)")
+    except DurabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _run_serve(argv) -> int:
     """``python -m avipack serve`` — the resilient sweep job server.
 
@@ -270,6 +321,7 @@ def _run_serve(argv) -> int:
     import asyncio
 
     from .errors import ServiceError
+    from .retention import RetentionPolicy
     from .service import AdmissionPolicy, ServiceConfig, SweepService
 
     parser = argparse.ArgumentParser(
@@ -314,6 +366,29 @@ def _run_serve(argv) -> int:
                         metavar="S",
                         help="artificial per-candidate delay (pacing "
                              "for demos and chaos drills; default 0)")
+    parser.add_argument("--disk-high-watermark-bytes", type=int,
+                        default=None, metavar="N",
+                        help="journal-dir footprint that triggers "
+                             "retention and degrades admission to "
+                             "disk_low refusals (default: no governor)")
+    parser.add_argument("--disk-low-watermark-bytes", type=int,
+                        default=None, metavar="N",
+                        help="footprint admission recovery requires "
+                             "(default: half the high watermark)")
+    parser.add_argument("--disk-poll-s", type=float, default=5.0,
+                        metavar="S",
+                        help="disk-usage poll period (default 5)")
+    parser.add_argument("--keep-last-n", type=int, default=None,
+                        metavar="N",
+                        help="retention: keep at most N finished jobs")
+    parser.add_argument("--max-age-s", type=float, default=None,
+                        metavar="S",
+                        help="retention: evict finished jobs older "
+                             "than S seconds")
+    parser.add_argument("--max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="retention: evict oldest finished jobs "
+                             "beyond N bytes of footprint")
     args = parser.parse_args(argv)
 
     config = ServiceConfig(
@@ -330,7 +405,14 @@ def _run_serve(argv) -> int:
         max_running=args.max_running,
         parallel=not args.serial,
         max_workers=args.max_workers,
-        throttle_s=args.throttle_s)
+        throttle_s=args.throttle_s,
+        disk_high_watermark_bytes=args.disk_high_watermark_bytes,
+        disk_low_watermark_bytes=args.disk_low_watermark_bytes,
+        disk_poll_s=args.disk_poll_s,
+        retention=RetentionPolicy(
+            keep_last_n=args.keep_last_n,
+            max_age_s=args.max_age_s,
+            max_bytes=args.max_bytes))
     try:
         asyncio.run(SweepService(config).serve())
     except ServiceError as exc:
@@ -349,6 +431,7 @@ _COMMANDS = {
 
 #: Commands that parse their own argument vector.
 _ARG_COMMANDS = {
+    "compact": _run_compact,
     "results": _run_results,
     "serve": _run_serve,
     "sweep": _run_sweep,

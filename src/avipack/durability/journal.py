@@ -21,11 +21,18 @@ the campaign the in-flight candidates, not the finished ones.
 
 Record kinds: ``plan`` (the pickled candidate list and its space
 fingerprint — what makes ``resume(journal_path)`` self-contained),
-``dispatched`` (a candidate handed to a worker), and the outcome kinds
-``completed`` / ``failed`` / ``timeout``.  Outcomes are keyed by the
-candidate's content :attr:`~avipack.sweep.space.Candidate.fingerprint`,
-*not* its list index, so a resume survives re-ordering or extension of
-the candidate space.
+``dispatched`` (a candidate handed to a worker), the outcome kinds
+``completed`` / ``failed`` / ``timeout``, and ``checkpoint`` — one
+record folding an entire verified journal prefix (plan, latest outcome
+per fingerprint, in-flight markers and the sequence cursor) written by
+:func:`avipack.retention.compact_journal`.  A compacted journal is the
+checkpoint record plus whatever live tail has been appended since;
+replay applies the checkpoint first, then the tail records override it
+latest-wins, exactly as the uncompacted record stream would.  Outcomes
+are keyed by the candidate's content
+:attr:`~avipack.sweep.space.Candidate.fingerprint`, *not* its list
+index, so a resume survives re-ordering or extension of the candidate
+space.
 
 The payloads are pickles of the library's own outcome records; the
 checksums protect against corruption in transit and at rest, not
@@ -62,7 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sweep.space import Candidate
 
 __all__ = ["SCHEMA_VERSION", "JournalReplay", "QuarantinedRecord",
-           "SweepJournal", "replay_journal"]
+           "SweepJournal", "encode_record", "replay_journal"]
 
 #: Bump when the record encoding changes; replay quarantines any other
 #: version rather than guessing at its layout.
@@ -115,6 +122,25 @@ def _decode_payload(text: str) -> Any:
     return pickle.loads(base64.b64decode(text.encode()))
 
 
+def encode_record(kind: str, seq: int, fields: Dict[str, Any]) -> bytes:
+    """Encode one journal record line (body + CRC-32 + SHA-256 + ``\\n``).
+
+    The single encoding shared by live appends
+    (:meth:`SweepJournal._append`) and the compaction checkpoint writer
+    (:func:`avipack.retention.compact_journal`), so a checkpoint record
+    verifies under exactly the same discipline as every other line.
+    """
+    body: Dict[str, Any] = {"schema_version": SCHEMA_VERSION,
+                            "seq": seq, "kind": kind}
+    body.update(fields)
+    canonical = _canonical(body)
+    record = json.dumps({"body": body,
+                         "crc32": content_crc32(canonical),
+                         "sha256": content_digest(canonical)},
+                        sort_keys=True)
+    return record.encode("utf-8") + b"\n"
+
+
 class SweepJournal:
     """Append-only, checksummed, fsync'd sweep journal.
 
@@ -144,9 +170,18 @@ class SweepJournal:
         """
         stream = open(path, "ab")
         _lock_exclusive(stream, path)
-        stream.truncate(0)
-        journal = cls(path, stream)
-        journal.record_plan(candidates, space_fingerprint)
+        # Anything failing past the lock — truncation on an exotic
+        # filesystem, an unpicklable candidate in the plan record, a
+        # full disk at the first fsync — must release the advisory
+        # lock and the descriptor, or the journal path stays locked
+        # (and the fd leaked) until process exit.
+        try:
+            stream.truncate(0)
+            journal = cls(path, stream)
+            journal.record_plan(candidates, space_fingerprint)
+        except BaseException:
+            stream.close()
+            raise
         return journal
 
     @classmethod
@@ -212,15 +247,7 @@ class SweepJournal:
         """
         if self._stream is None:
             raise InputError("journal is closed")
-        body: Dict[str, Any] = {"schema_version": SCHEMA_VERSION,
-                                "seq": self._seq, "kind": kind}
-        body.update(fields)
-        canonical = _canonical(body)
-        record = json.dumps({"body": body,
-                             "crc32": content_crc32(canonical),
-                             "sha256": content_digest(canonical)},
-                            sort_keys=True)
-        data = record.encode("utf-8") + b"\n"
+        data = encode_record(kind, self._seq, fields)
         if _corrupts("durability.journal_torn_write", ("journal", self._seq)):
             data = data[:max(1, (2 * len(data)) // 3)]
         elif _corrupts("durability.journal_bitflip", ("journal", self._seq)):
@@ -344,6 +371,20 @@ def replay_journal(path: str, quarantine_path: Optional[str] = None,
             elif kind in _OUTCOME_KINDS:
                 outcome = _decode_payload(body["payload"])
                 replay.outcomes[str(body["fingerprint"])] = outcome
+            elif kind == "checkpoint":
+                # One folded prefix (see avipack.retention): apply it
+                # wholesale, then let any live-tail records appended
+                # after compaction override entries latest-wins, just
+                # as the uncompacted stream would have.
+                replay.candidates = tuple(
+                    _decode_payload(body["candidates"]))
+                replay.space_fingerprint = str(
+                    body.get("space_fingerprint", ""))
+                for fp, payload in body["outcomes"].items():
+                    replay.outcomes[str(fp)] = _decode_payload(payload)
+                for fp, index in body["dispatched"].items():
+                    replay.dispatched[str(fp)] = int(index)
+                replay.n_records += int(body.get("n_folded", 1)) - 1
             else:
                 raise _DamagedRecord(f"unknown record kind {kind!r}")
         except (ValueError, KeyError, TypeError,

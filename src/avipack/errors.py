@@ -176,7 +176,23 @@ class ResultStoreError(DurabilityError):
     This error is reserved for the cases the store cannot work around:
     writer-lock contention, a missing blob pool behind a lazy fetch, or
     a blob whose checksum no longer matches its row.
+
+    ``reason`` classifies the damage for the quarantine sidecars and
+    the per-reason ``results.quarantined_*`` counters: ``"header"``
+    (unparseable header, wrong magic, stale schema, dtype or row-count
+    disagreement), ``"checksum"`` (CRC-32 or SHA-256 mismatch over the
+    payload), ``"truncation"`` (payload shorter or longer than the
+    header promises, or unreadable bytes), or the default ``"error"``
+    for non-shard failures.
     """
+
+    def __init__(self, message: str, reason: str = "error") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (self.__class__, (self.args[0] if self.args else "",
+                                 self.reason))
 
 
 class JournalError(DurabilityError):

@@ -71,8 +71,13 @@ KERNELS = ("network.steady", "network.transient", "network.batched",
 #: enumerate this tuple and trust that each name is real and fed.
 COUNTERS = ("analysis.cache_hits", "analysis.call_edges",
             "analysis.files", "analysis.import_edges",
-            "results.blob_fetches", "results.rows_ingested",
-            "results.shards_quarantined", "results.shards_written")
+            "results.blob_fetches", "results.quarantined_checksum",
+            "results.quarantined_header",
+            "results.quarantined_truncation", "results.rows_ingested",
+            "results.shards_quarantined", "results.shards_written",
+            "retention.bytes_reclaimed", "retention.disk_low_refusals",
+            "retention.evictions", "retention.journal_compactions",
+            "retention.passes", "retention.store_compactions")
 
 
 @dataclass(frozen=True)

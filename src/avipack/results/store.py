@@ -25,7 +25,12 @@ full outcome objects are unpickled one at a time, on demand, via
 
 Observability: ``results.rows_ingested``, ``results.shards_written``,
 ``results.blob_fetches`` and ``results.shards_quarantined`` named
-counters in :mod:`avipack.perf`.
+counters in :mod:`avipack.perf`; each quarantine additionally bumps a
+per-reason counter (``results.quarantined_header`` /
+``results.quarantined_checksum`` / ``results.quarantined_truncation``)
+and writes a ``<file>.quarantine.reason`` sidecar recording *why* the
+file was set aside, so an operator triaging a damaged store can tell a
+torn write from bit rot without re-running verification.
 """
 
 from __future__ import annotations
@@ -67,7 +72,7 @@ from .schema import (
 )
 
 __all__ = ["DEFAULT_SHARD_ROWS", "ResultStore", "ResultStoreStats",
-           "ResultStoreWriter"]
+           "ResultStoreWriter", "next_shard_number", "publish_shard"]
 
 #: Rows per sealed shard (the memmap granularity).  64k rows of the
 #: packed dtype is a ~20 MB shard — large enough to amortize headers,
@@ -141,6 +146,50 @@ def _publish(path: str, header: bytes, payload: bytes) -> None:
         raise
 
 
+def next_shard_number(directory: str) -> int:
+    """First unused shard number (quarantined names count as used).
+
+    Quarantined names stay reserved so a rewrite can never publish a
+    fresh shard under a number whose damaged predecessor might later be
+    un-quarantined by an operator.
+    """
+    highest = -1
+    for name in os.listdir(directory):
+        match = _SHARD_PATTERN.match(
+            name[:-len(".quarantine")]
+            if name.endswith(".quarantine") else name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return highest + 1
+
+
+def publish_shard(directory: str, number: int, rows: np.ndarray,
+                  blobs: bytes) -> None:
+    """Atomically publish one sealed shard pair (blobs first, rows last).
+
+    The single publication path shared by :class:`ResultStoreWriter`
+    and the retention compactor
+    (:func:`avipack.retention.compact_store`): the blob pool lands
+    before its rows file, so the rows file remains the commit point
+    whoever is writing — a crash between the two leaves an orphan
+    ``.blobs`` file that :meth:`ResultStore.open` never looks at.
+    """
+    rows_payload = rows.tobytes()
+    base = os.path.join(directory, f"shard-{number:06d}")
+    _publish(base + ".blobs",
+             _header_line(_BLOBS_MAGIC, len(rows),
+                          content_crc32(blobs),
+                          content_digest(blobs),
+                          len(blobs)),
+             blobs)
+    _publish(base + ".rows",
+             _header_line(_ROWS_MAGIC, len(rows),
+                          content_crc32(rows_payload),
+                          content_digest(rows_payload),
+                          len(rows_payload)),
+             rows_payload)
+
+
 class ResultStoreWriter:
     """Append outcomes to a store directory as sealed, immutable shards.
 
@@ -170,15 +219,7 @@ class ResultStoreWriter:
         self._blobs = bytearray()
 
     def _scan_next_shard(self) -> int:
-        """First unused shard number (quarantined names count as used)."""
-        highest = -1
-        for name in os.listdir(self.directory):
-            match = _SHARD_PATTERN.match(
-                name[:-len(".quarantine")]
-                if name.endswith(".quarantine") else name)
-            if match:
-                highest = max(highest, int(match.group(1)))
-        return highest + 1
+        return next_shard_number(self.directory)
 
     def __enter__(self) -> "ResultStoreWriter":
         return self
@@ -217,21 +258,8 @@ class ResultStoreWriter:
             return
         number = self._next_shard
         self._next_shard += 1
-        rows_payload = self._rows[:self._count].tobytes()
-        blob_payload = bytes(self._blobs)
-        base = os.path.join(self.directory, f"shard-{number:06d}")
-        _publish(base + ".blobs",
-                 _header_line(_BLOBS_MAGIC, self._count,
-                              content_crc32(blob_payload),
-                              content_digest(blob_payload),
-                              len(blob_payload)),
-                 blob_payload)
-        _publish(base + ".rows",
-                 _header_line(_ROWS_MAGIC, self._count,
-                              content_crc32(rows_payload),
-                              content_digest(rows_payload),
-                              len(rows_payload)),
-                 rows_payload)
+        publish_shard(self.directory, number,
+                      self._rows[:self._count], bytes(self._blobs))
         self._rows = None
         self._count = 0
         self._blobs = bytearray()
@@ -295,15 +323,19 @@ def _verify_file(path: str, magic: str) -> Tuple[Dict[str, Any], int]:
                 header = json.loads(line.decode("ascii"))
             except (UnicodeDecodeError, ValueError) as exc:
                 raise ResultStoreError(
-                    f"{path}: unparseable header: {exc}") from exc
+                    f"{path}: unparseable header: {exc}",
+                    reason="header") from exc
             if not isinstance(header, dict) \
                     or header.get("magic") != magic:
-                raise ResultStoreError(f"{path}: wrong magic")
+                raise ResultStoreError(f"{path}: wrong magic",
+                                       reason="header")
             if header.get("schema") != STORE_SCHEMA_VERSION:
                 raise ResultStoreError(
-                    f"{path}: stale schema {header.get('schema')!r}")
+                    f"{path}: stale schema {header.get('schema')!r}",
+                    reason="header")
             if header.get("dtype") != DTYPE_FINGERPRINT:
-                raise ResultStoreError(f"{path}: dtype mismatch")
+                raise ResultStoreError(f"{path}: dtype mismatch",
+                                       reason="header")
             crc = 0
             sha = hashlib.sha256()
             n_bytes = 0
@@ -315,21 +347,68 @@ def _verify_file(path: str, magic: str) -> Tuple[Dict[str, Any], int]:
                 sha.update(chunk)
                 n_bytes += len(chunk)
     except OSError as exc:
-        raise ResultStoreError(f"cannot read {path}: {exc}") from exc
+        raise ResultStoreError(f"cannot read {path}: {exc}",
+                               reason="truncation") from exc
     if n_bytes != header.get("nbytes"):
         raise ResultStoreError(
             f"{path}: payload is {n_bytes} bytes, header says "
-            f"{header.get('nbytes')}")
+            f"{header.get('nbytes')}", reason="truncation")
     if f"{crc & 0xFFFFFFFF:08x}" != header.get("crc32"):
-        raise ResultStoreError(f"{path}: crc32 mismatch")
+        raise ResultStoreError(f"{path}: crc32 mismatch",
+                               reason="checksum")
     if sha.hexdigest() != header.get("sha256"):
-        raise ResultStoreError(f"{path}: sha256 mismatch")
+        raise ResultStoreError(f"{path}: sha256 mismatch",
+                               reason="checksum")
     return header, len(line)
 
 
-def _quarantine(path: str) -> None:
+def _rename_aside(path: str) -> None:
+    """Move a damaged file to its ``.quarantine`` name (rename only —
+    no data is written, so durability ordering does not apply)."""
     if os.path.exists(path):
         os.replace(path, path + ".quarantine")
+
+
+def _write_reason_sidecar(path: str, error: ResultStoreError) -> None:
+    """Atomically publish ``<path>.quarantine.reason`` describing why."""
+    sidecar = json.dumps({"file": os.path.basename(path),
+                          "reason": error.reason,
+                          "detail": str(error)}, sort_keys=True)
+    tmp = f"{path}.reason.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        stream.write(sidecar + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, path + ".quarantine.reason")
+
+
+def _quarantine(path: str,
+                error: Optional[ResultStoreError] = None) -> None:
+    """Rename a damaged file aside; record why in an atomic sidecar.
+
+    ``error`` is the verification failure for the file itself; pass
+    ``None`` for a companion file quarantined only because its partner
+    failed (no sidecar — the partner's sidecar tells the story).
+    """
+    _rename_aside(path)
+    if error is not None:
+        _write_reason_sidecar(path, error)
+
+
+def _count_quarantine(reason: str) -> None:
+    """Bump the total and the per-reason quarantine counters.
+
+    The per-reason names are spelled out literally so the AVI011
+    perf-registry lint can tie each declared counter to its live
+    increment site.
+    """
+    _perf.increment("results.shards_quarantined")
+    if reason == "checksum":
+        _perf.increment("results.quarantined_checksum")
+    elif reason == "header":
+        _perf.increment("results.quarantined_header")
+    elif reason == "truncation":
+        _perf.increment("results.quarantined_truncation")
 
 
 class ResultStore:
@@ -342,11 +421,18 @@ class ResultStore:
     """
 
     def __init__(self, directory: str, shards: List[_Shard],
-                 quarantined: Tuple[str, ...]) -> None:
+                 quarantined: Tuple[str, ...],
+                 quarantine_reasons: Optional[Dict[str, str]] = None
+                 ) -> None:
         self.directory = directory
         self._shards = shards
         #: File names moved to ``.quarantine`` by this open.
         self.quarantined = quarantined
+        #: File name -> damage class (``header`` / ``checksum`` /
+        #: ``truncation``) for each quarantined file, mirroring the
+        #: on-disk ``.quarantine.reason`` sidecars.
+        self.quarantine_reasons: Dict[str, str] = \
+            dict(quarantine_reasons or {})
         self._columns: Dict[str, np.ndarray] = {}
         self._live: Optional[np.ndarray] = None
         self._bases = np.array([shard.row_base for shard in shards],
@@ -372,6 +458,7 @@ class ResultStore:
             if match and match.group(2) == "rows")
         shards: List[_Shard] = []
         quarantined: List[str] = []
+        reasons: Dict[str, str] = {}
         row_base = 0
         for name in names:
             rows_path = os.path.join(directory, name + ".rows")
@@ -384,12 +471,13 @@ class ResultStore:
                         n_rows * ROW_DTYPE.itemsize:
                     raise ResultStoreError(
                         f"{rows_path}: row count disagrees with "
-                        "payload size")
-            except ResultStoreError:
-                _quarantine(rows_path)
+                        "payload size", reason="header")
+            except ResultStoreError as exc:
+                _quarantine(rows_path, exc)
                 _quarantine(blobs_path)
                 quarantined.append(name + ".rows")
-                _perf.increment("results.shards_quarantined")
+                reasons[name + ".rows"] = exc.reason
+                _count_quarantine(exc.reason)
                 continue
             blobs_available = True
             blobs_header_bytes = 0
@@ -399,18 +487,19 @@ class ResultStore:
                 if int(blob_header["rows"]) != n_rows:
                     raise ResultStoreError(
                         f"{blobs_path}: row count disagrees with "
-                        "rows file")
-            except ResultStoreError:
+                        "rows file", reason="header")
+            except ResultStoreError as exc:
                 # Rows stay queryable; only lazy fetches are lost.
-                _quarantine(blobs_path)
+                _quarantine(blobs_path, exc)
                 quarantined.append(name + ".blobs")
-                _perf.increment("results.shards_quarantined")
+                reasons[name + ".blobs"] = exc.reason
+                _count_quarantine(exc.reason)
                 blobs_available = False
             shards.append(_Shard(directory, name, n_rows, header_bytes,
                                  row_base, blobs_available,
                                  blobs_header_bytes))
             row_base += n_rows
-        return cls(directory, shards, tuple(quarantined))
+        return cls(directory, shards, tuple(quarantined), reasons)
 
     @classmethod
     def live_fingerprints(cls, directory: str) -> Set[str]:
@@ -436,6 +525,16 @@ class ResultStore:
     @property
     def n_shards(self) -> int:
         return len(self._shards)
+
+    def shards(self) -> Tuple[_Shard, ...]:
+        """The verified shards backing this view, in row order.
+
+        Reader internals (name, ``row_base``, memory-mapped ``rows``,
+        ``read_blob``) exposed for the retention compactor
+        (:func:`avipack.retention.compact_store`), which must copy
+        live rows and their blob bytes shard by shard.
+        """
+        return tuple(self._shards)
 
     # -- columnar access -----------------------------------------------------
 

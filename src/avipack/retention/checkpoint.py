@@ -1,0 +1,151 @@
+"""Journal compaction: fold a verified prefix into one checkpoint.
+
+A campaign journal grows by one fsync'd line per dispatched candidate
+and per outcome, forever.  Compaction rewrites the file as a single
+``checkpoint`` record — the plan, the latest outcome per fingerprint,
+the in-flight markers and the sequence cursor, checksummed under the
+exact same CRC-32 + SHA-256 line discipline as every live append
+(:func:`avipack.durability.journal.encode_record`) — so replay of the
+compacted journal reconstructs byte-identical state, in a file that is
+typically orders of magnitude smaller.
+
+Crash safety is the whole point of the design:
+
+* the checkpoint is written to a ``<journal>.compact.<pid>.tmp``
+  sibling, flushed and ``fsync``'d, and only then swapped in with
+  ``os.replace`` — until that one atomic rename the old journal is
+  untouched, so SIGKILL at *any* phase leaves either the old or the
+  new journal, both of which replay to the same state;
+* the journal's advisory ``flock`` is held for the whole pass, so a
+  live writer cannot interleave appends with the swap (and compaction
+  refuses journals another process is writing);
+* the checkpoint reuses the *last folded sequence number*, so a resume
+  appended after compaction carries exactly the sequence numbers it
+  would have carried on the uncompacted journal — seeded fault
+  injection (scoped per sequence number) stays reproducible across
+  compaction.
+
+Damaged lines found during the fold are quarantined to the usual
+``.quarantine`` sidecar by replay and dropped from the compacted file;
+they were never part of the verified state.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from .. import perf as _perf
+from ..durability.journal import (
+    _encode_payload,
+    _lock_exclusive,
+    encode_record,
+    replay_journal,
+)
+from ..errors import JournalError
+
+__all__ = ["JournalCompaction", "compact_journal"]
+
+
+@dataclass(frozen=True)
+class JournalCompaction:
+    """What one journal compaction pass folded and reclaimed."""
+
+    path: str
+    #: Intact records folded into the checkpoint.
+    n_folded: int
+    #: Damaged lines quarantined (and dropped) during the fold.
+    n_quarantined: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return max(0, self.bytes_before - self.bytes_after)
+
+
+def _sweep_stale_tmp(path: str) -> None:
+    """Remove tmp files a SIGKILL'd earlier compaction left behind."""
+    directory = os.path.dirname(path) or "."
+    prefix = os.path.basename(path) + ".compact."
+    for entry in os.listdir(directory):
+        if entry.startswith(prefix):
+            try:
+                os.unlink(os.path.join(directory, entry))
+            except OSError:  # pragma: no cover - racing cleanup is fine
+                pass
+
+
+def compact_journal(path: str,
+                    quarantine_path: Optional[str] = None,
+                    phase_hook: Optional[Callable[[str], None]] = None
+                    ) -> JournalCompaction:
+    """Fold the journal at ``path`` into one checkpoint record, in place.
+
+    Holds the journal's advisory lock for the whole pass (raises
+    :class:`~avipack.errors.DurabilityError` if a writer holds it) and
+    publishes via tmp + ``fsync`` + ``os.replace`` — the old journal
+    stays valid until the atomic swap.  Raises
+    :class:`~avipack.errors.JournalError` when no intact plan or
+    checkpoint record survives to anchor the candidate set (such a
+    journal cannot support a resume, compacted or not).
+
+    ``phase_hook`` is the chaos-test seam: it is called with
+    ``"replay"``, ``"encode"``, ``"write"``, ``"fsync"``, ``"replace"``
+    and ``"done"`` as each phase *begins*, so a test can SIGKILL the
+    process at every phase boundary and assert recovery.
+    """
+    hook = phase_hook or (lambda phase: None)
+    _sweep_stale_tmp(path)
+    if not os.path.exists(path):
+        raise JournalError(f"journal not found: {path}")
+    stream = open(path, "ab")
+    _lock_exclusive(stream, path)
+    try:
+        hook("replay")
+        replay = replay_journal(path, quarantine_path)
+        if replay.candidates is None:
+            raise JournalError(
+                f"cannot compact {path}: no intact plan or checkpoint "
+                "record survives to anchor the candidate set")
+        bytes_before = os.path.getsize(path)
+        hook("encode")
+        fields: Dict[str, Any] = {
+            "candidates": _encode_payload(tuple(replay.candidates)),
+            "space_fingerprint": replay.space_fingerprint,
+            "outcomes": {fp: _encode_payload(outcome)
+                         for fp, outcome
+                         in sorted(replay.outcomes.items())},
+            "dispatched": {fp: int(index)
+                           for fp, index
+                           in sorted(replay.dispatched.items())},
+            "n_folded": replay.n_records,
+        }
+        # Reuse the last folded record's sequence number: replay of the
+        # compacted journal then reports the same next_seq as the
+        # uncompacted one, so post-compaction appends are numbered
+        # identically (seeded fault injection scopes per seq).
+        data = encode_record("checkpoint",
+                             max(replay.next_seq - 1, 0), fields)
+        hook("write")
+        tmp = f"{path}.compact.{os.getpid()}.tmp"
+        with open(tmp, "wb") as out:
+            out.write(data)
+            out.flush()
+            hook("fsync")
+            os.fsync(out.fileno())
+        hook("replace")
+        os.replace(tmp, path)
+        hook("done")
+    finally:
+        stream.close()
+    _perf.increment("retention.journal_compactions")
+    compaction = JournalCompaction(
+        path=path, n_folded=replay.n_records,
+        n_quarantined=replay.n_quarantined,
+        bytes_before=bytes_before, bytes_after=len(data))
+    if compaction.bytes_reclaimed:
+        _perf.increment("retention.bytes_reclaimed",
+                        compaction.bytes_reclaimed)
+    return compaction

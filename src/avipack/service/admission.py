@@ -43,18 +43,27 @@ class Rejection:
 
 def admit(policy: AdmissionPolicy, *, n_candidates: int,
           queued: int, client_active: int,
-          draining: bool) -> Optional[Rejection]:
+          draining: bool, disk_low: bool = False) -> Optional[Rejection]:
     """Decide one submission; ``None`` admits, otherwise a rejection.
 
     Checks run cheapest-refusal-first: a draining server refuses
-    everything, then size, then the global queue bound, then the
-    per-client quota.
+    everything, then a disk-budget breach (the degraded mode the
+    retention governor latches — existing jobs and queries keep
+    serving, only *new* work is refused), then size, then the global
+    queue bound, then the per-client quota.
     """
     if draining:
         return Rejection(
             "draining",
             "server is draining (shutdown in progress); admission is "
             "closed — resubmit after restart")
+    if disk_low:
+        return Rejection(
+            "disk_low",
+            "disk budget exhausted (usage above the high watermark "
+            "and retention has not yet reclaimed enough); running "
+            "jobs and queries keep serving — resubmit once usage "
+            "falls below the low watermark")
     if n_candidates > policy.max_candidates_per_job:
         return Rejection(
             "job_too_large",

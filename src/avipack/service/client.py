@@ -152,6 +152,15 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self._request({"op": "stats"})
 
+    def retention(self) -> Dict[str, Any]:
+        """Run a retention pass now (compact + evict finished jobs).
+
+        Returns the pass summary: job ids compacted and evicted,
+        bytes reclaimed, and the governor's disk state (``disk_low``,
+        ``usage_bytes``, watermarks — ``None`` values when the server
+        runs without a disk budget)."""
+        return self._request({"op": "retention"})
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the server to drain and exit (same path as SIGTERM)."""
         return self._request({"op": "shutdown"})

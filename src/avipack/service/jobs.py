@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -46,7 +47,8 @@ _JOURNAL_SUFFIX = ".journal.jsonl"
 #: Manifest fields persisted verbatim.
 _PERSISTED_FIELDS = ("job_id", "client", "priority", "state",
                      "submission", "fingerprint", "total", "result",
-                     "error", "cancel_reason", "submit_order")
+                     "error", "cancel_reason", "submit_order",
+                     "finished_wall", "compacted")
 
 
 @dataclass
@@ -77,6 +79,12 @@ class Job:
     #: True when this process should resume from the journal instead of
     #: starting fresh (set by startup recovery).
     resume: bool = False
+    #: Wall-clock instant the job reached a terminal state (0.0 while
+    #: active) — the age the retention policy's ``max_age_s`` measures.
+    finished_wall: float = 0.0
+    #: True once a retention pass compacted this job's journal and
+    #: result store (terminal jobs only write again if evicted).
+    compacted: bool = False
     #: Monotonic start instant of the current run (0.0 = not running).
     started_monotonic: float = 0.0
     #: Monotonic instant of the last progress callback.
@@ -155,6 +163,8 @@ class Job:
         job.result = manifest.get("result")
         job.error = manifest.get("error")
         job.cancel_reason = manifest.get("cancel_reason")
+        job.finished_wall = float(manifest.get("finished_wall", 0.0))
+        job.compacted = bool(manifest.get("compacted", False))
         return job
 
     def status(self) -> Dict[str, Any]:
@@ -212,6 +222,63 @@ class JobStore:
             stream.flush()
             os.fsync(stream.fileno())
         os.replace(tmp, path)
+
+    def job_paths(self, job_id: str) -> List[str]:
+        """Every on-disk path belonging to one job — journal,
+        quarantine sidecars, result-store directory, manifest.
+
+        Job ids are fixed-width (``j000042``), so the ``<id>.`` prefix
+        match cannot leak onto a neighbouring job's files.
+        """
+        prefix = job_id + "."
+        return sorted(os.path.join(self.journal_dir, name)
+                      for name in os.listdir(self.journal_dir)
+                      if name.startswith(prefix))
+
+    def job_bytes(self, job_id: str) -> int:
+        """On-disk footprint of one job, result store included."""
+        total = 0
+        for path in self.job_paths(job_id):
+            if os.path.isdir(path):
+                for root, _dirs, files in os.walk(path):
+                    for name in files:
+                        try:
+                            total += os.path.getsize(
+                                os.path.join(root, name))
+                        except OSError:
+                            continue
+            else:
+                try:
+                    total += os.path.getsize(path)
+                except OSError:
+                    continue
+        return total
+
+    def remove_job(self, job_id: str) -> int:
+        """Delete every file of one evicted job; returns bytes removed.
+
+        The manifest goes *last*: a crash mid-eviction leaves a job
+        that still loads at restart (with files partially gone — its
+        state is terminal, so nothing re-runs) rather than orphan
+        journals no manifest names, which nothing would ever clean.
+        """
+        removed = self.job_bytes(job_id)
+        manifest = self._manifest_path(job_id)
+        for path in self.job_paths(job_id):
+            if path == manifest:
+                continue
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+        try:
+            os.unlink(manifest)
+        except OSError:
+            pass
+        return removed
 
     def load_all(self) -> List[Job]:
         """Every readable manifest, in admission order.

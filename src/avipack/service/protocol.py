@@ -42,7 +42,7 @@ __all__ = [
 
 #: Requests the server understands.
 REQUEST_OPS = ("submit", "status", "stream", "cancel", "results", "jobs",
-               "stats", "ping", "shutdown")
+               "stats", "ping", "retention", "shutdown")
 
 #: Machine-readable rejection/failure codes a response may carry.
 ERROR_CODES = (
@@ -54,6 +54,7 @@ ERROR_CODES = (
     "queue_full",       # bounded queue at capacity
     "quota_exceeded",   # per-client active-job quota reached
     "draining",         # server is draining; admission is closed
+    "disk_low",         # disk budget exhausted; admission is degraded
     "duplicate",        # informational: submission matched an active job
     "replay_gap",       # requested event seq outside the replay buffer
     "not_cancellable",  # job already terminal

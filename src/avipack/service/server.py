@@ -31,6 +31,15 @@ emitted.  Robustness properties, in the order they matter:
   ``interrupted`` manifests resume via
   :meth:`~avipack.sweep.SweepRunner.resume`, producing rankings
   identical to an uninterrupted run.
+* **Disk-budget governance** — when watermarks are configured, a
+  governor polls the journal directory's footprint off the event loop;
+  crossing the high watermark triggers a retention pass (compact every
+  finished job's journal and result store, evict finished jobs per the
+  :class:`~avipack.retention.RetentionPolicy`) and latches degraded
+  admission: new submissions are refused with the structured
+  ``disk_low`` code while running jobs, status, streams and ``results``
+  queries keep serving.  Usage must fall back to the low watermark to
+  restore admission (hysteresis — no flapping at the threshold).
 """
 
 from __future__ import annotations
@@ -50,6 +59,13 @@ from typing import Any, Dict, List, Optional
 
 from .. import perf as _perf
 from ..errors import AvipackError, InputError, ServiceError
+from ..retention import (
+    DiskBudget,
+    RetentionPolicy,
+    compact_journal,
+    compact_store,
+    directory_bytes,
+)
 from ..sweep.runner import SweepRunner, evaluate_candidate
 from .admission import AdmissionPolicy, JobQueue, admit
 from .jobs import Job, JobStore
@@ -104,6 +120,18 @@ class ServiceConfig:
     event_buffer: int = 10_000
     #: Install SIGTERM/SIGINT drain handlers (main-thread loops only).
     install_signal_handlers: bool = True
+    #: High disk watermark [bytes] over ``journal_dir``: reaching it
+    #: triggers a retention pass and latches degraded (``disk_low``)
+    #: admission.  ``None`` disables the governor.
+    disk_high_watermark_bytes: Optional[int] = None
+    #: Low watermark [bytes] admission recovery requires (default:
+    #: half the high watermark) — the hysteresis band.
+    disk_low_watermark_bytes: Optional[int] = None
+    #: Disk-usage poll period [s]; the walk runs on the IO worker.
+    disk_poll_s: float = 5.0
+    #: Eviction bounds for *finished* jobs.  Compaction always runs in
+    #: a retention pass; eviction only with an enabled clause.
+    retention: RetentionPolicy = field(default_factory=RetentionPolicy)
 
 
 class _CancelSweep(Exception):
@@ -162,7 +190,19 @@ class SweepService:
             raise InputError("max_running must be >= 1")
         if config.heartbeat_s <= 0.0:
             raise InputError("heartbeat_s must be positive")
+        if config.disk_poll_s <= 0.0:
+            raise InputError("disk_poll_s must be positive")
         self.config = config
+        self._budget: Optional[DiskBudget] = None
+        if config.disk_high_watermark_bytes is not None:
+            low = (config.disk_low_watermark_bytes
+                   if config.disk_low_watermark_bytes is not None
+                   else config.disk_high_watermark_bytes // 2)
+            self._budget = DiskBudget(config.disk_high_watermark_bytes,
+                                      low)
+        #: Reentrancy guard: retention passes are serialised (they
+        #: hold journal/store locks; overlap would only contend).
+        self._retention_running = False
         self.stats = ServiceStats()
         self.store = JobStore(config.journal_dir)
         self._jobs: Dict[str, Job] = {}
@@ -206,6 +246,9 @@ class SweepService:
         heartbeat = asyncio.create_task(self._heartbeat_loop())
         self._tasks.add(heartbeat)
         heartbeat.add_done_callback(self._tasks.discard)
+        governor = asyncio.create_task(self._budget_loop())
+        self._tasks.add(governor)
+        governor.add_done_callback(self._tasks.discard)
         self._schedule()
         try:
             await self._stopped.wait()
@@ -213,11 +256,15 @@ class SweepService:
             server.close()
             await server.wait_closed()
             heartbeat.cancel()
-            pending = [task for task in self._tasks if task is not heartbeat]
+            governor.cancel()
+            pending = [task for task in self._tasks
+                       if task is not heartbeat and task is not governor]
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
             with contextlib.suppress(asyncio.CancelledError):
                 await heartbeat
+            with contextlib.suppress(asyncio.CancelledError):
+                await governor
             self._executor.shutdown(wait=True)
             self._io_executor.shutdown(wait=True)
             with contextlib.suppress(OSError):
@@ -368,6 +415,8 @@ class SweepService:
                        n_failed=len(report.failures),
                        restored=job.restored,
                        wall_s=round(report.wall_time_s, 6))
+        if job.terminal:
+            job.finished_wall = time.time()
         await self._save_job(job)
         self._running.discard(job.job_id)
         self._schedule()
@@ -458,6 +507,151 @@ class SweepService:
                     self._emit(job, "cancelling",
                                reason=job.cancel_reason)
 
+    # -- disk budget and retention -------------------------------------------
+
+    async def _budget_loop(self) -> None:
+        """Poll disk usage off the loop; trigger retention on breach."""
+        budget = self._budget
+        if budget is None:
+            return
+        assert self._stopped is not None and self._loop is not None
+        while not self._stopped.is_set():
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._stopped.wait(),
+                                       timeout=self.config.disk_poll_s)
+                return
+            usage = await self._loop.run_in_executor(
+                self._io_executor, directory_bytes,
+                self.config.journal_dir)
+            if budget.observe(usage):
+                await self._run_retention("watermark")
+
+    def _disk_status(self) -> Dict[str, Any]:
+        """JSON-ready governor state for stats/retention responses."""
+        if self._budget is None:
+            return {"disk_low": False, "usage_bytes": None,
+                    "high_watermark_bytes": None,
+                    "low_watermark_bytes": None}
+        return {"disk_low": self._budget.disk_low,
+                "usage_bytes": self._budget.last_usage,
+                "high_watermark_bytes": self._budget.high_bytes,
+                "low_watermark_bytes": self._budget.low_bytes}
+
+    async def _run_retention(self, trigger: str) -> Dict[str, Any]:
+        """One governor pass: compact finished jobs, evict per policy.
+
+        Every blocking step (compaction, footprint walks, file
+        removal) runs on the IO worker; only the job-table bookkeeping
+        touches loop state.  Active jobs — queued, running,
+        interrupted — are never compacted or evicted.
+        """
+        assert self._loop is not None
+        if self._retention_running:
+            return {"ok": True, "trigger": trigger, "compacted": [],
+                    "evicted": [], "bytes_reclaimed": 0,
+                    "skipped": "a retention pass is already running",
+                    **self._disk_status()}
+        self._retention_running = True
+        try:
+            self.stats.retention_passes += 1
+            _perf.increment("retention.passes")
+            reclaimed = 0
+            compacted: List[str] = []
+            for job in sorted(self._jobs.values(),
+                              key=lambda j: j.submit_order):
+                if not job.terminal or job.compacted:
+                    continue
+                freed = await self._loop.run_in_executor(
+                    self._io_executor, self._compact_job_files, job)
+                if freed is None:
+                    continue
+                job.compacted = True
+                reclaimed += freed
+                compacted.append(job.job_id)
+                self.stats.compacted_jobs += 1
+                await self._save_job(job)
+            evicted_ids, evicted_bytes = await self._evict_jobs()
+            reclaimed += evicted_bytes
+            self.stats.reclaimed_bytes += reclaimed
+            if self._budget is not None:
+                usage = await self._loop.run_in_executor(
+                    self._io_executor, directory_bytes,
+                    self.config.journal_dir)
+                self._budget.observe(usage)
+            return {"ok": True, "trigger": trigger,
+                    "compacted": compacted, "evicted": evicted_ids,
+                    "bytes_reclaimed": reclaimed,
+                    **self._disk_status()}
+        finally:
+            self._retention_running = False
+
+    def _compact_job_files(self, job: Job) -> Optional[int]:
+        """Blocking half of per-job compaction (IO worker).
+
+        Returns bytes reclaimed, or ``None`` when the files could not
+        be compacted this pass (lock contention, a journal with no
+        intact plan) — the pass moves on and retries next time;
+        nothing is ever torn.
+        """
+        reclaimed = 0
+        try:
+            if os.path.exists(job.journal_path):
+                reclaimed += compact_journal(
+                    job.journal_path).bytes_reclaimed
+            result_dir = self.store.result_dir(job.job_id)
+            if os.path.isdir(result_dir):
+                reclaimed += compact_store(result_dir).bytes_reclaimed
+        except AvipackError:
+            return None
+        return reclaimed
+
+    async def _evict_jobs(self) -> "tuple[List[str], int]":
+        """Evict finished jobs per the retention policy's clauses.
+
+        A job is evicted when *any* enabled clause condemns it:
+        beyond ``keep_last_n`` newest, older than ``max_age_s``, or
+        past the cumulative ``max_bytes`` footprint (newest kept).
+        """
+        assert self._loop is not None
+        policy = self.config.retention
+        if not policy.bounded:
+            return [], 0
+        finished = [job for job in self._jobs.values() if job.terminal]
+        finished.sort(key=lambda j: (j.finished_wall, j.submit_order),
+                      reverse=True)
+        victims: Dict[str, Job] = {}
+        if policy.keep_last_n is not None:
+            for job in finished[policy.keep_last_n:]:
+                victims[job.job_id] = job
+        if policy.max_age_s is not None:
+            now = time.time()
+            for job in finished:
+                if job.finished_wall \
+                        and now - job.finished_wall > policy.max_age_s:
+                    victims[job.job_id] = job
+        if policy.max_bytes is not None:
+            total = 0
+            for job in finished:
+                if job.job_id in victims:
+                    continue
+                total += await self._loop.run_in_executor(
+                    self._io_executor, self.store.job_bytes,
+                    job.job_id)
+                if total > policy.max_bytes:
+                    victims[job.job_id] = job
+        evicted: List[str] = []
+        removed_bytes = 0
+        for job in sorted(victims.values(),
+                          key=lambda j: j.submit_order):
+            removed_bytes += await self._loop.run_in_executor(
+                self._io_executor, self.store.remove_job, job.job_id)
+            self._jobs.pop(job.job_id, None)
+            self._subscribers.pop(job.job_id, None)
+            self.stats.evicted_jobs += 1
+            _perf.increment("retention.evictions")
+            evicted.append(job.job_id)
+        return evicted, removed_bytes
+
     # -- events --------------------------------------------------------------
 
     def _emit(self, job: Job, event_type: str, terminal: bool = False,
@@ -542,7 +736,10 @@ class SweepService:
                     "perf": dataclasses.asdict(_perf.stats(SERVICE_KERNEL)),
                     "queued": len(self._queue),
                     "running": len(self._running),
-                    "draining": self._draining}
+                    "draining": self._draining,
+                    "disk": self._disk_status()}
+        if op == "retention":
+            return await self._run_retention("request")
         if op == "shutdown":
             return {"ok": True, "draining": True}
         return error_response("unknown_op", f"unhandled op {op!r}")
@@ -571,9 +768,14 @@ class SweepService:
                           n_candidates=submission["n_candidates"],
                           queued=len(self._queue),
                           client_active=client_active,
-                          draining=self._draining)
+                          draining=self._draining,
+                          disk_low=(self._budget.disk_low
+                                    if self._budget is not None
+                                    else False))
         if rejection is not None:
             self.stats.reject(rejection.code)
+            if rejection.code == "disk_low":
+                _perf.increment("retention.disk_low_refusals")
             return error_response(rejection.code, rejection.reason)
         order = next(self._order)
         job_id = f"j{order:06d}"
@@ -613,6 +815,7 @@ class SweepService:
             self._queue.remove(job.job_id)
             job.state = "cancelled"
             job.error = f"cancelled: {reason}"
+            job.finished_wall = time.time()
             self.stats.cancelled += 1
             await self._save_job(job)
             self._emit(job, "cancelled", terminal=True, reason=reason)

@@ -61,6 +61,14 @@ class ServiceStats:
     replay_gaps: int = 0
     #: Drain requests honoured (signal or shutdown op).
     drains: int = 0
+    #: Retention passes executed (watermark-triggered or on request).
+    retention_passes: int = 0
+    #: Finished jobs whose journal/store were compacted.
+    compacted_jobs: int = 0
+    #: Finished jobs evicted by the retention policy.
+    evicted_jobs: int = 0
+    #: Bytes reclaimed by this process's retention passes.
+    reclaimed_bytes: int = 0
 
     def reject(self, code: str) -> None:
         """Count one admission rejection under its reason code."""
@@ -98,6 +106,10 @@ class ServiceStats:
             "replays": self.replays,
             "replay_gaps": self.replay_gaps,
             "drains": self.drains,
+            "retention_passes": self.retention_passes,
+            "compacted_jobs": self.compacted_jobs,
+            "evicted_jobs": self.evicted_jobs,
+            "reclaimed_bytes": self.reclaimed_bytes,
         }
 
     def to_lines(self) -> Tuple[str, ...]:

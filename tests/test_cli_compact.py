@@ -1,0 +1,89 @@
+"""CLI contract of ``python -m avipack compact``.
+
+Operators reclaim disk through this entry point; it must report what
+it folded/rewrote, fail distinctly (exit 2) on targets that cannot be
+compacted, and leave resume semantics untouched.
+"""
+
+import os
+
+import pytest
+
+from avipack.__main__ import main
+from avipack.durability import SweepJournal, replay_journal
+from avipack.results import ResultStore, ResultStoreWriter, \
+    ranking_signature
+
+from tests.test_retention_checkpoint import make_candidates, make_result
+from tests.test_retention_store import build_superseded_store
+
+
+def write_journal(path, n=3):
+    candidates = make_candidates(n)
+    with SweepJournal.create(str(path), candidates) as journal:
+        for index, candidate in enumerate(candidates):
+            journal.record_dispatched(index, candidate)
+            journal.record_outcome(make_result(index, candidate))
+    return candidates
+
+
+def test_compact_journal_reports_fold(tmp_path, capsys):
+    journal = tmp_path / "sweep.jsonl"
+    candidates = write_journal(journal)
+    rc = main(["compact", "--journal", str(journal)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"folded {1 + 2 * len(candidates)} record(s)" in out
+    assert "reclaimed" in out
+    assert len(journal.read_bytes().splitlines()) == 1
+    replay = replay_journal(str(journal), write_quarantine=False)
+    assert replay.candidates == candidates
+
+
+def test_compact_store_reports_rewrite(tmp_path, capsys):
+    directory = str(tmp_path / "store")
+    n_dead = build_superseded_store(directory)
+    signature = ranking_signature(ResultStore.open(directory))
+    rc = main(["compact", "--store", directory])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"dropped {n_dead} superseded row(s)" in out
+    assert ranking_signature(ResultStore.open(directory)) == signature
+
+
+def test_compact_both_in_one_invocation(tmp_path, capsys):
+    journal = tmp_path / "sweep.jsonl"
+    write_journal(journal)
+    directory = str(tmp_path / "store")
+    with ResultStoreWriter(directory) as writer:
+        writer.add(make_result(0, make_candidates(1)[0]))
+    rc = main(["compact", "--journal", str(journal),
+               "--store", directory])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "journal" in out and "store" in out
+
+
+def test_no_target_is_a_usage_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["compact"])
+    assert excinfo.value.code == 2
+
+
+def test_missing_journal_exits_2(tmp_path, capsys):
+    rc = main(["compact", "--journal", str(tmp_path / "absent.jsonl")])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_locked_journal_exits_2_and_is_untouched(tmp_path, capsys):
+    path = tmp_path / "held.jsonl"
+    journal = SweepJournal.create(str(path), make_candidates())
+    try:
+        size = os.path.getsize(path)
+        rc = main(["compact", "--journal", str(path)])
+        assert rc == 2
+        assert "locked" in capsys.readouterr().err
+        assert os.path.getsize(path) == size
+    finally:
+        journal.close()

@@ -360,6 +360,19 @@ class TestJournalLocking:
         journal = SweepJournal.append_to(path)
         journal.close()
 
+    def test_create_failure_releases_lock_and_descriptor(self, tmp_path):
+        # A create that explodes after taking the lock (here: the plan
+        # record cannot pickle a lambda) must close the stream on its
+        # way out — otherwise the path stays flock'd and the fd leaks
+        # until process exit, and every retry is refused as contention.
+        path = str(tmp_path / "fail.jsonl")
+        with pytest.raises(Exception):
+            SweepJournal.create(path, (lambda: None,))
+        journal = SweepJournal.create(path, make_candidates())
+        journal.close()
+        replay = replay_journal(path, write_quarantine=False)
+        assert replay.candidates == make_candidates()
+
     def test_contention_error_is_a_durability_error(self, tmp_path):
         from avipack.errors import AvipackError
 

@@ -140,6 +140,67 @@ def test_corrupt_rows_shard_is_quarantined_not_fatal(tmp_path):
     assert store.fetch_outcome(0).index == 0
 
 
+def read_reason_sidecar(path):
+    import json
+    return json.loads(open(path + ".quarantine.reason").read())
+
+
+def test_checksum_damage_is_classified_in_the_sidecar(tmp_path):
+    directory = str(tmp_path / "store")
+    perf.reset()
+    with ResultStoreWriter(directory, shard_rows=8) as writer:
+        writer.add_many(outcomes_mixed(20))
+    victim = os.path.join(directory, "shard-000001.rows")
+    payload = bytearray(open(victim, "rb").read())
+    payload[-30] ^= 0xFF  # payload byte flip: header checksums now lie
+    with open(victim, "wb") as stream:
+        stream.write(payload)
+    store = ResultStore.open(directory)
+    assert store.quarantine_reasons["shard-000001.rows"] == "checksum"
+    sidecar = read_reason_sidecar(victim)
+    assert sidecar["reason"] == "checksum"
+    assert sidecar["file"] == "shard-000001.rows"
+    assert "mismatch" in sidecar["detail"]
+    # The companion blob pool carries no sidecar of its own: the rows
+    # sidecar tells the story.
+    assert not os.path.exists(os.path.join(
+        directory, "shard-000001.blobs.quarantine.reason"))
+    assert perf.counter("results.quarantined_checksum") == 1
+    assert perf.counter("results.quarantined_header") == 0
+    assert perf.counter("results.quarantined_truncation") == 0
+
+
+def test_truncation_damage_is_classified_in_the_sidecar(tmp_path):
+    directory = str(tmp_path / "store")
+    perf.reset()
+    with ResultStoreWriter(directory, shard_rows=8) as writer:
+        writer.add_many(outcomes_mixed(20))
+    victim = os.path.join(directory, "shard-000000.rows")
+    payload = open(victim, "rb").read()
+    with open(victim, "wb") as stream:
+        stream.write(payload[:-40])  # torn tail: payload shorter than header
+    store = ResultStore.open(directory)
+    assert store.quarantine_reasons["shard-000000.rows"] == "truncation"
+    assert read_reason_sidecar(victim)["reason"] == "truncation"
+    assert perf.counter("results.quarantined_truncation") == 1
+
+
+def test_header_damage_is_classified_in_the_sidecar(tmp_path):
+    directory = str(tmp_path / "store")
+    perf.reset()
+    with ResultStoreWriter(directory, shard_rows=8) as writer:
+        writer.add_many(outcomes_mixed(20))
+    victim = os.path.join(directory, "shard-000001.rows")
+    payload = open(victim, "rb").read()
+    _, _, body = payload.partition(b"\n")
+    with open(victim, "wb") as stream:
+        stream.write(b"not a json header\n" + body)
+    store = ResultStore.open(directory)
+    assert store.quarantine_reasons["shard-000001.rows"] == "header"
+    assert read_reason_sidecar(victim)["reason"] == "header"
+    assert perf.counter("results.quarantined_header") == 1
+
+
 def test_blobs_only_damage_keeps_rows_queryable(tmp_path):
     directory = str(tmp_path / "store")
     with ResultStoreWriter(directory, shard_rows=8) as writer:
